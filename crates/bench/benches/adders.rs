@@ -1,0 +1,39 @@
+//! E1: half/full adder and rippleCarry4 — compile and simulate rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zeus::examples;
+use zeus_bench::{drive_random, load, sim_for};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adders");
+    g.sample_size(20);
+
+    g.bench_function("parse_check_adders", |b| {
+        b.iter(|| load(black_box(examples::ADDERS)))
+    });
+
+    let z = load(examples::ADDERS);
+    g.bench_function("elaborate_rippleCarry4", |b| {
+        b.iter(|| z.elaborate(black_box("rippleCarry4"), &[]).unwrap())
+    });
+
+    for top in ["halfadder", "fulladder", "rippleCarry4"] {
+        let mut sim = sim_for(examples::ADDERS, top, &[]);
+        let ports: Vec<(&str, u64)> = sim
+            .design()
+            .inputs()
+            .map(|p| (p.name.clone(), (1u64 << p.width().min(63)) - 1))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|(n, m)| (Box::leak(n.clone().into_boxed_str()) as &str, *m))
+            .collect();
+        g.bench_function(format!("simulate_100c_{top}"), |b| {
+            b.iter(|| drive_random(&mut sim, &ports, 100, 7))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

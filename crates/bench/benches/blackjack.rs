@@ -1,0 +1,43 @@
+//! E3: the Blackjack FSM — full games per second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use zeus::examples;
+use zeus_bench::load;
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::BLACKJACK);
+    let mut g = c.benchmark_group("blackjack");
+    g.sample_size(20);
+
+    g.bench_function("elaborate", |b| {
+        b.iter(|| z.elaborate("blackjack", &[]).unwrap())
+    });
+
+    let mut sim = z.simulator("blackjack", &[]).unwrap();
+    g.bench_function("play_one_game", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        b.iter(|| {
+            // Reset, then deal random cards until ~20 cycles pass
+            // (covers at least one complete game).
+            sim.set_rset(true);
+            sim.set_port_num("ycard", 0).unwrap();
+            sim.set_port_num("value", 0).unwrap();
+            sim.step();
+            sim.set_rset(false);
+            for _ in 0..5 {
+                sim.set_port_num("value", rng.gen_range(1..=10)).unwrap();
+                sim.set_port_num("ycard", 1).unwrap();
+                sim.step();
+                sim.set_port_num("ycard", 0).unwrap();
+                sim.step();
+                sim.step();
+                sim.step();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

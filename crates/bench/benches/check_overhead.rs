@@ -1,0 +1,49 @@
+//! E13 / claim C3: the runtime single-assignment check. The static
+//! question is NP-complete (§4.7), so Zeus checks at run time; this
+//! harness measures what that check costs per cycle on a check-heavy
+//! design (a wide multiplex bus with many conditional drivers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeus::Zeus;
+use zeus_bench::drive_random;
+
+fn bus_design(drivers: usize) -> String {
+    format!(
+        "TYPE t = COMPONENT (IN en: ARRAY[1..{d}] OF boolean; \
+                             IN data: ARRAY[1..{d}] OF boolean; \
+                             OUT q: boolean) IS \
+         SIGNAL w: multiplex; \
+         BEGIN \
+           FOR i := 1 TO {d} DO IF en[i] THEN w := data[i] END END; \
+           q := w \
+         END;",
+        d = drivers
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("check_overhead");
+    g.sample_size(10);
+    for d in [8usize, 64, 256] {
+        let z = Zeus::parse(&bus_design(d)).unwrap();
+        for checked in [true, false] {
+            let mut sim = z.simulator("t", &[]).unwrap();
+            sim.set_conflict_checking(checked);
+            let label = if checked { "checked" } else { "unchecked" };
+            g.bench_with_input(BenchmarkId::new(label, d), &d, |b, _| {
+                b.iter(|| {
+                    drive_random(
+                        &mut sim,
+                        &[("en", (1u64 << d.min(63)) - 1), ("data", (1u64 << d.min(63)) - 1)],
+                        50,
+                        13,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 / claim C2: the H-tree's linear layout area. Prints the area table
+//! (the "figure"), then measures floorplanning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeus::examples;
+use zeus_bench::load;
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::TREES);
+    println!("\nH-tree area (claim C2: linear in leaves):");
+    println!("{:>8} {:>7} {:>7} {:>9} {:>10}", "leaves", "width", "height", "area", "area/leaf");
+    for k in 1..=4u32 {
+        let n = 4i64.pow(k);
+        let d = z.elaborate("htree", &[n]).unwrap();
+        let plan = zeus::floorplan(&d);
+        println!(
+            "{:>8} {:>7} {:>7} {:>9} {:>10.2}",
+            n,
+            plan.width,
+            plan.height,
+            plan.area(),
+            plan.area() as f64 / n as f64
+        );
+    }
+
+    let mut g = c.benchmark_group("htree_area");
+    g.sample_size(10);
+    for k in [2u32, 3, 4] {
+        let n = 4i64.pow(k);
+        let d = z.elaborate("htree", &[n]).unwrap();
+        g.bench_with_input(BenchmarkId::new("floorplan", n), &n, |b, _| {
+            b.iter(|| zeus::floorplan(&d))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E7: the systolic pattern matcher — cycles/second across lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeus::examples;
+use zeus_bench::load;
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::PATTERNMATCH);
+    let mut g = c.benchmark_group("patternmatch");
+    g.sample_size(10);
+    for len in [3i64, 15, 63] {
+        g.bench_with_input(BenchmarkId::new("elaborate", len), &len, |b, &len| {
+            b.iter(|| z.elaborate("patternmatch", &[len]).unwrap())
+        });
+        let mut sim = z.simulator("patternmatch", &[len]).unwrap();
+        g.bench_with_input(BenchmarkId::new("simulate_100c", len), &len, |b, _| {
+            b.iter(|| {
+                for t in 0u64..100 {
+                    let active = t % 2 == 0;
+                    sim.set_port_num("pattern", u64::from(active && t % 4 == 0)).unwrap();
+                    sim.set_port_num("string", u64::from(active && t % 4 == 0)).unwrap();
+                    sim.set_port_num("endofpattern", u64::from(active && t % 6 == 4)).unwrap();
+                    sim.set_port_num("wild", 0).unwrap();
+                    sim.set_port_num("resultin", 0).unwrap();
+                    sim.step();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E9: the REG+NUM random access memory — read/write traffic rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use zeus::examples;
+use zeus_bench::load;
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::RAM);
+    let mut g = c.benchmark_group("ram");
+    g.sample_size(10);
+    for (words, width, abits) in [(16i64, 8i64, 4i64), (64, 16, 6), (256, 16, 8)] {
+        let label = format!("{words}x{width}");
+        g.bench_with_input(
+            BenchmarkId::new("elaborate", &label),
+            &(words, width, abits),
+            |b, &(w, wd, a)| b.iter(|| z.elaborate("ram", &[w, wd, a]).unwrap()),
+        );
+        let mut sim = z.simulator("ram", &[words, width, abits]).unwrap();
+        g.bench_with_input(BenchmarkId::new("traffic_100c", &label), &words, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            b.iter(|| {
+                for _ in 0..100 {
+                    sim.set_port_num("a", rng.gen_range(0..words as u64)).unwrap();
+                    sim.set_port_num("din", rng.gen_range(0..(1u64 << width))).unwrap();
+                    sim.set_port_num("we", rng.gen_range(0..2)).unwrap();
+                    sim.step();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4: rippleCarry(n) scaling sweep — the paper's parametric adder.
+//! Prints the size table, then measures elaboration and per-cycle cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeus::examples;
+use zeus_bench::{drive_random, load};
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::ADDERS);
+    println!("\nrippleCarry(n) elaborated sizes:");
+    println!("{:>6} {:>8} {:>8} {:>10}", "n", "nets", "nodes", "instances");
+    for n in [4i64, 8, 16, 32, 64] {
+        let d = z.elaborate("rippleCarry", &[n]).unwrap();
+        println!(
+            "{:>6} {:>8} {:>8} {:>10}",
+            n,
+            d.netlist.net_count(),
+            d.netlist.node_count(),
+            d.instances.size()
+        );
+    }
+
+    let mut g = c.benchmark_group("ripple_scaling");
+    g.sample_size(10);
+    for n in [4i64, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("elaborate", n), &n, |b, &n| {
+            b.iter(|| z.elaborate("rippleCarry", &[n]).unwrap())
+        });
+        let mut sim = z.simulator("rippleCarry", &[n]).unwrap();
+        let mask = (1u64 << n.min(63)) - 1;
+        g.bench_with_input(BenchmarkId::new("simulate_100c", n), &n, |b, _| {
+            b.iter(|| drive_random(&mut sim, &[("a", mask), ("b", mask), ("cin", 1)], 100, 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8: the recursive routing network — WHEN-guarded recursion scaling.
+//! Prints the router-count recurrence table, then measures elaboration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeus::examples;
+use zeus_bench::{drive_random, load};
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::ROUTING);
+    println!("\nrouting network structure ((n/2)*log2 n routers):");
+    for n in [2i64, 4, 8, 16, 32, 64] {
+        let d = z.elaborate("routingnetwork", &[n]).unwrap();
+        fn count(node: &zeus::InstanceNode, ty: &str) -> usize {
+            (node.type_name == ty) as usize
+                + node.children.iter().map(|c| count(c, ty)).sum::<usize>()
+        }
+        println!(
+            "  n={:<4} routers={:<6} nets={}",
+            n,
+            count(&d.instances, "router"),
+            d.netlist.net_count()
+        );
+    }
+
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(10);
+    for n in [8i64, 32] {
+        g.bench_with_input(BenchmarkId::new("elaborate", n), &n, |b, &n| {
+            b.iter(|| z.elaborate("routingnetwork", &[n]).unwrap())
+        });
+        let mut sim = z.simulator("routingnetwork", &[n]).unwrap();
+        g.bench_with_input(BenchmarkId::new("simulate_100c", n), &n, |b, _| {
+            b.iter(|| drive_random(&mut sim, &[("input", u64::MAX >> 1)], 100, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

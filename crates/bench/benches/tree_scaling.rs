@@ -1,0 +1,39 @@
+//! E5: broadcast trees — elaboration scaling of the iterative and the
+//! recursive definitions (same hardware, different Zeus text).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeus::examples;
+use zeus_bench::load;
+
+fn bench(c: &mut Criterion) {
+    let z = load(examples::TREES);
+    println!("\ntree(n)/rtree(n) q-node counts (must be n-1):");
+    for n in [16i64, 64, 256] {
+        let d1 = z.elaborate("tree", &[n]).unwrap();
+        let d2 = z.elaborate("rtree", &[n]).unwrap();
+        fn count(node: &zeus::InstanceNode, ty: &str) -> usize {
+            (node.type_name == ty) as usize
+                + node.children.iter().map(|c| count(c, ty)).sum::<usize>()
+        }
+        println!(
+            "  n={n:<5} iterative q={:<6} recursive q={:<6}",
+            count(&d1.instances, "q"),
+            count(&d2.instances, "q")
+        );
+    }
+
+    let mut g = c.benchmark_group("tree_scaling");
+    g.sample_size(10);
+    for n in [16i64, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("iterative", n), &n, |b, &n| {
+            b.iter(|| z.elaborate("tree", &[n]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("recursive", n), &n, |b, &n| {
+            b.iter(|| z.elaborate("rtree", &[n]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Shared builders for the Zeus benchmark harness.
+//!
+//! Every bench regenerates one experiment of `DESIGN.md`'s index (the
+//! paper has no measured tables; the experiments pin down the *shape*
+//! claims — who wins, how things scale). Each harness prints the derived
+//! figure/table rows before measuring.
+
+use zeus::{Simulator, Zeus};
+
+/// Parses a bundled example, panicking with context on failure.
+pub fn load(src: &str) -> Zeus {
+    Zeus::parse(src).expect("bundled example parses")
+}
+
+/// Builds a simulator for a bundled example top.
+pub fn sim_for(src: &str, top: &str, args: &[i64]) -> Simulator {
+    load(src).simulator(top, args).expect("elaborates")
+}
+
+/// Drives `sim` through `n` cycles with pseudo-random inputs on the
+/// named numeric ports.
+pub fn drive_random(sim: &mut Simulator, ports: &[(&str, u64)], n: usize, seed: u64) -> u64 {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut conflicts = 0;
+    for _ in 0..n {
+        for &(name, max) in ports {
+            let v = rng.gen_range(0..=max);
+            sim.set_port_num(name, v).expect("port");
+        }
+        conflicts += sim.step().conflicts.len() as u64;
+    }
+    conflicts
+}

@@ -1,0 +1,223 @@
+//! `zeusc` — command-line driver for the Zeus HDL toolchain.
+//!
+//! ```text
+//! zeusc check <file.zeus>                      parse + static checks
+//! zeusc print <file.zeus>                      canonical pretty-print
+//! zeusc elab  <file.zeus> <top> [args...]      elaborate, print stats
+//! zeusc sim   <file.zeus> <top> [args...] [--cycles N] [--set port=value ...]
+//! zeusc layout <file.zeus> <top> [args...]     floorplan + ASCII art
+//! zeusc svg   <file.zeus> <top> [args...]      floorplan as SVG (stdout)
+//! zeusc graph <file.zeus> <top> [args...]      semantics graph as Graphviz dot
+//! zeusc synth <file.zeus> <top> [args...]      CMOS transistor budget
+//! zeusc equiv <file.zeus> <topA> [args] --vs <topB> [args]
+//!                                              exhaustive equivalence check
+//! zeusc examples                               list the bundled examples
+//! ```
+//!
+//! A file argument of `@name` loads the bundled example of that name
+//! (e.g. `zeusc layout @trees htree 16`).
+
+use std::process::ExitCode;
+use zeus::{examples, Zeus};
+
+/// Prints a line, ignoring broken pipes (`zeusc ... | head` must not
+/// panic).
+macro_rules! outln {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    }};
+}
+
+/// Prints without a newline, ignoring broken pipes.
+macro_rules! out {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        let _ = write!(std::io::stdout(), $($t)*);
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_source(path: &str) -> Result<String, String> {
+    if let Some(name) = path.strip_prefix('@') {
+        for (n, src, _) in examples::ALL {
+            if *n == name {
+                return Ok((*src).to_string());
+            }
+        }
+        return Err(format!(
+            "no bundled example '{name}' (try `zeusc examples`)"
+        ));
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn parse(src: &str) -> Result<Zeus, String> {
+    Zeus::parse(src).map_err(|e| {
+        let map = zeus::SourceMap::new(src);
+        e.render(&map)
+    })
+}
+
+fn top_args(rest: &[String]) -> Result<Vec<i64>, String> {
+    rest.iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(|a| {
+            a.parse::<i64>()
+                .map_err(|_| format!("'{a}' is not a numeric type parameter"))
+        })
+        .collect()
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Option<u64> {
+    let pos = rest.iter().position(|a| a == flag)?;
+    rest.get(pos + 1)?.parse().ok()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage =
+        "usage: zeusc <check|print|elab|sim|layout|svg|graph|synth|equiv|examples> [...]";
+    let cmd = args.first().ok_or(usage)?;
+    match cmd.as_str() {
+        "examples" => {
+            for (name, src, top) in examples::ALL {
+                outln!("@{name:<14} top={top:<16} ({} bytes)", src.len());
+            }
+            Ok(())
+        }
+        "equiv" => {
+            let file = args.get(1).ok_or("usage: zeusc equiv <file> <topA> [args] --vs <topB> [args]")?;
+            let split = args
+                .iter()
+                .position(|a| a == "--vs")
+                .ok_or("missing --vs separator")?;
+            let top_a = args.get(2).ok_or("missing first top")?;
+            let args_a = top_args(&args[3..split])?;
+            let top_b = args.get(split + 1).ok_or("missing second top")?;
+            let args_b = top_args(&args[split + 2..])?;
+            let src = load_source(file)?;
+            let z = parse(&src)?;
+            let map = zeus::SourceMap::new(&src);
+            let da = z.elaborate(top_a, &args_a).map_err(|e| e.render(&map))?;
+            let db = z.elaborate(top_b, &args_b).map_err(|e| e.render(&map))?;
+            match zeus::check_equivalent(&da, &db, 22).map_err(|e| e.to_string())? {
+                None => {
+                    outln!("equivalent (exhaustive)");
+                    Ok(())
+                }
+                Some(ce) => Err(format!("NOT equivalent: {ce}")),
+            }
+        }
+        "check" => {
+            let file = args.get(1).ok_or("usage: zeusc check <file>")?;
+            parse(&load_source(file)?)?;
+            outln!("ok");
+            Ok(())
+        }
+        "print" => {
+            let file = args.get(1).ok_or("usage: zeusc print <file>")?;
+            let z = parse(&load_source(file)?)?;
+            out!("{}", z.to_canonical_text());
+            Ok(())
+        }
+        "elab" | "sim" | "layout" | "svg" | "graph" | "synth" => {
+            let file = args.get(1).ok_or("usage: zeusc <cmd> <file> <top> [args]")?;
+            let top = args.get(2).ok_or("missing top component type")?;
+            let targs = top_args(&args[3..])?;
+            let src = load_source(file)?;
+            let z = parse(&src)?;
+            let design = z.elaborate(top, &targs).map_err(|e| {
+                let map = zeus::SourceMap::new(&src);
+                e.render(&map)
+            })?;
+            for w in &design.warnings {
+                eprintln!("{}", w.render(&zeus::SourceMap::new(&src)));
+            }
+            match cmd.as_str() {
+                "elab" => {
+                    outln!("top       : {}", design.top_type);
+                    outln!("nets      : {}", design.netlist.net_count());
+                    outln!("nodes     : {}", design.netlist.node_count());
+                    outln!("registers : {}", design.netlist.registers().count());
+                    outln!("instances : {}", design.instances.size());
+                    for p in &design.ports {
+                        outln!("port      : {} {} [{} bit]", p.mode, p.name, p.width());
+                    }
+                    Ok(())
+                }
+                "sim" => {
+                    let cycles = flag_value(&args[3..], "--cycles").unwrap_or(8);
+                    let mut sim = zeus::Simulator::new(design).map_err(|e| e.to_string())?;
+                    // Apply --set port=value forcings.
+                    let mut iter = args[3..].iter();
+                    while let Some(a) = iter.next() {
+                        if a == "--set" {
+                            let kv = iter.next().ok_or("--set needs port=value")?;
+                            let (port, val) = kv
+                                .split_once('=')
+                                .ok_or_else(|| format!("bad --set '{kv}', want port=value"))?;
+                            let val: u64 = val
+                                .parse()
+                                .map_err(|_| format!("bad value in --set '{kv}'"))?;
+                            sim.set_port_num(port, val).map_err(|e| e.to_string())?;
+                        }
+                    }
+                    let mut violations = 0u64;
+                    for _ in 0..cycles {
+                        let r = sim.step();
+                        violations += r.conflicts.len() as u64;
+                    }
+                    outln!("cycles    : {cycles}");
+                    outln!("conflicts : {violations}");
+                    for p in sim.design().ports.clone() {
+                        let vals: String =
+                            sim.port(&p.name).iter().map(|v| v.to_string()).collect();
+                        outln!("{:<10}: {}", p.name, vals);
+                    }
+                    Ok(())
+                }
+                "svg" => {
+                    let plan = zeus::floorplan(&design);
+                    out!("{}", plan.render_svg(16));
+                    Ok(())
+                }
+                "graph" => {
+                    out!("{}", zeus::to_dot(&design.netlist));
+                    Ok(())
+                }
+                "layout" => {
+                    let plan = zeus::floorplan(&design);
+                    outln!(
+                        "bounding box: {} x {} (area {})",
+                        plan.width,
+                        plan.height,
+                        plan.area()
+                    );
+                    outln!("leaf cells  : {}", plan.leaf_count());
+                    let art = plan.render_ascii();
+                    if !art.is_empty() {
+                        outln!("{art}");
+                    }
+                    Ok(())
+                }
+                _ => {
+                    let sw = zeus::SwitchSim::new(&design);
+                    outln!("transistors : {}", sw.transistor_count());
+                    outln!("nodes       : {}", sw.node_count());
+                    Ok(())
+                }
+            }
+        }
+        other => Err(format!("unknown command '{other}'\n{usage}")),
+    }
+}

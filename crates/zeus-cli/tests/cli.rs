@@ -1,0 +1,134 @@
+//! End-to-end tests of the `zeusc` binary.
+
+use std::process::Command;
+
+fn zeusc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_zeusc"))
+        .args(args)
+        .output()
+        .expect("spawn zeusc");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn lists_examples() {
+    let (ok, stdout, _) = zeusc(&["examples"]);
+    assert!(ok);
+    for name in ["@adders", "@blackjack", "@patternmatch", "@am2901"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn checks_bundled_example() {
+    let (ok, stdout, _) = zeusc(&["check", "@trees"]);
+    assert!(ok);
+    assert!(stdout.contains("ok"));
+}
+
+#[test]
+fn elab_prints_stats() {
+    let (ok, stdout, _) = zeusc(&["elab", "@adders", "rippleCarry", "8"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("registers : 0"));
+    assert!(stdout.contains("port      : IN a [8 bit]"));
+}
+
+#[test]
+fn layout_renders_chessboard() {
+    let (ok, stdout, _) = zeusc(&["layout", "@chessboard", "chessboard", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("WBWB"));
+    assert!(stdout.contains("area 16"));
+}
+
+#[test]
+fn synth_counts_transistors() {
+    let (ok, stdout, _) = zeusc(&["synth", "@adders", "fulladder"]);
+    assert!(ok);
+    assert!(stdout.contains("transistors"));
+}
+
+#[test]
+fn print_is_reparsable() {
+    let (ok, stdout, _) = zeusc(&["print", "@mux"]);
+    assert!(ok);
+    assert!(zeus::Zeus::parse(&stdout).is_ok(), "{stdout}");
+}
+
+#[test]
+fn unknown_example_fails_cleanly() {
+    let (ok, _, stderr) = zeusc(&["check", "@nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("no bundled example"));
+}
+
+#[test]
+fn elaboration_error_reports_position() {
+    let dir = std::env::temp_dir().join("zeusc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bad.zeus");
+    std::fs::write(
+        &file,
+        "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS\nSIGNAL x,y: boolean;\nBEGIN x := AND(a,y); y := NOT x; s := y END;",
+    )
+    .unwrap();
+    let (ok, _, stderr) = zeusc(&["elab", file.to_str().unwrap(), "t"]);
+    assert!(!ok);
+    assert!(stderr.contains("combinational feedback loop"), "{stderr}");
+}
+
+#[test]
+fn equiv_confirms_the_papers_claim() {
+    let (ok, stdout, _) = zeusc(&["equiv", "@adders", "rippleCarry4", "--vs", "rippleCarry", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("equivalent"));
+}
+
+#[test]
+fn equiv_reports_counterexamples() {
+    let dir = std::env::temp_dir().join("zeusc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("pair.zeus");
+    std::fs::write(
+        &file,
+        "TYPE f = COMPONENT (IN a,b: boolean; OUT s: boolean) IS BEGIN s := AND(a,b) END; \
+         g = COMPONENT (IN a,b: boolean; OUT s: boolean) IS BEGIN s := OR(a,b) END;",
+    )
+    .unwrap();
+    let (ok, _, stderr) = zeusc(&["equiv", file.to_str().unwrap(), "f", "--vs", "g"]);
+    assert!(!ok);
+    assert!(stderr.contains("NOT equivalent"), "{stderr}");
+}
+
+#[test]
+fn sim_with_forced_inputs() {
+    let (ok, stdout, _) = zeusc(&[
+        "sim", "@adders", "rippleCarry4", "--cycles", "1", "--set", "a=9", "--set", "b=3",
+        "--set", "cin=0",
+    ]);
+    assert!(ok, "{stdout}");
+    // 9 + 3 = 12 = 0b1100, LSB-first rendering "0011".
+    assert!(stdout.contains("s         : 0011"), "{stdout}");
+}
+
+#[test]
+fn graph_emits_dot() {
+    let (ok, stdout, _) = zeusc(&["graph", "@adders", "halfadder"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph zeus {"));
+    assert!(stdout.contains("Xor"));
+}
+
+#[test]
+fn svg_emits_floorplan() {
+    let (ok, stdout, _) = zeusc(&["svg", "@chessboard", "chessboard", "3"]);
+    assert!(ok);
+    assert!(stdout.starts_with("<svg"));
+    assert!(stdout.contains("black"));
+    assert!(stdout.contains("white"));
+}

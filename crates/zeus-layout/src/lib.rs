@@ -1,0 +1,768 @@
+//! # zeus-layout
+//!
+//! The layout language of Zeus (§6): order statements with eight
+//! directions of separation, orientation changes (the dihedral group D4),
+//! boundary (pin) statements and `virtual` replacement — all already
+//! resolved by `zeus-elab` into per-instance [`LayoutItem`] programs.
+//!
+//! This crate turns that instance tree into a concrete *floorplan*: an
+//! integer-grid rectangle per instance, satisfying the relative-position
+//! semantics of §8 ("the right edge of the bounding rectangle of x1 is
+//! left of the left edge of the bounding rectangle of x2"). Leaf
+//! components occupy a unit cell; composites are the abutted bounding
+//! boxes of their children.
+//!
+//! ## Example
+//!
+//! ```
+//! use zeus_syntax::parse_program;
+//! use zeus_elab::elaborate;
+//! use zeus_layout::floorplan;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := a END;
+//!      row = COMPONENT (IN a: boolean; OUT b: boolean) IS
+//!      SIGNAL c: ARRAY[1..4] OF cell;
+//!      { ORDER lefttoright FOR i := 1 TO 4 DO c[i] END END }
+//!      BEGIN c[1].a := a; c[2].a := c[1].b; c[3].a := c[2].b;
+//!            c[4].a := c[3].b; b := c[4].b END;",
+//! )?;
+//! let design = elaborate(&program, "row", &[])?;
+//! let plan = floorplan(&design);
+//! assert_eq!((plan.width, plan.height), (4, 1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use zeus_elab::{Design, Direction, InstanceNode, LayoutItem, Orientation};
+use zeus_syntax::ast::Side;
+
+/// A placed rectangle in the final floorplan (absolute coordinates,
+/// origin top-left, y grows downward).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedRect {
+    /// Hierarchical instance path.
+    pub path: String,
+    /// Component type name.
+    pub type_name: String,
+    /// Left edge.
+    pub x: i64,
+    /// Top edge.
+    pub y: i64,
+    /// Width (≥ 1).
+    pub w: i64,
+    /// Height (≥ 1).
+    pub h: i64,
+    /// True when the instance has no placed children (drawn as a cell).
+    pub leaf: bool,
+}
+
+/// A pin placed on an instance edge by a boundary statement (§6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedPin {
+    /// Owning instance path.
+    pub instance: String,
+    /// Pin (formal parameter) name.
+    pub name: String,
+    /// The edge it sits on, after orientation changes.
+    pub side: Side,
+    /// Absolute x.
+    pub x: i64,
+    /// Absolute y.
+    pub y: i64,
+}
+
+/// A complete floorplan.
+#[derive(Debug, Clone, Default)]
+pub struct Floorplan {
+    /// All instance rectangles (composites and leaves).
+    pub rects: Vec<PlacedRect>,
+    /// All placed pins.
+    pub pins: Vec<PlacedPin>,
+    /// Total width of the bounding box.
+    pub width: i64,
+    /// Total height of the bounding box.
+    pub height: i64,
+}
+
+impl Floorplan {
+    /// Bounding-box area.
+    pub fn area(&self) -> i64 {
+        self.width * self.height
+    }
+
+    /// The rectangle of an instance by path.
+    pub fn rect(&self, path: &str) -> Option<&PlacedRect> {
+        self.rects.iter().find(|r| r.path == path)
+    }
+
+    /// Number of leaf cells.
+    pub fn leaf_count(&self) -> usize {
+        self.rects.iter().filter(|r| r.leaf).count()
+    }
+
+    /// Checks that no two leaf rectangles overlap (layout invariant).
+    pub fn leaves_disjoint(&self) -> bool {
+        let leaves: Vec<&PlacedRect> = self.rects.iter().filter(|r| r.leaf).collect();
+        for (i, a) in leaves.iter().enumerate() {
+            for b in &leaves[i + 1..] {
+                let sep = a.x + a.w <= b.x
+                    || b.x + b.w <= a.x
+                    || a.y + a.h <= b.y
+                    || b.y + b.h <= a.y;
+                if !sep {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the floorplan as ASCII art: leaves drawn with the first
+    /// letter of their type, empty cells with `.`.
+    pub fn render_ascii(&self) -> String {
+        let w = self.width.max(0) as usize;
+        let h = self.height.max(0) as usize;
+        if w == 0 || h == 0 || w > 4096 || h > 4096 {
+            return String::new();
+        }
+        let mut grid = vec![vec!['.'; w]; h];
+        for r in self.rects.iter().filter(|r| r.leaf) {
+            let c = r
+                .type_name
+                .chars()
+                .next()
+                .unwrap_or('#')
+                .to_ascii_uppercase();
+            for y in r.y..r.y + r.h {
+                for x in r.x..r.x + r.w {
+                    if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                        grid[y as usize][x as usize] = c;
+                    }
+                }
+            }
+        }
+        let mut out = String::with_capacity((w + 1) * h);
+        for row in grid {
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Computes the floorplan of an elaborated design.
+pub fn floorplan(design: &Design) -> Floorplan {
+    floorplan_of(&design.instances)
+}
+
+/// Computes the floorplan of one instance subtree.
+pub fn floorplan_of(root: &InstanceNode) -> Floorplan {
+    let frame = layout_node(root);
+    let mut plan = Floorplan {
+        rects: Vec::new(),
+        pins: Vec::new(),
+        width: frame.w,
+        height: frame.h,
+    };
+    frame.emit(0, 0, &mut plan);
+    plan
+}
+
+/// A laid-out box in local coordinates.
+struct Frame {
+    path: String,
+    type_name: String,
+    w: i64,
+    h: i64,
+    /// Children with local offsets.
+    children: Vec<(i64, i64, Frame)>,
+    /// Pins in local coordinates.
+    pins: Vec<(String, Side, i64, i64)>,
+    leaf: bool,
+}
+
+impl Frame {
+    fn unit(path: String, type_name: String) -> Frame {
+        Frame {
+            path,
+            type_name,
+            w: 1,
+            h: 1,
+            children: Vec::new(),
+            pins: Vec::new(),
+            leaf: true,
+        }
+    }
+
+    fn emit(&self, ox: i64, oy: i64, plan: &mut Floorplan) {
+        if !self.path.is_empty() {
+            plan.rects.push(PlacedRect {
+                path: self.path.clone(),
+                type_name: self.type_name.clone(),
+                x: ox,
+                y: oy,
+                w: self.w,
+                h: self.h,
+                leaf: self.leaf,
+            });
+        }
+        for (name, side, px, py) in &self.pins {
+            plan.pins.push(PlacedPin {
+                instance: self.path.clone(),
+                name: name.clone(),
+                side: *side,
+                x: ox + px,
+                y: oy + py,
+            });
+        }
+        for (cx, cy, child) in &self.children {
+            child.emit(ox + cx, oy + cy, plan);
+        }
+    }
+
+    /// Applies an orientation change to the whole frame.
+    fn orient(mut self, o: Orientation) -> Frame {
+        if o == Orientation::Identity {
+            return self;
+        }
+        let (w, h) = (self.w, self.h);
+        let (_, _, nw, nh) = o.apply(0, 0, w, h);
+        let children = std::mem::take(&mut self.children);
+        self.children = children
+            .into_iter()
+            .map(|(cx, cy, child)| {
+                let (x1, y1, _, _) = o.apply(cx, cy, w, h);
+                let (x2, y2, _, _) = o.apply(cx + child.w - 1, cy + child.h - 1, w, h);
+                let nx = x1.min(x2);
+                let ny = y1.min(y2);
+                (nx, ny, child.orient(o))
+            })
+            .collect();
+        for (_, side, px, py) in &mut self.pins {
+            let (nx, ny, _, _) = o.apply(*px, *py, w, h);
+            *px = nx;
+            *py = ny;
+            *side = map_side(*side, o);
+        }
+        self.w = nw;
+        self.h = nh;
+        self
+    }
+}
+
+/// Where an edge ends up after an orientation change, computed from the
+/// transform of the edge midpoint in a 3×3 box.
+fn map_side(side: Side, o: Orientation) -> Side {
+    let (x, y) = match side {
+        Side::Top => (1, 0),
+        Side::Bottom => (1, 2),
+        Side::Left => (0, 1),
+        Side::Right => (2, 1),
+    };
+    let (nx, ny, _, _) = o.apply(x, y, 3, 3);
+    match (nx, ny) {
+        (1, 0) => Side::Top,
+        (1, 2) => Side::Bottom,
+        (0, 1) => Side::Left,
+        (2, 1) => Side::Right,
+        _ => side,
+    }
+}
+
+fn layout_node(node: &InstanceNode) -> Frame {
+    let by_key: HashMap<&str, &InstanceNode> = node
+        .children
+        .iter()
+        .map(|c| (c.key.as_str(), c))
+        .collect();
+    let mut placed: Vec<String> = Vec::new();
+
+    let mut boundary: Vec<(Side, Vec<String>)> = Vec::new();
+    let mut top_items: Vec<Frame> = Vec::new();
+    for item in &node.layout {
+        match item {
+            LayoutItem::Boundary { side, pins } => boundary.push((*side, pins.clone())),
+            other => {
+                if let Some(f) = layout_item(other, &by_key, &mut placed) {
+                    top_items.push(f);
+                }
+            }
+        }
+    }
+    // Children not mentioned in the layout are appended (stacked top to
+    // bottom after the explicit layout).
+    for c in &node.children {
+        if !placed.contains(&c.key) {
+            top_items.push(layout_node(c));
+        }
+    }
+
+    let mut frame = if top_items.is_empty() {
+        Frame::unit(node.path.clone(), node.type_name.clone())
+    } else {
+        let mut f = stack(top_items, Direction::TopToBottom);
+        f.path = node.path.clone();
+        f.type_name = node.type_name.clone();
+        f.leaf = false;
+        f
+    };
+
+    for (side, pins) in boundary {
+        let k = pins.len() as i64;
+        for (i, name) in pins.into_iter().enumerate() {
+            let i = i as i64;
+            let (x, y) = match side {
+                Side::Top => ((frame.w * (i + 1)) / (k + 1), 0),
+                Side::Bottom => ((frame.w * (i + 1)) / (k + 1), frame.h - 1),
+                Side::Left => (0, (frame.h * (i + 1)) / (k + 1)),
+                Side::Right => (frame.w - 1, (frame.h * (i + 1)) / (k + 1)),
+            };
+            frame.pins.push((name, side, x, y));
+        }
+    }
+    frame
+}
+
+/// Resolves a (possibly dotted) key against the children map, returning
+/// the direct child's key (for auto-append bookkeeping) and the target
+/// node.
+fn resolve_key<'a>(
+    by_key: &HashMap<&str, &'a InstanceNode>,
+    key: &str,
+) -> Option<(String, &'a InstanceNode)> {
+    if let Some(node) = by_key.get(key) {
+        return Some((key.to_string(), node));
+    }
+    for (&ckey, &child) in by_key {
+        if let Some(rest) = key.strip_prefix(ckey) {
+            if let Some(rest) = rest.strip_prefix('.') {
+                let inner: HashMap<&str, &InstanceNode> = child
+                    .children
+                    .iter()
+                    .map(|c| (c.key.as_str(), c))
+                    .collect();
+                if let Some((_, node)) = resolve_key(&inner, rest) {
+                    return Some((ckey.to_string(), node));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn layout_item(
+    item: &LayoutItem,
+    by_key: &HashMap<&str, &InstanceNode>,
+    placed: &mut Vec<String>,
+) -> Option<Frame> {
+    match item {
+        LayoutItem::Place { key, orientation } => {
+            // A key may address a grandchild through a WITH-opened
+            // instance (the pattern matcher's `WITH pe[i] DO comp; acc
+            // END`): resolve dotted segments through the tree and mark
+            // the *direct* child as placed so it is not auto-appended.
+            // Unknown keys reference instances that were never generated
+            // ("hardware is only generated if it is used", §4.2) — they
+            // occupy no area.
+            let (direct, node) = resolve_key(by_key, key)?;
+            placed.push(direct);
+            Some(layout_node(node).orient(*orientation))
+        }
+        LayoutItem::Order { direction, items } => {
+            let frames: Vec<Frame> = items
+                .iter()
+                .filter_map(|i| layout_item(i, by_key, placed))
+                .collect();
+            if frames.is_empty() {
+                None
+            } else {
+                Some(stack(frames, *direction))
+            }
+        }
+        LayoutItem::Boundary { .. } => None,
+    }
+}
+
+/// Abuts a sequence of frames along a direction of separation. The
+/// cross-axis is aligned to the start; the group's bounding box covers all
+/// members.
+fn stack(frames: Vec<Frame>, dir: Direction) -> Frame {
+    use Direction::*;
+    let (dx, dy): (i64, i64) = match dir {
+        LeftToRight => (1, 0),
+        RightToLeft => (-1, 0),
+        TopToBottom => (0, 1),
+        BottomToTop => (0, -1),
+        TopLeftToBottomRight => (1, 1),
+        BottomRightToTopLeft => (-1, -1),
+        TopRightToBottomLeft => (-1, 1),
+        BottomLeftToTopRight => (1, -1),
+    };
+    let mut x = 0i64;
+    let mut y = 0i64;
+    let mut children = Vec::new();
+    for f in frames {
+        // For negative directions the placement point is the box's own
+        // far corner; advance first so boxes do not overlap.
+        if dx < 0 {
+            x -= f.w;
+        }
+        if dy < 0 {
+            y -= f.h;
+        }
+        let (px, py) = (x, y);
+        let (fw, fh) = (f.w, f.h);
+        children.push((px, py, f));
+        if dx > 0 {
+            x += fw;
+        }
+        if dy > 0 {
+            y += fh;
+        }
+    }
+    let min_x = children.iter().map(|(cx, _, _)| *cx).min().unwrap_or(0);
+    let min_y = children.iter().map(|(_, cy, _)| *cy).min().unwrap_or(0);
+    let mut w = 0i64;
+    let mut h = 0i64;
+    for (cx, cy, f) in &mut children {
+        *cx -= min_x;
+        *cy -= min_y;
+        w = w.max(*cx + f.w);
+        h = h.max(*cy + f.h);
+    }
+    Frame {
+        path: String::new(),
+        type_name: String::new(),
+        w,
+        h,
+        children,
+        pins: Vec::new(),
+        leaf: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn plan(src: &str, top: &str, args: &[i64]) -> Floorplan {
+        let p = parse_program(src).expect("parse");
+        let d = elaborate(&p, top, args).expect("elaborate");
+        floorplan(&d)
+    }
+
+    const CELL: &str = "TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+         BEGIN b := a END; ";
+
+    #[test]
+    fn row_left_to_right() {
+        let p = plan(
+            &format!(
+                "{CELL} row = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL c: ARRAY[1..4] OF cell; \
+                 {{ ORDER lefttoright FOR i := 1 TO 4 DO c[i] END END }} \
+                 BEGIN c[1].a := a; FOR i := 2 TO 4 DO c[i].a := c[i-1].b END; \
+                 b := c[4].b END;"
+            ),
+            "row",
+            &[],
+        );
+        assert_eq!((p.width, p.height), (4, 1));
+        assert_eq!(p.leaf_count(), 4);
+        assert!(p.leaves_disjoint());
+        let r1 = p.rect("row.c[1]").unwrap();
+        let r4 = p.rect("row.c[4]").unwrap();
+        // "x1 is left of x2"
+        assert!(r1.x + r1.w <= r4.x);
+    }
+
+    #[test]
+    fn column_top_to_bottom() {
+        let p = plan(
+            &format!(
+                "{CELL} col = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL c: ARRAY[1..3] OF cell; \
+                 {{ ORDER toptobottom c[1]; c[2]; c[3] END }} \
+                 BEGIN c[1].a := a; c[2].a := c[1].b; c[3].a := c[2].b; b := c[3].b END;"
+            ),
+            "col",
+            &[],
+        );
+        assert_eq!((p.width, p.height), (1, 3));
+        let r1 = p.rect("col.c[1]").unwrap();
+        let r3 = p.rect("col.c[3]").unwrap();
+        assert!(r1.y + r1.h <= r3.y);
+    }
+
+    #[test]
+    fn grid_via_nested_orders() {
+        let p = plan(
+            &format!(
+                "{CELL} grid = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL m: ARRAY[1..2,1..3] OF cell; \
+                 {{ ORDER toptobottom \
+                      FOR i := 1 TO 2 DO \
+                        ORDER lefttoright FOR j := 1 TO 3 DO m[i,j] END END \
+                      END \
+                    END }} \
+                 BEGIN FOR i := 1 TO 2 DO FOR j := 1 TO 3 DO \
+                   m[i,j].a := a; \
+                   WHEN (i = 2) AND (j = 3) THEN b := m[i,j].b \
+                   OTHERWISE * := m[i,j].b END \
+                 END END END;"
+            ),
+            "grid",
+            &[],
+        );
+        assert_eq!((p.width, p.height), (3, 2));
+        assert_eq!(p.leaf_count(), 6);
+        assert!(p.leaves_disjoint());
+        let ascii = p.render_ascii();
+        assert_eq!(ascii, "CCC\nCCC\n");
+    }
+
+    #[test]
+    fn snake_layout() {
+        // The Fig. Snake arrangement: rows alternate left-to-right and
+        // right-to-left.
+        let p = plan(
+            &format!(
+                "{CELL} snake = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL m: ARRAY[1..2,1..3] OF cell; \
+                 {{ ORDER toptobottom \
+                      ORDER lefttoright m[1,1]; m[1,2]; m[1,3] END; \
+                      ORDER righttoleft m[2,1]; m[2,2]; m[2,3] END \
+                    END }} \
+                 BEGIN FOR i := 1 TO 2 DO FOR j := 1 TO 3 DO \
+                   m[i,j].a := a; \
+                   WHEN (i = 2) AND (j = 3) THEN b := m[i,j].b \
+                   OTHERWISE * := m[i,j].b END \
+                 END END END;"
+            ),
+            "snake",
+            &[],
+        );
+        assert!(p.leaves_disjoint());
+        // In the second row, m[2,1] is at the right.
+        let first = p.rect("snake.m[2][1]").unwrap();
+        let last = p.rect("snake.m[2][3]").unwrap();
+        assert!(last.x + last.w <= first.x, "{first:?} {last:?}");
+    }
+
+    #[test]
+    fn orientation_changes_swap_dimensions() {
+        let p = plan(
+            &format!(
+                "{CELL} pair = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL c: ARRAY[1..2] OF cell; \
+                 {{ ORDER lefttoright c[1]; c[2] END }} \
+                 BEGIN c[1].a := a; c[2].a := c[1].b; b := c[2].b END; \
+                 t = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL p1, p2: pair; \
+                 {{ ORDER lefttoright p1; rotate90 p2 END }} \
+                 BEGIN p1.a := a; p2.a := p1.b; b := p2.b END;"
+            ),
+            "t",
+            &[],
+        );
+        let p1 = p.rect("t.p1").unwrap();
+        let p2 = p.rect("t.p2").unwrap();
+        assert_eq!((p1.w, p1.h), (2, 1));
+        assert_eq!((p2.w, p2.h), (1, 2), "rotated pair must be vertical");
+        assert!(p.leaves_disjoint());
+    }
+
+    #[test]
+    fn unmentioned_children_are_appended() {
+        let p = plan(
+            &format!(
+                "{CELL} t = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL c1, c2: cell; \
+                 BEGIN c1.a := a; c2.a := c1.b; b := c2.b END;"
+            ),
+            "t",
+            &[],
+        );
+        // No layout block: both children stacked vertically.
+        assert_eq!((p.width, p.height), (1, 2));
+        assert!(p.leaves_disjoint());
+    }
+
+    #[test]
+    fn boundary_pins_are_placed() {
+        let p = plan(
+            &format!(
+                "{CELL} t = COMPONENT (IN a: boolean; OUT b: boolean) {{ BOTTOM a; b }} IS \
+                 SIGNAL c: cell; \
+                 BEGIN c.a := a; b := c.b END;"
+            ),
+            "t",
+            &[],
+        );
+        let pins: Vec<&PlacedPin> = p.pins.iter().collect();
+        assert_eq!(pins.len(), 2);
+        assert!(pins.iter().all(|pin| pin.side == Side::Bottom));
+        assert!(pins.iter().all(|pin| pin.y == p.height - 1));
+    }
+
+    #[test]
+    fn diagonal_direction() {
+        let p = plan(
+            &format!(
+                "{CELL} t = COMPONENT (IN a: boolean; OUT b: boolean) IS \
+                 SIGNAL c: ARRAY[1..3] OF cell; \
+                 {{ ORDER toplefttobottomright c[1]; c[2]; c[3] END }} \
+                 BEGIN c[1].a := a; c[2].a := c[1].b; c[3].a := c[2].b; b := c[3].b END;"
+            ),
+            "t",
+            &[],
+        );
+        assert_eq!((p.width, p.height), (3, 3));
+        assert!(p.leaves_disjoint());
+        let r2 = p.rect("t.c[2]").unwrap();
+        assert_eq!((r2.x, r2.y), (1, 1));
+    }
+
+    #[test]
+    fn map_side_under_rotation() {
+        assert_eq!(map_side(Side::Bottom, Orientation::Rotate180), Side::Top);
+        assert_eq!(map_side(Side::Left, Orientation::Flip90), Side::Right);
+        assert_eq!(map_side(Side::Top, Orientation::Flip0), Side::Bottom);
+        for s in [Side::Top, Side::Bottom, Side::Left, Side::Right] {
+            assert_eq!(map_side(s, Orientation::Identity), s);
+        }
+    }
+
+    #[test]
+    fn htree_area_is_linear() {
+        // Claim C2: the H-tree has linear layout area.
+        let src = "TYPE htree(n) = \
+             COMPONENT(IN in:boolean; out: multiplex) { BOTTOM in; out } IS \
+             TYPE leaftype = COMPONENT(IN in:boolean; out: multiplex) IS BEGIN END; \
+             SIGNAL s: ARRAY[1..4] OF htree(n DIV 4); \
+             leaf: leaftype; \
+             { ORDER lefttoright \
+                 ORDER toptobottom s[1]; flip90 s[3] END; \
+                 ORDER toptobottom s[2]; flip90 s[4] END \
+               END } \
+             BEGIN \
+               WHEN n>1 THEN \
+                 FOR i := 1 TO 4 DO s[i].in := in; out == s[i].out END \
+               OTHERWISE \
+                 leaf.in := in; out == leaf.out \
+               END \
+             END;";
+        let p = parse_program(src).expect("parse");
+        let mut areas = Vec::new();
+        for n in [4i64, 16, 64] {
+            let d = elaborate(&p, "htree", &[n]).expect("elaborate");
+            let plan = floorplan(&d);
+            assert!(plan.leaves_disjoint(), "n={n}");
+            areas.push((n, plan.area()));
+        }
+        // Area must grow linearly: area(4n)/area(n) = 4 exactly for the
+        // ideal H-tree built from unit leaves.
+        for w in areas.windows(2) {
+            let (n0, a0) = w[0];
+            let (_, a1) = w[1];
+            let ratio = a1 as f64 / a0 as f64;
+            assert!(
+                (3.0..5.0).contains(&ratio),
+                "area must scale ~linearly: n={n0} a0={a0} a1={a1}"
+            );
+        }
+    }
+}
+
+impl Floorplan {
+    /// Renders the floorplan as a standalone SVG document: leaf cells
+    /// colored by type (stable hash), composite outlines, and pin dots.
+    pub fn render_svg(&self, cell: i64) -> String {
+        use std::fmt::Write as _;
+        let w = self.width * cell;
+        let h = self.height * cell;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">"
+        );
+        let color = |ty: &str| -> String {
+            let mut hash = 0u32;
+            for b in ty.bytes() {
+                hash = hash.wrapping_mul(31).wrapping_add(b as u32);
+            }
+            format!("hsl({}, 55%, 75%)", hash % 360)
+        };
+        for r in self.rects.iter().filter(|r| r.leaf) {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" \
+                 stroke=\"#333\" stroke-width=\"1\"><title>{} ({})</title></rect>",
+                r.x * cell,
+                r.y * cell,
+                r.w * cell,
+                r.h * cell,
+                color(&r.type_name),
+                r.path,
+                r.type_name
+            );
+        }
+        for r in self.rects.iter().filter(|r| !r.leaf) {
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" \
+                 stroke=\"#999\" stroke-dasharray=\"3,2\"/>",
+                r.x * cell,
+                r.y * cell,
+                r.w * cell,
+                r.h * cell
+            );
+        }
+        for p in &self.pins {
+            let _ = writeln!(
+                out,
+                "  <circle cx=\"{}\" cy=\"{}\" r=\"2\" fill=\"#c00\"><title>{}.{}</title>\
+                 </circle>",
+                p.x * cell + cell / 2,
+                p.y * cell + cell / 2,
+                p.instance,
+                p.name
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    #[test]
+    fn svg_export_is_well_formed() {
+        let p = parse_program(
+            "TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := a END; \
+             t = COMPONENT (IN a: boolean; OUT b: boolean) { BOTTOM a; b } IS \
+             SIGNAL c: ARRAY[1..2] OF cell; \
+             { ORDER lefttoright c[1]; c[2] END } \
+             BEGIN c[1].a := a; c[2].a := c[1].b; b := c[2].b END;",
+        )
+        .unwrap();
+        let d = elaborate(&p, "t", &[]).unwrap();
+        let svg = floorplan(&d).render_svg(20);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 3, "2 leaves + 1 outline");
+        assert_eq!(svg.matches("<circle").count(), 2, "two boundary pins");
+    }
+}

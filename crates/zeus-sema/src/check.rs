@@ -1,0 +1,703 @@
+//! Pre-elaboration well-formedness checks: declaration order, name
+//! resolution and `USES` visibility (§3, §3.2).
+//!
+//! These checks are purely syntactic — they do not instantiate
+//! parameterized types (that happens in `zeus-elab`) — and catch the
+//! scoping mistakes the paper's rules are about:
+//!
+//! * "All constants, types and signals must be declared before they are
+//!   used. Signal declarations must occur after the constant and type
+//!   declarations."
+//! * "non-local signals (except a predefined clock and a predefined reset
+//!   signal) are not allowed in Zeus"
+//! * the `USES` list: with a list, only listed outside objects (plus
+//!   pervasive standard names) may be referenced; signals can never be
+//!   imported.
+
+use crate::names;
+use std::collections::HashSet;
+use zeus_syntax::ast::*;
+use zeus_syntax::diag::Diagnostics;
+
+/// Runs the checks over a parsed program.
+///
+/// # Errors
+///
+/// Returns every violation found (the pass does not stop at the first).
+pub fn check_program(program: &Program) -> Result<(), Diagnostics> {
+    let mut ck = Checker::default();
+    ck.push_frame(FrameKind::Root);
+    ck.decls(&program.decls);
+    ck.pop_frame();
+    if ck.diags.has_errors() {
+        Err(ck.diags)
+    } else {
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    /// Program root or an ordinary nested block (FOR).
+    Root,
+    /// A component body: signals do not resolve past this frame, and an
+    /// optional USES filter applies to consts/types.
+    Component,
+    /// A WITH body: unresolved signal bases may be fields of the opened
+    /// signal.
+    With,
+}
+
+#[derive(Debug, Default)]
+struct Frame {
+    kind: Option<FrameKind>,
+    consts: HashSet<String>,
+    types: HashSet<String>,
+    signals: HashSet<String>,
+    uses_filter: Option<HashSet<String>>,
+}
+
+#[derive(Default)]
+struct Checker {
+    frames: Vec<Frame>,
+    diags: Diagnostics,
+}
+
+enum Resolved {
+    Found,
+    /// Found outside a USES-filtered component without being listed.
+    FilteredOut,
+    NotFound,
+}
+
+impl Checker {
+    fn push_frame(&mut self, kind: FrameKind) {
+        self.frames.push(Frame {
+            kind: Some(kind),
+            ..Frame::default()
+        });
+    }
+
+    fn pop_frame(&mut self) {
+        self.frames.pop();
+    }
+
+    fn top(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("frame stack nonempty")
+    }
+
+    fn in_with(&self) -> bool {
+        for f in self.frames.iter().rev() {
+            match f.kind {
+                Some(FrameKind::With) => return true,
+                Some(FrameKind::Component) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Looks `name` up in the given namespace selector; enforces USES
+    /// filters and the non-local-signal rule.
+    fn resolve(&self, name: &str, ns: fn(&Frame) -> &HashSet<String>, is_signal: bool) -> Resolved {
+        let mut crossed_component = false;
+        let mut filters: Vec<&HashSet<String>> = Vec::new();
+        for f in self.frames.iter().rev() {
+            if ns(f).contains(name) {
+                if is_signal && crossed_component {
+                    return Resolved::FilteredOut; // non-local signal
+                }
+                if !is_signal && filters.iter().any(|flt| !flt.contains(name)) {
+                    return Resolved::FilteredOut;
+                }
+                return Resolved::Found;
+            }
+            if f.kind == Some(FrameKind::Component) {
+                crossed_component = true;
+                if let Some(flt) = &f.uses_filter {
+                    filters.push(flt);
+                }
+            }
+        }
+        Resolved::NotFound
+    }
+
+    fn decls(&mut self, decls: &[Decl]) {
+        let mut seen_signal = false;
+        for d in decls {
+            match d {
+                Decl::Const(defs) => {
+                    if seen_signal {
+                        if let Some(def) = defs.first() {
+                            self.diags.error(
+                                def.name.span,
+                                "constant declarations must precede signal declarations (§3)",
+                            );
+                        }
+                    }
+                    for def in defs {
+                        match &def.value {
+                            Constant::Num(e) => self.const_expr(e),
+                            Constant::Sig(sc) => self.sig_const(sc),
+                        }
+                        self.declare_const(&def.name);
+                    }
+                }
+                Decl::Type(defs) => {
+                    if seen_signal {
+                        if let Some(def) = defs.first() {
+                            self.diags.error(
+                                def.name.span,
+                                "type declarations must precede signal declarations (§3)",
+                            );
+                        }
+                    }
+                    for def in defs {
+                        // The type name is visible inside its own body to
+                        // allow the recursive definitions of §4.2.
+                        self.declare_type(&def.name);
+                        self.push_frame(FrameKind::Root);
+                        for p in &def.params {
+                            self.declare_const(p);
+                        }
+                        self.ty(&def.ty);
+                        self.pop_frame();
+                    }
+                }
+                Decl::Signal(defs) => {
+                    seen_signal = true;
+                    for def in defs {
+                        self.ty(&def.ty);
+                        for n in &def.names {
+                            self.declare_signal(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn declare_const(&mut self, name: &Ident) {
+        if !self.top().consts.insert(name.name.clone()) {
+            self.diags
+                .error(name.span, format!("duplicate constant '{}'", name.name));
+        }
+    }
+
+    fn declare_type(&mut self, name: &Ident) {
+        if !self.top().types.insert(name.name.clone()) {
+            self.diags
+                .error(name.span, format!("duplicate type '{}'", name.name));
+        }
+    }
+
+    fn declare_signal(&mut self, name: &Ident) {
+        if !self.top().signals.insert(name.name.clone()) {
+            self.diags
+                .error(name.span, format!("duplicate signal '{}'", name.name));
+        }
+    }
+
+    fn ty(&mut self, t: &Type) {
+        match t {
+            Type::Array { lo, hi, elem, .. } => {
+                self.const_expr(lo);
+                self.const_expr(hi);
+                self.ty(elem);
+            }
+            Type::Named { name, args } => {
+                for a in args {
+                    self.const_expr(a);
+                }
+                if names::is_pervasive_type(&name.name) {
+                    return;
+                }
+                match self.resolve(&name.name, |f| &f.types, false) {
+                    Resolved::Found => {}
+                    Resolved::FilteredOut => self.diags.error(
+                        name.span,
+                        format!("type '{}' is not in the USES list of this component", name.name),
+                    ),
+                    Resolved::NotFound => self
+                        .diags
+                        .error(name.span, format!("unknown type '{}'", name.name)),
+                }
+            }
+            Type::Component(c) => self.component(c),
+        }
+    }
+
+    fn component(&mut self, c: &ComponentType) {
+        self.push_frame(FrameKind::Component);
+        if let Some(body) = &c.body {
+            if let Some(uses) = &body.uses {
+                self.top().uses_filter = Some(uses.iter().map(|i| i.name.clone()).collect());
+            }
+        }
+        // Formal parameter names become local signals; their types are
+        // resolved in the enclosing environment semantics-wise, but names
+        // still pass through the USES filter, as the paper requires all
+        // referenced outside objects to be imported.
+        for g in &c.params {
+            self.ty(&g.ty);
+            for n in &g.names {
+                self.declare_signal(n);
+            }
+        }
+        if let Some(r) = &c.result {
+            self.ty(r);
+        }
+        for l in &c.header_layout {
+            self.layout_stmt(l);
+        }
+        if let Some(body) = &c.body {
+            self.decls(&body.decls);
+            for l in &body.layout {
+                self.layout_stmt(l);
+            }
+            for s in &body.stmts {
+                self.stmt(s);
+            }
+        }
+        self.pop_frame();
+    }
+
+    fn const_expr(&mut self, e: &ConstExpr) {
+        match e {
+            ConstExpr::Num(_, _) => {}
+            ConstExpr::Name(id) => self.const_name(id),
+            ConstExpr::Call { name, args, .. } => {
+                if !names::PREDEFINED_CONST_FUNCTIONS.contains(&name.name.as_str()) {
+                    self.diags.error(
+                        name.span,
+                        format!(
+                            "'{}' is not a predefined constant function (min, max, odd)",
+                            name.name
+                        ),
+                    );
+                }
+                for a in args {
+                    self.const_expr(a);
+                }
+            }
+            ConstExpr::Unary { expr, .. } => self.const_expr(expr),
+            ConstExpr::Binary { lhs, rhs, .. } => {
+                self.const_expr(lhs);
+                self.const_expr(rhs);
+            }
+        }
+    }
+
+    fn const_name(&mut self, id: &Ident) {
+        match self.resolve(&id.name, |f| &f.consts, false) {
+            Resolved::Found => {}
+            Resolved::FilteredOut => self.diags.error(
+                id.span,
+                format!("constant '{}' is not in the USES list of this component", id.name),
+            ),
+            Resolved::NotFound => self
+                .diags
+                .error(id.span, format!("unknown constant '{}'", id.name)),
+        }
+    }
+
+    fn sig_const(&mut self, c: &SigConst) {
+        match c {
+            SigConst::Tuple(items, _) => {
+                for i in items {
+                    self.sig_const(i);
+                }
+            }
+            SigConst::Bin(a, b, _) => {
+                self.const_expr(a);
+                self.const_expr(b);
+            }
+            SigConst::Value(SigValue::Name(id)) => {
+                if names::PREDEFINED_VALUES.contains(&id.name.as_str()) {
+                    return;
+                }
+                self.const_name(id);
+            }
+            SigConst::Value(_) => {}
+        }
+    }
+
+    fn signal_ref(&mut self, r: &SignalRef) {
+        for sel in &r.sels {
+            match sel {
+                Selector::Index(e) => self.const_expr(e),
+                Selector::Range(a, b) => {
+                    self.const_expr(a);
+                    self.const_expr(b);
+                }
+                Selector::NumIndex(inner, _) => self.signal_ref(inner),
+                Selector::Field(_) | Selector::FieldRange(_, _) => {}
+            }
+        }
+        let base = &r.base.name;
+        if names::is_predefined_signal(base) {
+            return;
+        }
+        // A signal base may be a signal, a constant (signal constants are
+        // usable in expressions) or a replication variable.
+        if matches!(self.resolve(base, |f| &f.signals, true), Resolved::Found) {
+            return;
+        }
+        if matches!(self.resolve(base, |f| &f.consts, false), Resolved::Found) {
+            return;
+        }
+        if self.in_with() {
+            // Could be a field of the opened signal; elaboration decides.
+            return;
+        }
+        // Distinguish a blocked non-local signal from a truly unknown name.
+        match self.resolve(base, |f| &f.signals, false) {
+            Resolved::Found => self.diags.error(
+                r.base.span,
+                format!("non-local signal '{base}' is not allowed in Zeus (§3)"),
+            ),
+            _ => self
+                .diags
+                .error(r.base.span, format!("unknown signal '{base}'")),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Sig(r) => self.signal_ref(r),
+            Expr::Call {
+                name,
+                type_args,
+                args,
+                ..
+            } => {
+                for a in type_args {
+                    self.const_expr(a);
+                }
+                for a in args {
+                    self.expr(a);
+                }
+                if names::is_predefined_function(&name.name) {
+                    return;
+                }
+                match self.resolve(&name.name, |f| &f.types, false) {
+                    Resolved::Found => {}
+                    Resolved::FilteredOut => self.diags.error(
+                        name.span,
+                        format!(
+                            "function component '{}' is not in the USES list of this component",
+                            name.name
+                        ),
+                    ),
+                    Resolved::NotFound => self.diags.error(
+                        name.span,
+                        format!("unknown function component '{}'", name.name),
+                    ),
+                }
+            }
+            Expr::Not(inner, _) => self.expr(inner),
+            Expr::Bin(a, b, _) => {
+                self.const_expr(a);
+                self.const_expr(b);
+            }
+            Expr::Const(c) => self.sig_const(c),
+            Expr::Star { count, .. } => {
+                if let Some(c) = count {
+                    self.const_expr(c);
+                }
+            }
+            Expr::Tuple(items, _) => {
+                for i in items {
+                    self.expr(i);
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                if let Signal::Ref(r) = lhs {
+                    self.signal_ref(r);
+                }
+                self.expr(rhs);
+            }
+            Stmt::Connection { target, args, .. } => {
+                self.signal_ref(target);
+                if let Some(a) = args {
+                    self.expr(a);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                self.const_expr(from);
+                self.const_expr(to);
+                self.push_frame(FrameKind::Root);
+                self.declare_const(var);
+                for st in body {
+                    self.stmt(st);
+                }
+                self.pop_frame();
+            }
+            Stmt::WhenGen {
+                arms, otherwise, ..
+            } => {
+                for (c, stmts) in arms {
+                    self.const_expr(c);
+                    for st in stmts {
+                        self.stmt(st);
+                    }
+                }
+                if let Some(o) = otherwise {
+                    for st in o {
+                        self.stmt(st);
+                    }
+                }
+            }
+            Stmt::If { arms, els, .. } => {
+                for (c, stmts) in arms {
+                    self.expr(c);
+                    for st in stmts {
+                        self.stmt(st);
+                    }
+                }
+                if let Some(e) = els {
+                    for st in e {
+                        self.stmt(st);
+                    }
+                }
+            }
+            Stmt::Result(e, _) => self.expr(e),
+            Stmt::Parallel(body, _) | Stmt::Sequential(body, _) => {
+                for st in body {
+                    self.stmt(st);
+                }
+            }
+            Stmt::With { signal, body, .. } => {
+                self.signal_ref(signal);
+                self.push_frame(FrameKind::With);
+                for st in body {
+                    self.stmt(st);
+                }
+                self.pop_frame();
+            }
+            Stmt::Empty(_) => {}
+        }
+    }
+
+    fn layout_stmt(&mut self, s: &LayoutStmt) {
+        match s {
+            LayoutStmt::Basic {
+                orientation,
+                signal,
+                replace,
+                ..
+            } => {
+                if let Some(o) = orientation {
+                    if !ORIENTATIONS.contains(&o.name.as_str()) {
+                        self.diags.error(
+                            o.span,
+                            format!("'{}' is not an orientation change", o.name),
+                        );
+                    }
+                }
+                self.signal_ref(signal);
+                if let Some(t) = replace {
+                    self.ty(t);
+                }
+            }
+            LayoutStmt::Order { body, .. } => {
+                for l in body {
+                    self.layout_stmt(l);
+                }
+            }
+            LayoutStmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                self.const_expr(from);
+                self.const_expr(to);
+                self.push_frame(FrameKind::Root);
+                self.declare_const(var);
+                for l in body {
+                    self.layout_stmt(l);
+                }
+                self.pop_frame();
+            }
+            LayoutStmt::Boundary { body, .. } => {
+                for l in body {
+                    self.layout_stmt(l);
+                }
+            }
+            LayoutStmt::WhenGen {
+                arms, otherwise, ..
+            } => {
+                for (c, stmts) in arms {
+                    self.const_expr(c);
+                    for l in stmts {
+                        self.layout_stmt(l);
+                    }
+                }
+                if let Some(o) = otherwise {
+                    for l in o {
+                        self.layout_stmt(l);
+                    }
+                }
+            }
+            LayoutStmt::With { signal, body, .. } => {
+                self.signal_ref(signal);
+                self.push_frame(FrameKind::With);
+                for l in body {
+                    self.layout_stmt(l);
+                }
+                self.pop_frame();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_syntax::parse_program;
+
+    fn ok(src: &str) {
+        let p = parse_program(src).expect("parse");
+        if let Err(e) = check_program(&p) {
+            panic!("check failed for:\n{src}\n{e}");
+        }
+    }
+
+    fn err(src: &str) -> String {
+        let p = parse_program(src).expect("parse");
+        check_program(&p).expect_err("expected check error").to_string()
+    }
+
+    #[test]
+    fn halfadder_checks() {
+        ok("TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+            BEGIN s := XOR(a,b); cout := AND(a,b) END;");
+    }
+
+    #[test]
+    fn unknown_signal() {
+        let e = err("TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+                     BEGIN s := XOR(a,bogus) END;");
+        assert!(e.contains("unknown signal 'bogus'"), "{e}");
+    }
+
+    #[test]
+    fn unknown_type() {
+        let e = err("SIGNAL x: mystery;");
+        assert!(e.contains("unknown type 'mystery'"), "{e}");
+    }
+
+    #[test]
+    fn non_local_signal_rejected() {
+        let e = err("SIGNAL g: boolean; \
+                     TYPE t = COMPONENT (OUT s: boolean) IS BEGIN s := g END;");
+        // The SIGNAL-before-TYPE order is also flagged; the non-local rule
+        // must be among the errors.
+        assert!(e.contains("non-local signal 'g'"), "{e}");
+    }
+
+    #[test]
+    fn decl_order_enforced() {
+        let e = err("SIGNAL x: boolean; CONST n = 4;");
+        assert!(e.contains("must precede signal declarations"), "{e}");
+    }
+
+    #[test]
+    fn uses_filter_blocks_unlisted() {
+        let e = err("CONST n = 4; \
+                     TYPE t = COMPONENT (OUT s: boolean) IS USES ; \
+                     SIGNAL h: ARRAY[1..n] OF boolean; \
+                     BEGIN s := h[1] END;");
+        assert!(e.contains("not in the USES list"), "{e}");
+    }
+
+    #[test]
+    fn uses_filter_admits_listed() {
+        ok("CONST n = 4; \
+            TYPE t = COMPONENT (OUT s: boolean) IS USES n; \
+            SIGNAL h: ARRAY[1..n] OF boolean; \
+            BEGIN s := h[1] END;");
+    }
+
+    #[test]
+    fn pervasive_names_always_visible() {
+        ok("TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES ; \
+            SIGNAL r: REG; \
+            BEGIN r(a, s) END;");
+    }
+
+    #[test]
+    fn recursive_type_sees_itself() {
+        ok("TYPE tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY[1..n] OF boolean) IS \
+            SIGNAL left, right: tree(n DIV 2); \
+            BEGIN WHEN n > 2 THEN left.in := in OTHERWISE leaf[1] := in END END;");
+    }
+
+    #[test]
+    fn replication_variable_scoped() {
+        ok("TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; OUT s: ARRAY[1..4] OF boolean) IS \
+            BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END END;");
+        let e = err("TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; OUT s: ARRAY[1..4] OF boolean) IS \
+             BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END; s[1] := a[i] END;");
+        assert!(e.contains("unknown"), "{e}");
+    }
+
+    #[test]
+    fn with_allows_field_shorthand() {
+        ok("TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean); \
+            t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+            SIGNAL g: inner; \
+            BEGIN WITH g DO x := a; s := y END END;");
+    }
+
+    #[test]
+    fn duplicate_declarations() {
+        let e = err("CONST n = 1; n = 2;");
+        assert!(e.contains("duplicate constant"), "{e}");
+        let e = err("TYPE t = COMPONENT (IN a: boolean) IS \
+                     SIGNAL x: boolean; x: multiplex; BEGIN x := a END;");
+        assert!(e.contains("duplicate signal"), "{e}");
+    }
+
+    #[test]
+    fn clk_rset_predefined() {
+        ok("TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+            BEGIN IF RSET THEN s := CLK ELSE s := a END END;");
+    }
+
+    #[test]
+    fn undef_noinfl_in_constants() {
+        ok("CONST u = (UNDEF, NOINFL, 0, 1);");
+    }
+
+    #[test]
+    fn unknown_const_function() {
+        let e = err("CONST n = frob(3);");
+        assert!(e.contains("not a predefined constant function"), "{e}");
+    }
+
+    #[test]
+    fn bad_orientation_in_layout() {
+        // An unknown orientation prefix cannot parse as a basic layout
+        // statement (two adjacent signals), so this is a parse error.
+        assert!(parse_program(
+            "TYPE t = COMPONENT (IN a: boolean) IS \
+             SIGNAL s: boolean; \
+             { ORDER lefttoright sideways s END } BEGIN s := a END;"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! Constant evaluation (§3.1).
+//!
+//! Zeus constant expressions follow Modula-2: integer arithmetic with
+//! `+ - * DIV MOD`, relations yielding 0/1, logical `AND OR NOT`, and the
+//! predefined functions `min`, `max` and `odd`. Signal constants are nested
+//! tuples over `{0, 1, UNDEF, NOINFL}` plus `BIN(a,b)`.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::rc::Rc;
+use zeus_syntax::ast::{ConstBinOp, ConstExpr, ConstUnOp, Constant, SigConst, SigValue};
+use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::span::Span;
+
+/// An evaluated constant: numeric or a (structured) signal constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstVal {
+    /// A numeric constant.
+    Num(i64),
+    /// A signal constant.
+    Sig(SigVal),
+}
+
+impl ConstVal {
+    /// Extracts the numeric value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the constant is a signal constant.
+    pub fn as_num(&self, span: Span) -> Result<i64, Diagnostic> {
+        match self {
+            ConstVal::Num(n) => Ok(*n),
+            ConstVal::Sig(_) => Err(Diagnostic::error(
+                span,
+                "a numeric constant is required here but this is a signal constant",
+            )),
+        }
+    }
+}
+
+/// A structured signal-constant value: a single basic value or a tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigVal {
+    /// One basic value.
+    Val(Value),
+    /// A tuple of nested values; indexed 1-based by `[i]` selectors.
+    Tuple(Vec<SigVal>),
+}
+
+impl SigVal {
+    /// Flattens to the natural-order sequence of basic values.
+    pub fn flatten(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<Value>) {
+        match self {
+            SigVal::Val(v) => out.push(*v),
+            SigVal::Tuple(items) => {
+                for i in items {
+                    i.collect(out);
+                }
+            }
+        }
+    }
+
+    /// Number of basic values.
+    pub fn bit_len(&self) -> usize {
+        match self {
+            SigVal::Val(_) => 1,
+            SigVal::Tuple(items) => items.iter().map(SigVal::bit_len).sum(),
+        }
+    }
+
+    /// 1-based indexing into a tuple (used by `bit2[i]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for out-of-range indices or indexing a basic
+    /// value.
+    pub fn index(&self, i: i64, span: Span) -> Result<&SigVal, Diagnostic> {
+        match self {
+            SigVal::Tuple(items) => {
+                if i >= 1 && (i as usize) <= items.len() {
+                    Ok(&items[i as usize - 1])
+                } else {
+                    Err(Diagnostic::error(
+                        span,
+                        format!(
+                            "constant index {i} is out of range 1..{}",
+                            items.len()
+                        ),
+                    ))
+                }
+            }
+            SigVal::Val(_) => Err(Diagnostic::error(
+                span,
+                "cannot index a basic signal constant",
+            )),
+        }
+    }
+}
+
+/// Converts a number to `b` boolean bits per the standard function
+/// `BIN(a, b)` (§4.1). Bit 1 is the least significant bit; `NUM` is the
+/// inverse (see DESIGN.md for the endianness ruling).
+///
+/// # Errors
+///
+/// Returns a diagnostic when `b` is negative or `a` does not fit in `b`
+/// bits.
+pub fn bin(a: i64, b: i64, span: Span) -> Result<SigVal, Diagnostic> {
+    if b < 0 {
+        return Err(Diagnostic::error(span, "BIN width must be non-negative"));
+    }
+    if a < 0 {
+        return Err(Diagnostic::error(span, "BIN value must be non-negative"));
+    }
+    if b < 64 && a >= (1i64 << b) {
+        return Err(Diagnostic::error(
+            span,
+            format!("constant {a} does not fit in {b} bits"),
+        ));
+    }
+    let bits = (0..b)
+        .map(|i| {
+            SigVal::Val(if i < 63 && (a >> i) & 1 == 1 {
+                Value::One
+            } else {
+                Value::Zero
+            })
+        })
+        .collect();
+    Ok(SigVal::Tuple(bits))
+}
+
+/// Numeric value of a defined bit vector (inverse of [`bin`]); `None` if
+/// any bit is undefined.
+pub fn num(bits: &[Value]) -> Option<i64> {
+    let mut out: i64 = 0;
+    for (i, &b) in bits.iter().enumerate() {
+        match b.to_boolean().as_bool() {
+            Some(true) if i < 63 => out |= 1 << i,
+            Some(true) => return None, // overflow
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Anything that can resolve constant names to values. The elaborator
+/// implements this for its instantiation environments; [`ConstEnv`] is the
+/// simple chained-map implementation.
+pub trait ConstScope {
+    /// Looks up a constant binding.
+    fn lookup_const(&self, name: &str) -> Option<ConstVal>;
+}
+
+impl ConstScope for ConstEnv {
+    fn lookup_const(&self, name: &str) -> Option<ConstVal> {
+        self.lookup(name).cloned()
+    }
+}
+
+/// An environment binding constant names; environments chain to a parent
+/// so component-local constants shadow outer ones.
+#[derive(Debug, Clone, Default)]
+pub struct ConstEnv {
+    parent: Option<Rc<ConstEnv>>,
+    bindings: HashMap<String, ConstVal>,
+}
+
+impl ConstEnv {
+    /// An empty root environment.
+    pub fn new() -> Self {
+        ConstEnv::default()
+    }
+
+    /// Creates a child environment chained to `parent`.
+    pub fn child(parent: Rc<ConstEnv>) -> Self {
+        ConstEnv {
+            parent: Some(parent),
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// Binds a name (shadowing any outer binding).
+    pub fn bind(&mut self, name: impl Into<String>, value: ConstVal) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// Looks a name up through the chain.
+    pub fn lookup(&self, name: &str) -> Option<&ConstVal> {
+        match self.bindings.get(name) {
+            Some(v) => Some(v),
+            None => self.parent.as_deref().and_then(|p| p.lookup(name)),
+        }
+    }
+}
+
+fn arith(op: ConstBinOp, l: i64, r: i64, span: Span) -> Result<i64, Diagnostic> {
+    let ov = |v: Option<i64>| {
+        v.ok_or_else(|| Diagnostic::error(span, "constant arithmetic overflow"))
+    };
+    match op {
+        ConstBinOp::Add => ov(l.checked_add(r)),
+        ConstBinOp::Sub => ov(l.checked_sub(r)),
+        ConstBinOp::Mul => ov(l.checked_mul(r)),
+        ConstBinOp::Div => {
+            if r == 0 {
+                Err(Diagnostic::error(span, "constant division by zero"))
+            } else {
+                ov(l.checked_div_euclid(r))
+            }
+        }
+        ConstBinOp::Mod => {
+            if r == 0 {
+                Err(Diagnostic::error(span, "constant MOD by zero"))
+            } else {
+                ov(l.checked_rem_euclid(r))
+            }
+        }
+        ConstBinOp::And => Ok(((l != 0) && (r != 0)) as i64),
+        ConstBinOp::Or => Ok(((l != 0) || (r != 0)) as i64),
+        ConstBinOp::Eq => Ok((l == r) as i64),
+        ConstBinOp::Ne => Ok((l != r) as i64),
+        ConstBinOp::Lt => Ok((l < r) as i64),
+        ConstBinOp::Le => Ok((l <= r) as i64),
+        ConstBinOp::Gt => Ok((l > r) as i64),
+        ConstBinOp::Ge => Ok((l >= r) as i64),
+    }
+}
+
+/// Evaluates a numeric constant expression.
+///
+/// # Errors
+///
+/// Returns a diagnostic for unknown names, arity errors on `min`/`max`/
+/// `odd`, division by zero or overflow, or when a signal constant is used
+/// where a number is required.
+pub fn eval_const_expr<S: ConstScope + ?Sized>(e: &ConstExpr, env: &S) -> Result<i64, Diagnostic> {
+    match e {
+        ConstExpr::Num(n, _) => Ok(*n),
+        ConstExpr::Name(id) => match env.lookup_const(&id.name) {
+            Some(v) => v.as_num(id.span),
+            None => Err(Diagnostic::error(
+                id.span,
+                format!("unknown constant '{}'", id.name),
+            )),
+        },
+        ConstExpr::Unary { op, expr, span } => {
+            let v = eval_const_expr(expr, env)?;
+            match op {
+                ConstUnOp::Plus => Ok(v),
+                ConstUnOp::Minus => v
+                    .checked_neg()
+                    .ok_or_else(|| Diagnostic::error(*span, "constant arithmetic overflow")),
+                ConstUnOp::Not => Ok((v == 0) as i64),
+            }
+        }
+        ConstExpr::Binary { op, lhs, rhs } => {
+            let l = eval_const_expr(lhs, env)?;
+            let r = eval_const_expr(rhs, env)?;
+            arith(*op, l, r, e.span())
+        }
+        ConstExpr::Call { name, args, span } => {
+            let vals: Vec<i64> = args
+                .iter()
+                .map(|a| eval_const_expr(a, env))
+                .collect::<Result<_, _>>()?;
+            match name.name.as_str() {
+                "min" => {
+                    if vals.is_empty() {
+                        Err(Diagnostic::error(*span, "min needs at least one argument"))
+                    } else {
+                        Ok(*vals.iter().min().expect("nonempty"))
+                    }
+                }
+                "max" => {
+                    if vals.is_empty() {
+                        Err(Diagnostic::error(*span, "max needs at least one argument"))
+                    } else {
+                        Ok(*vals.iter().max().expect("nonempty"))
+                    }
+                }
+                "odd" => {
+                    if vals.len() != 1 {
+                        Err(Diagnostic::error(*span, "odd takes exactly one argument"))
+                    } else {
+                        Ok((vals[0].rem_euclid(2) == 1) as i64)
+                    }
+                }
+                other => Err(Diagnostic::error(
+                    name.span,
+                    format!("'{other}' is not a predefined constant function"),
+                )),
+            }
+        }
+    }
+}
+
+/// Evaluates a signal-constant expression.
+///
+/// The predefined names `UNDEF` and `NOINFL` denote the corresponding
+/// basic values; other names must be bound signal constants in `env`
+/// (a bound *numeric* 0/1 also works, since `value = "0"|"1"|ident`).
+///
+/// # Errors
+///
+/// Returns a diagnostic for unknown names or malformed `BIN` uses.
+pub fn eval_sig_const<S: ConstScope + ?Sized>(c: &SigConst, env: &S) -> Result<SigVal, Diagnostic> {
+    match c {
+        SigConst::Tuple(items, _) => {
+            let vals = items
+                .iter()
+                .map(|i| eval_sig_const(i, env))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SigVal::Tuple(vals))
+        }
+        SigConst::Bin(a, b, span) => {
+            let a = eval_const_expr(a, env)?;
+            let b = eval_const_expr(b, env)?;
+            bin(a, b, *span)
+        }
+        SigConst::Value(v) => match v {
+            SigValue::Zero(_) => Ok(SigVal::Val(Value::Zero)),
+            SigValue::One(_) => Ok(SigVal::Val(Value::One)),
+            SigValue::Name(id) => match id.name.as_str() {
+                "UNDEF" => Ok(SigVal::Val(Value::Undef)),
+                "NOINFL" => Ok(SigVal::Val(Value::NoInfl)),
+                name => match env.lookup_const(name) {
+                    Some(ConstVal::Sig(sv)) => Ok(sv),
+                    Some(ConstVal::Num(0)) => Ok(SigVal::Val(Value::Zero)),
+                    Some(ConstVal::Num(1)) => Ok(SigVal::Val(Value::One)),
+                    Some(ConstVal::Num(_)) => Err(Diagnostic::error(
+                        id.span,
+                        format!("numeric constant '{name}' is not a signal value (only 0 and 1 are)"),
+                    )),
+                    None => Err(Diagnostic::error(
+                        id.span,
+                        format!("unknown signal constant '{name}'"),
+                    )),
+                },
+            },
+        },
+    }
+}
+
+/// Evaluates a declared constant (numeric or signal).
+///
+/// # Errors
+///
+/// Propagates the errors of [`eval_const_expr`] / [`eval_sig_const`].
+pub fn eval_constant<S: ConstScope + ?Sized>(c: &Constant, env: &S) -> Result<ConstVal, Diagnostic> {
+    match c {
+        Constant::Num(e) => Ok(ConstVal::Num(eval_const_expr(e, env)?)),
+        Constant::Sig(sc) => Ok(ConstVal::Sig(eval_sig_const(sc, env)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_syntax::parser::parse_const_expr;
+
+    fn eval(src: &str) -> i64 {
+        let e = parse_const_expr(src).expect("parse");
+        eval_const_expr(&e, &ConstEnv::new()).expect("eval")
+    }
+
+    fn eval_err(src: &str) -> Diagnostic {
+        let e = parse_const_expr(src).expect("parse");
+        eval_const_expr(&e, &ConstEnv::new()).expect_err("should fail")
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("1+2*3"), 7);
+        assert_eq!(eval("(1+2)*3"), 9);
+        assert_eq!(eval("7 DIV 2"), 3);
+        assert_eq!(eval("7 MOD 2"), 1);
+        assert_eq!(eval("-5 + 2"), -3);
+    }
+
+    #[test]
+    fn modula2_div_mod_are_euclidean() {
+        // A leading sign applies to the whole first term (§3.1 grammar),
+        // so `-7 DIV 2` is -(7 DIV 2); parenthesize to test negatives.
+        assert_eq!(eval("-7 DIV 2"), -3);
+        assert_eq!(eval("(-7) DIV 2"), -4);
+        assert_eq!(eval("(-7) MOD 2"), 1);
+    }
+
+    #[test]
+    fn relations_and_logic() {
+        assert_eq!(eval("3 < 4"), 1);
+        assert_eq!(eval("3 >= 4"), 0);
+        assert_eq!(eval("1 <> 0"), 1);
+        assert_eq!(eval("NOT 0"), 1);
+        assert_eq!(eval("NOT 7"), 0);
+        assert_eq!(eval("1 AND 1"), 1);
+        assert_eq!(eval("1 AND 0"), 0);
+        assert_eq!(eval("0 OR 3"), 1);
+    }
+
+    #[test]
+    fn predefined_functions() {
+        assert_eq!(eval("min(3; 1; 2)"), 1);
+        assert_eq!(eval("max(3, 1, 2)"), 3);
+        assert_eq!(eval("odd(5)"), 1);
+        assert_eq!(eval("odd(4)"), 0);
+        assert_eq!(eval("odd(-3)"), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(eval_err("1 DIV 0").message.contains("division by zero"));
+        assert!(eval_err("n + 1").message.contains("unknown constant"));
+        assert!(eval_err("odd(1; 2)").message.contains("exactly one"));
+        assert!(eval_err("foo(1)").message.contains("not a predefined"));
+    }
+
+    #[test]
+    fn env_chain_shadows() {
+        let mut root = ConstEnv::new();
+        root.bind("n", ConstVal::Num(4));
+        root.bind("m", ConstVal::Num(10));
+        let root = Rc::new(root);
+        let mut child = ConstEnv::child(root);
+        child.bind("n", ConstVal::Num(7));
+        assert_eq!(child.lookup("n"), Some(&ConstVal::Num(7)));
+        assert_eq!(child.lookup("m"), Some(&ConstVal::Num(10)));
+        assert_eq!(child.lookup("q"), None);
+    }
+
+    #[test]
+    fn bin_lsb_first() {
+        let v = bin(10, 5, Span::dummy()).unwrap();
+        assert_eq!(
+            v.flatten(),
+            vec![Value::Zero, Value::One, Value::Zero, Value::One, Value::Zero]
+        );
+    }
+
+    #[test]
+    fn bin_range_checks() {
+        assert!(bin(32, 5, Span::dummy()).is_err());
+        assert!(bin(31, 5, Span::dummy()).is_ok());
+        assert!(bin(-1, 5, Span::dummy()).is_err());
+        assert!(bin(0, 0, Span::dummy()).is_ok());
+    }
+
+    #[test]
+    fn num_round_trips_bin() {
+        for n in [0i64, 1, 5, 10, 22, 31] {
+            let v = bin(n, 5, Span::dummy()).unwrap();
+            assert_eq!(num(&v.flatten()), Some(n));
+        }
+        assert_eq!(num(&[Value::Undef]), None);
+        assert_eq!(num(&[Value::One, Value::NoInfl]), None);
+    }
+
+    #[test]
+    fn sig_const_eval() {
+        let mut env = ConstEnv::new();
+        let c = zeus_syntax::parser::parse_program("CONST a = ((0,1),(1,0),UNDEF);")
+            .expect("parse");
+        let zeus_syntax::ast::Decl::Const(defs) = &c.decls[0] else {
+            panic!()
+        };
+        let v = eval_constant(&defs[0].value, &env).unwrap();
+        let ConstVal::Sig(sv) = &v else { panic!() };
+        assert_eq!(sv.bit_len(), 5);
+        assert_eq!(
+            sv.flatten(),
+            vec![Value::Zero, Value::One, Value::One, Value::Zero, Value::Undef]
+        );
+        env.bind("a", v);
+        // Index 1-based.
+        let ConstVal::Sig(sv) = env.lookup("a").unwrap() else {
+            panic!()
+        };
+        let first = sv.index(1, Span::dummy()).unwrap();
+        assert_eq!(first.flatten(), vec![Value::Zero, Value::One]);
+        assert!(sv.index(4, Span::dummy()).is_err());
+        assert!(sv.index(0, Span::dummy()).is_err());
+    }
+
+    #[test]
+    fn named_constants_in_sig_consts() {
+        let mut env = ConstEnv::new();
+        env.bind("x", ConstVal::Num(1));
+        let prog =
+            zeus_syntax::parser::parse_program("CONST start = (x, 0, NOINFL);").expect("parse");
+        let zeus_syntax::ast::Decl::Const(defs) = &prog.decls[0] else {
+            panic!()
+        };
+        let ConstVal::Sig(sv) = eval_constant(&defs[0].value, &env).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            sv.flatten(),
+            vec![Value::One, Value::Zero, Value::NoInfl]
+        );
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert!(eval_err("9223372036854775807 + 1")
+            .message
+            .contains("overflow"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # zeus-sema
+//!
+//! Semantic foundations for the Zeus HDL: the four-valued signal domain
+//! and its gate/resolution algebra (§8), Modula-2-style constant
+//! evaluation (§3.1), the predefined standard environment (§3.2), the
+//! static type rule tables of §4.7, and pre-elaboration well-formedness
+//! checks (declaration order, name resolution, `USES` visibility).
+//!
+//! ## Example
+//!
+//! ```
+//! use zeus_sema::value::{self, Value};
+//!
+//! // §8: "the exiting edge carries a 0 as soon as one entering edge is 0"
+//! assert_eq!(value::and([Value::Zero, Value::Undef]), Value::Zero);
+//!
+//! // Two simultaneous active assignments are the runtime violation that
+//! // would "burn transistors":
+//! let r = value::resolve([Value::One, Value::Zero]);
+//! assert!(r.conflicted());
+//! assert_eq!(r.value, Value::Undef);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod consts;
+pub mod names;
+pub mod rules;
+pub mod value;
+
+pub use check::check_program;
+pub use consts::{
+    ConstScope,
+    bin, eval_const_expr, eval_constant, eval_sig_const, num, ConstEnv, ConstVal, SigVal,
+};
+pub use rules::{BasicKind, Exception1, RuleVerdict};
+pub use value::{Resolution, Value};

@@ -1,0 +1,69 @@
+//! Predefined (pervasive) names of the Zeus standard environment.
+//!
+//! "Predefined standard types (e.g. the function component types AND, OR,
+//! NAND ... and the component type REG) are pervasive and can be used
+//! everywhere without mentioning in a uses list." (§3.2)
+
+/// The predefined n-ary gate function components (§4.1, §7).
+pub const PREDEFINED_GATES: &[&str] = &["AND", "OR", "NAND", "NOR", "XOR", "NOT", "EQUAL"];
+
+/// All predefined function component types, including `RANDOM`
+/// ("for describing bistable elements").
+pub const PREDEFINED_FUNCTIONS: &[&str] =
+    &["AND", "OR", "NAND", "NOR", "XOR", "NOT", "EQUAL", "RANDOM"];
+
+/// Predefined component types.
+pub const PREDEFINED_COMPONENTS: &[&str] = &["REG"];
+
+/// Predefined signals.
+pub const PREDEFINED_SIGNALS: &[&str] = &["CLK", "RSET"];
+
+/// Predefined functions usable in constant expressions.
+pub const PREDEFINED_CONST_FUNCTIONS: &[&str] = &["min", "max", "odd"];
+
+/// The basic (and pseudo-basic) type names. `virtual` is the placeholder
+/// type of §6.4 replaced in the layout language.
+pub const BASIC_TYPES: &[&str] = &["boolean", "multiplex", "virtual"];
+
+/// Predefined value names usable in signal constants.
+pub const PREDEFINED_VALUES: &[&str] = &["UNDEF", "NOINFL"];
+
+/// Is `name` a pervasive type (usable without a `USES` entry)?
+pub fn is_pervasive_type(name: &str) -> bool {
+    BASIC_TYPES.contains(&name)
+        || PREDEFINED_COMPONENTS.contains(&name)
+        || PREDEFINED_FUNCTIONS.contains(&name)
+}
+
+/// Is `name` a predefined function component?
+pub fn is_predefined_function(name: &str) -> bool {
+    PREDEFINED_FUNCTIONS.contains(&name)
+}
+
+/// Is `name` a predefined signal?
+pub fn is_predefined_signal(name: &str) -> bool {
+    PREDEFINED_SIGNALS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        for g in PREDEFINED_GATES {
+            assert!(PREDEFINED_FUNCTIONS.contains(g));
+        }
+        assert!(is_pervasive_type("REG"));
+        assert!(is_pervasive_type("boolean"));
+        assert!(is_pervasive_type("multiplex"));
+        assert!(is_pervasive_type("virtual"));
+        assert!(is_pervasive_type("AND"));
+        assert!(!is_pervasive_type("halfadder"));
+        assert!(is_predefined_function("RANDOM"));
+        assert!(!is_predefined_function("REG"));
+        assert!(is_predefined_signal("CLK"));
+        assert!(is_predefined_signal("RSET"));
+        assert!(!is_predefined_signal("clk"));
+    }
+}

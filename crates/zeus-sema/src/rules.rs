@@ -1,0 +1,209 @@
+//! The static type rules of §4.7, as decision tables.
+//!
+//! The elaborator reduces every statement to assignments between *basic*
+//! signals and consults these tables. Their purpose in the paper is to
+//! prevent designs with a direct power-to-ground connection ("burning"
+//! transistors).
+
+use std::fmt;
+
+/// The two basic signal types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasicKind {
+    /// `boolean` — values 0, 1, UNDEF.
+    Boolean,
+    /// `multiplex` — values 0, 1, UNDEF, NOINFL (tri-state).
+    Multiplex,
+}
+
+impl fmt::Display for BasicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicKind::Boolean => write!(f, "boolean"),
+            BasicKind::Multiplex => write!(f, "multiplex"),
+        }
+    }
+}
+
+/// Why a boolean signal may enjoy "exception 1" of §4.7: it is a formal
+/// OUT parameter of the component being defined, or an IN parameter of an
+/// instantiated component. Such signals get an implicit multiplex net and
+/// an automatic multiplex→boolean conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Exception1 {
+    /// Formal OUT parameter of the defining component.
+    pub formal_out: bool,
+    /// IN parameter of an instantiated component.
+    pub instance_in: bool,
+}
+
+impl Exception1 {
+    /// Whether either exception applies.
+    pub fn applies(self) -> bool {
+        self.formal_out || self.instance_in
+    }
+}
+
+/// Verdict of a static rule check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleVerdict {
+    /// Legal.
+    Legal,
+    /// Legal but suspicious; the message explains (e.g. the multiplex
+    /// "abuse" noted in §4.7).
+    Warn(String),
+    /// Illegal; the message explains which rule is violated.
+    Illegal(String),
+}
+
+impl RuleVerdict {
+    /// True for `Legal` and `Warn`.
+    pub fn is_legal(&self) -> bool {
+        !matches!(self, RuleVerdict::Illegal(_))
+    }
+}
+
+/// Rule for an **unconditional** assignment `x := e` between basic
+/// signals (§4.7, "Unconditional assignment").
+///
+/// All four boolean/multiplex combinations are legal, but a multiplex
+/// assignee "abuses" the type (no further assignments are possible), which
+/// we surface as a warning when the right side is also multiplex.
+pub fn unconditional_assign(lhs: BasicKind, rhs: BasicKind) -> RuleVerdict {
+    match (lhs, rhs) {
+        (BasicKind::Multiplex, BasicKind::Multiplex) => RuleVerdict::Warn(
+            "unconditional assignment between multiplex signals fixes the assignee; \
+             consider aliasing with '==' instead"
+                .into(),
+        ),
+        _ => RuleVerdict::Legal,
+    }
+}
+
+/// Rule for a **conditional** assignment `IF b THEN x := e END`
+/// (§4.7 type rules (1)).
+pub fn conditional_assign(lhs: BasicKind, exc: Exception1) -> RuleVerdict {
+    match lhs {
+        BasicKind::Multiplex => RuleVerdict::Legal,
+        BasicKind::Boolean if exc.applies() => RuleVerdict::Legal,
+        BasicKind::Boolean => RuleVerdict::Illegal(
+            "conditional assignment to a boolean signal is illegal unless it is a formal OUT \
+             parameter or an IN parameter of an instantiated component (type rules (1))"
+                .into(),
+        ),
+    }
+}
+
+/// Rule for aliasing `x == y` between basic signals (§4.7 type rules (2)).
+pub fn alias(lhs: BasicKind, rhs: BasicKind, exc_l: Exception1, exc_r: Exception1) -> RuleVerdict {
+    match (lhs, rhs) {
+        (BasicKind::Multiplex, BasicKind::Multiplex) => RuleVerdict::Legal,
+        (BasicKind::Boolean, BasicKind::Boolean) => RuleVerdict::Illegal(
+            "aliasing two boolean signals is illegal: it would allow direct power-ground \
+             connections (type rules (2))"
+                .into(),
+        ),
+        (BasicKind::Boolean, BasicKind::Multiplex) if exc_l.applies() => RuleVerdict::Legal,
+        (BasicKind::Multiplex, BasicKind::Boolean) if exc_r.applies() => RuleVerdict::Legal,
+        _ => RuleVerdict::Illegal(
+            "aliasing boolean with multiplex is only legal when the boolean signal is a \
+             formal OUT parameter or an IN parameter of an instantiated component \
+             (type rules (2), exception 1)"
+                .into(),
+        ),
+    }
+}
+
+/// Basic-type restrictions on formal parameters (§3.2): unstructured IN
+/// and OUT parameters must be boolean; unstructured INOUT parameters must
+/// be multiplex.
+pub fn formal_param_basic(mode: zeus_syntax::ast::Mode, kind: BasicKind) -> RuleVerdict {
+    use zeus_syntax::ast::Mode;
+    match (mode, kind) {
+        (Mode::In | Mode::Out, BasicKind::Boolean) => RuleVerdict::Legal,
+        (Mode::In | Mode::Out, BasicKind::Multiplex) => RuleVerdict::Illegal(
+            "unstructured IN and OUT parameters must be of type boolean (§3.2)".into(),
+        ),
+        (Mode::InOut, BasicKind::Multiplex) => RuleVerdict::Legal,
+        (Mode::InOut, BasicKind::Boolean) => RuleVerdict::Illegal(
+            "INOUT parameters of a basic type must be of type multiplex (§3.2)".into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_syntax::ast::Mode;
+    use BasicKind::*;
+
+    const NO_EXC: Exception1 = Exception1 {
+        formal_out: false,
+        instance_in: false,
+    };
+    const OUT_EXC: Exception1 = Exception1 {
+        formal_out: true,
+        instance_in: false,
+    };
+    const IN_EXC: Exception1 = Exception1 {
+        formal_out: false,
+        instance_in: true,
+    };
+
+    #[test]
+    fn unconditional_all_legal() {
+        assert!(unconditional_assign(Boolean, Boolean).is_legal());
+        assert!(unconditional_assign(Boolean, Multiplex).is_legal());
+        assert!(unconditional_assign(Multiplex, Boolean).is_legal());
+        // multiplex := multiplex warns (the §4.1 text calls it illegal,
+        // §4.7 allows it as an "abuse"; we follow §4.7 with a warning).
+        assert!(matches!(
+            unconditional_assign(Multiplex, Multiplex),
+            RuleVerdict::Warn(_)
+        ));
+    }
+
+    #[test]
+    fn conditional_table_1() {
+        // boolean assignee illegal without exception 1...
+        assert!(!conditional_assign(Boolean, NO_EXC).is_legal());
+        // ...legal with either exception,
+        assert!(conditional_assign(Boolean, OUT_EXC).is_legal());
+        assert!(conditional_assign(Boolean, IN_EXC).is_legal());
+        // multiplex assignee always legal.
+        assert!(conditional_assign(Multiplex, NO_EXC).is_legal());
+    }
+
+    #[test]
+    fn alias_table_2() {
+        assert!(alias(Multiplex, Multiplex, NO_EXC, NO_EXC).is_legal());
+        assert!(!alias(Boolean, Boolean, NO_EXC, NO_EXC).is_legal());
+        assert!(!alias(Boolean, Boolean, OUT_EXC, OUT_EXC).is_legal());
+        assert!(!alias(Boolean, Multiplex, NO_EXC, NO_EXC).is_legal());
+        assert!(alias(Boolean, Multiplex, OUT_EXC, NO_EXC).is_legal());
+        assert!(alias(Multiplex, Boolean, NO_EXC, IN_EXC).is_legal());
+        assert!(!alias(Multiplex, Boolean, IN_EXC, NO_EXC).is_legal());
+    }
+
+    #[test]
+    fn formal_basic_restrictions() {
+        assert!(formal_param_basic(Mode::In, Boolean).is_legal());
+        assert!(formal_param_basic(Mode::Out, Boolean).is_legal());
+        assert!(!formal_param_basic(Mode::In, Multiplex).is_legal());
+        assert!(!formal_param_basic(Mode::Out, Multiplex).is_legal());
+        assert!(formal_param_basic(Mode::InOut, Multiplex).is_legal());
+        assert!(!formal_param_basic(Mode::InOut, Boolean).is_legal());
+    }
+
+    #[test]
+    fn exception_composition() {
+        assert!(!NO_EXC.applies());
+        assert!(OUT_EXC.applies());
+        assert!(IN_EXC.applies());
+        assert!(Exception1 {
+            formal_out: true,
+            instance_in: true
+        }
+        .applies());
+    }
+}

@@ -1,0 +1,367 @@
+//! The four-valued signal domain of Zeus (§3.3, §8).
+//!
+//! A signal of type *multiplex* ranges over `{0, 1, UNDEF, NOINFL}`; a
+//! signal of type *boolean* over `{0, 1, UNDEF}`. `NOINFL` is the
+//! disconnected / high-impedance state. This module implements the exact
+//! gate semantics of §8 ("the exiting edge carries a 0 as soon as one
+//! entering edge is 0", etc.) and the resolution rule for multiple
+//! simultaneous conditional assignments.
+
+use std::fmt;
+
+/// A basic signal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Value {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Undefined (0-or-1 unknown, or a detected conflict).
+    #[default]
+    Undef,
+    /// No influence: disconnected / high impedance (multiplex only).
+    NoInfl,
+}
+
+impl Value {
+    /// True when the value is 0 or 1.
+    pub fn is_defined(self) -> bool {
+        matches!(self, Value::Zero | Value::One)
+    }
+
+    /// True when the value is *active*, i.e. participates in the
+    /// "at most one (0,1,UNDEF)-assignment" runtime rule: everything but
+    /// `NoInfl`.
+    pub fn is_active(self) -> bool {
+        self != Value::NoInfl
+    }
+
+    /// Converts to `bool` if defined.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Zero => Some(false),
+            Value::One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The boolean view of a possibly-multiplex value: the paper's
+    /// automatic multiplex→boolean conversion ("an amplifier") maps the
+    /// high-impedance state to UNDEF.
+    pub fn to_boolean(self) -> Value {
+        if self == Value::NoInfl {
+            Value::Undef
+        } else {
+            self
+        }
+    }
+
+    /// Logical complement (`NOT`): defined values flip, everything else
+    /// is UNDEF. (Deliberately named like the gate, not `std::ops::Not` —
+    /// the semantics differ from boolean negation on UNDEF/NOINFL.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Value {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+            _ => Value::Undef,
+        }
+    }
+
+    /// Creates a value from a bool.
+    pub fn from_bool(b: bool) -> Value {
+        if b {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Zero => write!(f, "0"),
+            Value::One => write!(f, "1"),
+            Value::Undef => write!(f, "U"),
+            Value::NoInfl => write!(f, "Z"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::from_bool(b)
+    }
+}
+
+/// n-ary AND with the dominance rule of §8: 0 dominates, all-1 gives 1,
+/// otherwise UNDEF. NOINFL inputs behave as UNDEF (implicit conversion).
+pub fn and(inputs: impl IntoIterator<Item = Value>) -> Value {
+    let mut all_one = true;
+    let mut any = false;
+    for v in inputs {
+        any = true;
+        match v.to_boolean() {
+            Value::Zero => return Value::Zero,
+            Value::One => {}
+            _ => all_one = false,
+        }
+    }
+    if any && all_one {
+        Value::One
+    } else if !any {
+        // AND of nothing is the neutral element 1.
+        Value::One
+    } else {
+        Value::Undef
+    }
+}
+
+/// n-ary OR: 1 dominates, all-0 gives 0, otherwise UNDEF.
+pub fn or(inputs: impl IntoIterator<Item = Value>) -> Value {
+    let mut all_zero = true;
+    let mut any = false;
+    for v in inputs {
+        any = true;
+        match v.to_boolean() {
+            Value::One => return Value::One,
+            Value::Zero => {}
+            _ => all_zero = false,
+        }
+    }
+    if !any || all_zero {
+        Value::Zero
+    } else {
+        Value::Undef
+    }
+}
+
+/// n-ary NAND: 1 as soon as one input is 0; 0 iff all inputs are 1.
+pub fn nand(inputs: impl IntoIterator<Item = Value>) -> Value {
+    and(inputs).not()
+}
+
+/// n-ary NOR: 0 as soon as one input is 1; 1 iff all inputs are 0.
+pub fn nor(inputs: impl IntoIterator<Item = Value>) -> Value {
+    or(inputs).not()
+}
+
+/// n-ary XOR (§8 defines the binary case; we fold it associatively).
+/// All inputs must be defined to get a defined output.
+pub fn xor(inputs: impl IntoIterator<Item = Value>) -> Value {
+    let mut acc = false;
+    for v in inputs {
+        match v.to_boolean().as_bool() {
+            Some(b) => acc ^= b,
+            None => return Value::Undef,
+        }
+    }
+    Value::from_bool(acc)
+}
+
+/// Pairwise equality over two equal-length bit slices, reduced to one bit
+/// (the usage in §10, e.g. `EQUAL(state.out, start)`, requires reduction
+/// semantics; see DESIGN.md).
+///
+/// Dominance: a pair that is defined and unequal forces 0; all pairs
+/// defined and equal gives 1; otherwise UNDEF.
+pub fn equal(a: &[Value], b: &[Value]) -> Value {
+    debug_assert_eq!(a.len(), b.len());
+    let mut all_defined_equal = true;
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = (x.to_boolean(), y.to_boolean());
+        if x.is_defined() && y.is_defined() {
+            if x != y {
+                return Value::Zero;
+            }
+        } else {
+            all_defined_equal = false;
+        }
+    }
+    if all_defined_equal {
+        Value::One
+    } else {
+        Value::Undef
+    }
+}
+
+/// The outcome of resolving the simultaneous conditional assignments to
+/// one signal (§8, last rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The resolved value.
+    pub value: Value,
+    /// How many contributions were *active* (not NOINFL). More than one
+    /// is the runtime violation that "burns transistors".
+    pub active: u32,
+}
+
+impl Resolution {
+    /// The state before any contribution: high impedance.
+    pub fn empty() -> Self {
+        Resolution {
+            value: Value::NoInfl,
+            active: 0,
+        }
+    }
+
+    /// Folds one more contribution into the resolution.
+    ///
+    /// * NOINFL is overruled by any other value.
+    /// * Assigning UNDEF makes the result UNDEF.
+    /// * A second active (0,1,UNDEF) assignment makes the result UNDEF and
+    ///   is counted so the simulator can report the violation.
+    pub fn drive(self, v: Value) -> Resolution {
+        if v == Value::NoInfl {
+            return self;
+        }
+        let active = self.active + 1;
+        let value = if active > 1 { Value::Undef } else { v };
+        Resolution { value, active }
+    }
+
+    /// True when more than one active assignment occurred.
+    pub fn conflicted(&self) -> bool {
+        self.active > 1
+    }
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution::empty()
+    }
+}
+
+/// Resolves a whole iterator of contributions.
+pub fn resolve(contribs: impl IntoIterator<Item = Value>) -> Resolution {
+    contribs
+        .into_iter()
+        .fold(Resolution::empty(), Resolution::drive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Value::*;
+
+    const ALL: [Value; 4] = [Zero, One, Undef, NoInfl];
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Zero.to_string(), "0");
+        assert_eq!(One.to_string(), "1");
+        assert_eq!(Undef.to_string(), "U");
+        assert_eq!(NoInfl.to_string(), "Z");
+    }
+
+    #[test]
+    fn and_dominance() {
+        // "the exiting edge carries a 0 as soon as one entering edge is 0"
+        assert_eq!(and([Zero, Undef]), Zero);
+        assert_eq!(and([Undef, Zero]), Zero);
+        assert_eq!(and([Zero, NoInfl]), Zero);
+        assert_eq!(and([One, One]), One);
+        assert_eq!(and([One, Undef]), Undef);
+        assert_eq!(and([One, NoInfl]), Undef); // Z reads as U
+        assert_eq!(and([One, One, One, Zero]), Zero);
+    }
+
+    #[test]
+    fn or_dominance() {
+        assert_eq!(or([One, Undef]), One);
+        assert_eq!(or([Zero, Zero]), Zero);
+        assert_eq!(or([Zero, Undef]), Undef);
+        assert_eq!(or([NoInfl, One]), One);
+    }
+
+    #[test]
+    fn nand_nor_are_negations() {
+        for &a in &ALL {
+            for &b in &ALL {
+                assert_eq!(nand([a, b]), and([a, b]).not());
+                assert_eq!(nor([a, b]), or([a, b]).not());
+            }
+        }
+    }
+
+    #[test]
+    fn xor_strictness() {
+        // "a and b have to be defined (0 or 1) to get output 0 or 1"
+        assert_eq!(xor([Zero, One]), One);
+        assert_eq!(xor([One, One]), Zero);
+        assert_eq!(xor([Zero, Undef]), Undef);
+        assert_eq!(xor([One, NoInfl]), Undef);
+        assert_eq!(xor([One, One, One]), One);
+    }
+
+    #[test]
+    fn not_table() {
+        assert_eq!(Zero.not(), One);
+        assert_eq!(One.not(), Zero);
+        assert_eq!(Undef.not(), Undef);
+        assert_eq!(NoInfl.not(), Undef);
+    }
+
+    #[test]
+    fn equal_reduction() {
+        assert_eq!(equal(&[Zero, One], &[Zero, One]), One);
+        assert_eq!(equal(&[Zero, One], &[Zero, Zero]), Zero);
+        // A defined unequal pair dominates over an undefined pair.
+        assert_eq!(equal(&[Undef, One], &[Zero, Zero]), Zero);
+        assert_eq!(equal(&[Undef, One], &[Zero, One]), Undef);
+        assert_eq!(equal(&[], &[]), One);
+    }
+
+    #[test]
+    fn resolution_noinfl_identity() {
+        // "Value NOINFL is overruled by any other value."
+        for &v in &ALL {
+            let r = resolve([NoInfl, v]);
+            assert_eq!(r.value, v);
+            let r = resolve([v, NoInfl]);
+            assert_eq!(r.value, v);
+            assert!(!r.conflicted());
+        }
+    }
+
+    #[test]
+    fn resolution_conflicts() {
+        // "If x is assigned several times 0,1 or UNDEF at runtime then x
+        //  has value UNDEF and an error message is given."
+        let r = resolve([Zero, One]);
+        assert_eq!(r.value, Undef);
+        assert!(r.conflicted());
+        // Even two equal active values conflict.
+        let r = resolve([One, One]);
+        assert_eq!(r.value, Undef);
+        assert!(r.conflicted());
+        let r = resolve([Undef, Zero]);
+        assert!(r.conflicted());
+    }
+
+    #[test]
+    fn resolution_single_driver() {
+        for &v in &[Zero, One, Undef] {
+            let r = resolve([NoInfl, v, NoInfl]);
+            assert_eq!(r.value, v);
+            assert_eq!(r.active, 1);
+        }
+        let r = resolve([NoInfl, NoInfl]);
+        assert_eq!(r.value, NoInfl);
+        assert_eq!(r.active, 0);
+    }
+
+    #[test]
+    fn boolean_view() {
+        assert_eq!(NoInfl.to_boolean(), Undef);
+        assert_eq!(One.to_boolean(), One);
+    }
+
+    #[test]
+    fn empty_gates_have_neutral_elements() {
+        assert_eq!(and(std::iter::empty()), One);
+        assert_eq!(or(std::iter::empty()), Zero);
+        assert_eq!(xor(std::iter::empty()), Zero);
+    }
+}

@@ -1,0 +1,133 @@
+//! Additional well-formedness checks: scoping corners of §3/§4.6.
+
+use zeus_sema::check_program;
+use zeus_syntax::parse_program;
+
+fn ok(src: &str) {
+    let p = parse_program(src).expect("parse");
+    if let Err(e) = check_program(&p) {
+        panic!("check failed:\n{src}\n{e}");
+    }
+}
+
+fn err(src: &str) -> String {
+    let p = parse_program(src).expect("parse");
+    check_program(&p).expect_err("expected failure").to_string()
+}
+
+#[test]
+fn type_parameters_are_local_to_the_definition() {
+    // "The formal parameters of a type definition ... are valid in that
+    // definition only" (§3.2).
+    let e = err("TYPE bo(n) = ARRAY[1..n] OF boolean; \
+                 t = COMPONENT (IN a: ARRAY[1..n] OF boolean) IS \
+                 BEGIN * := a END;");
+    assert!(e.contains("unknown constant 'n'"), "{e}");
+}
+
+#[test]
+fn local_shadowing_is_allowed() {
+    ok("CONST n = 4; \
+        TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+        CONST n = 2; \
+        SIGNAL h: ARRAY[1..n] OF boolean; \
+        BEGIN h[1] := a; h[2] := a; s := h[n] END;");
+}
+
+#[test]
+fn signals_before_types_rejected_in_components() {
+    let e = err("TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+                 SIGNAL h: boolean; \
+                 TYPE u = ARRAY[1..2] OF boolean; \
+                 BEGIN h := a; s := h END;");
+    assert!(e.contains("must precede signal declarations"), "{e}");
+}
+
+#[test]
+fn uses_blocks_types_not_listed() {
+    let e = err("TYPE bo4 = ARRAY[1..4] OF boolean; \
+                 t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES ; \
+                 SIGNAL h: bo4; \
+                 BEGIN h[1] := a; s := h[1] END;");
+    assert!(e.contains("USES"), "{e}");
+}
+
+#[test]
+fn uses_admits_types_in_parameter_lists() {
+    // Parameter types are resolved in the environment; the USES filter
+    // still applies to the names.
+    ok("TYPE bo4 = ARRAY[1..4] OF boolean; \
+        t = COMPONENT (IN a: bo4; OUT s: boolean) IS USES bo4; \
+        BEGIN s := a[1] END;");
+}
+
+#[test]
+fn with_scope_is_limited_to_its_body() {
+    // Unqualified field names only resolve inside the WITH body.
+    let e = err(
+        "TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean); \
+         t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL g: inner; \
+         BEGIN WITH g DO x := a END; s := y END;",
+    );
+    assert!(e.contains("unknown signal 'y'"), "{e}");
+}
+
+#[test]
+fn replication_variables_shadow_constants() {
+    ok("CONST i = 9; \
+        TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; \
+                            OUT s: ARRAY[1..4] OF boolean) IS \
+        USES i; \
+        BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END END;");
+}
+
+#[test]
+fn duplicate_types_rejected() {
+    let e = err("TYPE t = ARRAY[1..2] OF boolean; t = ARRAY[1..3] OF boolean;");
+    assert!(e.contains("duplicate type"), "{e}");
+}
+
+#[test]
+fn function_calls_resolve_through_uses() {
+    let e = err(
+        "TYPE inv = COMPONENT (IN x: boolean): boolean IS BEGIN RESULT NOT x END; \
+         t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES ; \
+         BEGIN s := inv(a) END;",
+    );
+    assert!(e.contains("USES"), "{e}");
+    ok("TYPE inv = COMPONENT (IN x: boolean): boolean IS BEGIN RESULT NOT x END; \
+        t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES inv; \
+        BEGIN s := inv(a) END;");
+}
+
+#[test]
+fn predefined_gates_need_no_uses_entry() {
+    ok("TYPE t = COMPONENT (IN a,b: boolean; OUT s: boolean) IS USES ; \
+        BEGIN s := NAND(a, XOR(a, b)) END;");
+}
+
+#[test]
+fn num_selector_address_is_resolved() {
+    let e = err(
+        "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL mem: ARRAY[0..3] OF multiplex; \
+         BEGIN mem[0] := a; s := mem[NUM(addr)] END;",
+    );
+    assert!(e.contains("unknown signal 'addr'"), "{e}");
+}
+
+#[test]
+fn deeply_nested_scopes_resolve() {
+    ok("CONST n = 2; \
+        TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; \
+                            OUT s: ARRAY[1..4] OF boolean) IS \
+        BEGIN \
+          FOR i := 1 TO n DO \
+            FOR j := 1 TO n DO \
+              WHEN i = j THEN s[2*(i-1)+j] := a[2*(i-1)+j] \
+              OTHERWISE s[2*(i-1)+j] := NOT a[2*(i-1)+j] END \
+            END \
+          END \
+        END;");
+}

@@ -1,0 +1,137 @@
+//! Algebraic properties of the four-valued domain (§8) under proptest.
+
+use proptest::prelude::*;
+use zeus_sema::value::{self, Value};
+use zeus_sema::{bin, num};
+use zeus_syntax::span::Span;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Zero),
+        Just(Value::One),
+        Just(Value::Undef),
+        Just(Value::NoInfl),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// AND and OR are commutative.
+    #[test]
+    fn and_or_commute(a in value_strategy(), b in value_strategy()) {
+        prop_assert_eq!(value::and([a, b]), value::and([b, a]));
+        prop_assert_eq!(value::or([a, b]), value::or([b, a]));
+        prop_assert_eq!(value::xor([a, b]), value::xor([b, a]));
+    }
+
+    /// n-ary AND equals folded binary AND (associativity of the
+    /// dominance semantics).
+    #[test]
+    fn and_is_associative(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        let nary = value::and([a, b, c]);
+        let folded = value::and([value::and([a, b]), c]);
+        prop_assert_eq!(nary, folded);
+        let nary = value::or([a, b, c]);
+        let folded = value::or([value::or([a, b]), c]);
+        prop_assert_eq!(nary, folded);
+    }
+
+    /// De Morgan over the four values: NAND(a,b) = NOT AND(a,b) and
+    /// AND(a,b) = NOT OR(NOT a, NOT b) — the latter only holds after the
+    /// boolean view (NOINFL reads as UNDEF on gate inputs).
+    #[test]
+    fn de_morgan(a in value_strategy(), b in value_strategy()) {
+        prop_assert_eq!(value::nand([a, b]), value::and([a, b]).not());
+        prop_assert_eq!(value::nor([a, b]), value::or([a, b]).not());
+        let lhs = value::and([a, b]);
+        let rhs = value::or([a.to_boolean().not(), b.to_boolean().not()]).not();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Idempotence on defined values; UNDEF absorbs in XOR.
+    #[test]
+    fn gate_identities(a in value_strategy()) {
+        if a.is_defined() {
+            prop_assert_eq!(value::and([a, a]), a);
+            prop_assert_eq!(value::or([a, a]), a);
+            prop_assert_eq!(value::xor([a, a]), Value::Zero);
+        } else {
+            prop_assert_eq!(value::xor([a, a]), Value::Undef);
+        }
+        prop_assert_eq!(a.not().not(), a.to_boolean());
+    }
+
+    /// Resolution is order-independent in value and in conflict verdict.
+    #[test]
+    fn resolution_is_permutation_invariant(vals in proptest::collection::vec(value_strategy(), 0..6), seed in any::<u64>()) {
+        let r1 = value::resolve(vals.iter().copied());
+        // A cheap deterministic shuffle.
+        let mut shuffled = vals.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let r2 = value::resolve(shuffled);
+        prop_assert_eq!(r1.active, r2.active);
+        prop_assert_eq!(r1.conflicted(), r2.conflicted());
+        // The value itself is order independent too: NOINFL when no
+        // active driver, the single driver's value when one, UNDEF when
+        // several.
+        prop_assert_eq!(r1.value, r2.value);
+    }
+
+    /// NOINFL drivers never influence the outcome.
+    #[test]
+    fn noinfl_is_resolution_identity(vals in proptest::collection::vec(value_strategy(), 0..5)) {
+        let without = value::resolve(vals.iter().copied());
+        let mut padded = vals.clone();
+        padded.push(Value::NoInfl);
+        padded.insert(0, Value::NoInfl);
+        let with = value::resolve(padded);
+        prop_assert_eq!(without.value, with.value);
+        prop_assert_eq!(without.active, with.active);
+    }
+
+    /// The count of active drivers is exactly the number of non-NOINFL
+    /// contributions, and conflicts start at two.
+    #[test]
+    fn active_count_matches(vals in proptest::collection::vec(value_strategy(), 0..8)) {
+        let r = value::resolve(vals.iter().copied());
+        let active = vals.iter().filter(|v| v.is_active()).count() as u32;
+        prop_assert_eq!(r.active, active);
+        prop_assert_eq!(r.conflicted(), active > 1);
+        if active == 0 {
+            prop_assert_eq!(r.value, Value::NoInfl);
+        } else if active > 1 {
+            prop_assert_eq!(r.value, Value::Undef);
+        }
+    }
+
+    /// BIN/NUM are inverses for every representable (value, width) pair.
+    #[test]
+    fn bin_num_round_trip(width in 0i64..20, raw in any::<u64>()) {
+        let max = if width == 0 { 0 } else { (1u64 << width) - 1 };
+        let v = (raw & max) as i64;
+        let bits = bin(v, width, Span::dummy()).unwrap();
+        prop_assert_eq!(bits.bit_len(), width as usize);
+        prop_assert_eq!(num(&bits.flatten()), Some(v));
+    }
+
+    /// EQUAL reduction: defined equal vectors give 1, a defined unequal
+    /// pair gives 0 regardless of other undefined pairs.
+    #[test]
+    fn equal_reduction_properties(a in proptest::collection::vec(value_strategy(), 1..6)) {
+        prop_assert_ne!(value::equal(&a, &a), Value::Zero,
+            "a vector is never defined-unequal to itself");
+        if a.iter().all(|v| v.is_defined()) {
+            prop_assert_eq!(value::equal(&a, &a), Value::One);
+            // Flip one bit: must be 0.
+            let mut b = a.clone();
+            b[0] = b[0].not();
+            prop_assert_eq!(value::equal(&a, &b), Value::Zero);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Exhaustive combinational equivalence checking.
+//!
+//! The paper asserts equivalences between formulations ("is equivalent to
+//! (if length = 4)" for the two ripple-carry adders; the iterative and
+//! recursive binary trees). This module mechanizes such claims for
+//! combinational designs by exhausting the input space.
+
+use crate::Simulator;
+use zeus_elab::Design;
+use zeus_sema::value::Value;
+use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::span::Span;
+
+/// A disproof of equivalence: the input assignment and the first output
+/// port on which the designs disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterExample {
+    /// `(port name, forced bits LSB-first)` for every IN port.
+    pub inputs: Vec<(String, Vec<Value>)>,
+    /// The output port that differs.
+    pub port: String,
+    /// The two observed values (design a, design b).
+    pub got: (Vec<Value>, Vec<Value>),
+}
+
+impl std::fmt::Display for CounterExample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "designs differ on '{}' for", self.port)?;
+        for (name, bits) in &self.inputs {
+            write!(f, " {name}=")?;
+            for b in bits {
+                write!(f, "{b}")?;
+            }
+        }
+        write!(f, ": ")?;
+        for b in &self.got.0 {
+            write!(f, "{b}")?;
+        }
+        write!(f, " vs ")?;
+        for b in &self.got.1 {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks two combinational designs for exhaustive input/output
+/// equivalence. The designs must have identically named and sized IN and
+/// OUT ports.
+///
+/// Returns `Ok(None)` when equivalent, `Ok(Some(ce))` with a counter
+/// example otherwise.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the interfaces differ, a design contains
+/// registers (sequential equivalence is out of scope), or the total
+/// input width exceeds `max_input_bits` (default cap callers should pass:
+/// 20 → about a million vectors).
+pub fn check_equivalent(
+    a: &Design,
+    b: &Design,
+    max_input_bits: u32,
+) -> Result<Option<CounterExample>, Diagnostic> {
+    let err = |msg: String| Diagnostic::error(Span::dummy(), msg);
+    if a.netlist.registers().count() != 0 || b.netlist.registers().count() != 0 {
+        return Err(err(
+            "equivalence checking is combinational only (designs contain registers)".into(),
+        ));
+    }
+    let ins_a: Vec<_> = a.inputs().collect();
+    let ins_b: Vec<_> = b.inputs().collect();
+    let outs_a: Vec<_> = a.outputs().collect();
+    let outs_b: Vec<_> = b.outputs().collect();
+    if ins_a.len() != ins_b.len() || outs_a.len() != outs_b.len() {
+        return Err(err("designs have different port counts".into()));
+    }
+    for (pa, pb) in ins_a.iter().zip(&ins_b).chain(outs_a.iter().zip(&outs_b)) {
+        if pa.name != pb.name || pa.width() != pb.width() {
+            return Err(err(format!(
+                "port mismatch: {}[{}] vs {}[{}]",
+                pa.name,
+                pa.width(),
+                pb.name,
+                pb.width()
+            )));
+        }
+    }
+    let total_bits: usize = ins_a.iter().map(|p| p.width()).sum();
+    if total_bits as u32 > max_input_bits {
+        return Err(err(format!(
+            "{total_bits} input bits exceed the exhaustive cap of {max_input_bits}"
+        )));
+    }
+    let in_names: Vec<(String, usize)> = ins_a
+        .iter()
+        .map(|p| (p.name.clone(), p.width()))
+        .collect();
+    let out_names: Vec<String> = outs_a.iter().map(|p| p.name.clone()).collect();
+
+    let mut sa = Simulator::new(a.clone()).map_err(|e| err(e.to_string()))?;
+    let mut sb = Simulator::new(b.clone()).map_err(|e| err(e.to_string()))?;
+    for vector in 0u64..(1u64 << total_bits) {
+        let mut offset = 0usize;
+        let mut assignment = Vec::with_capacity(in_names.len());
+        for (name, width) in &in_names {
+            let bits: Vec<Value> = (0..*width)
+                .map(|i| Value::from_bool((vector >> (offset + i)) & 1 == 1))
+                .collect();
+            sa.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
+            sb.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
+            assignment.push((name.clone(), bits));
+            offset += width;
+        }
+        sa.step();
+        sb.step();
+        for name in &out_names {
+            let (va, vb) = (sa.port(name), sb.port(name));
+            if va != vb {
+                return Ok(Some(CounterExample {
+                    inputs: assignment,
+                    port: name.clone(),
+                    got: (va, vb),
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn design(src: &str, top: &str, args: &[i64]) -> Design {
+        elaborate(&parse_program(src).unwrap(), top, args).unwrap()
+    }
+
+    const ADDERS: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+         BEGIN s := XOR(a,b); cout := AND(a,b) END; \
+         sum2 = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+         BEGIN s := AND(OR(a,b), NAND(a,b)); cout := AND(a,b) END; \
+         broken = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+         BEGIN s := OR(a,b); cout := AND(a,b) END;";
+
+    #[test]
+    fn equivalent_formulations_verify() {
+        let a = design(ADDERS, "halfadder", &[]);
+        let b = design(ADDERS, "sum2", &[]);
+        assert_eq!(check_equivalent(&a, &b, 20).unwrap(), None);
+    }
+
+    #[test]
+    fn inequivalence_yields_counterexample() {
+        let a = design(ADDERS, "halfadder", &[]);
+        let b = design(ADDERS, "broken", &[]);
+        let ce = check_equivalent(&a, &b, 20).unwrap().expect("differs");
+        assert_eq!(ce.port, "s");
+        // OR differs from XOR exactly on a=b=1.
+        assert!(ce
+            .inputs
+            .iter()
+            .all(|(_, bits)| bits == &vec![Value::One]));
+        assert!(!ce.to_string().is_empty());
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let a = design(ADDERS, "halfadder", &[]);
+        let b = design(
+            "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS BEGIN s := a END;",
+            "t",
+            &[],
+        );
+        assert!(check_equivalent(&a, &b, 20).is_err());
+    }
+
+    #[test]
+    fn sequential_designs_are_rejected() {
+        let a = design(
+            "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+             SIGNAL r: REG; BEGIN r(a, s) END;",
+            "t",
+            &[],
+        );
+        assert!(check_equivalent(&a, &a, 20).is_err());
+    }
+
+    #[test]
+    fn input_cap_is_enforced() {
+        let a = design(
+            "TYPE t = COMPONENT (IN a: ARRAY[1..30] OF boolean; OUT s: boolean) IS \
+             BEGIN s := a[1] END;",
+            "t",
+            &[],
+        );
+        assert!(check_equivalent(&a, &a, 20).is_err());
+    }
+}
+
+/// Sequential equivalence by random bounded simulation: both designs are
+/// reset (RSET high for `reset_cycles`), then driven with the same
+/// pseudo-random input streams for `cycles` cycles per trial; all OUT
+/// ports must agree every cycle.
+///
+/// This is a falsifier, not a proof — it catches divergence with high
+/// probability for the register counts Zeus programs have.
+///
+/// Returns `Ok(None)` when no divergence was observed.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the interfaces differ.
+pub fn check_equivalent_sequential(
+    a: &Design,
+    b: &Design,
+    trials: u32,
+    cycles: u32,
+    seed: u64,
+) -> Result<Option<CounterExample>, Diagnostic> {
+    use rand::{Rng, SeedableRng};
+    let err = |msg: String| Diagnostic::error(Span::dummy(), msg);
+    let ins_a: Vec<_> = a.inputs().collect();
+    let ins_b: Vec<_> = b.inputs().collect();
+    if ins_a.len() != ins_b.len() {
+        return Err(err("designs have different input ports".into()));
+    }
+    for (pa, pb) in ins_a.iter().zip(&ins_b) {
+        if pa.name != pb.name || pa.width() != pb.width() {
+            return Err(err(format!("input port mismatch: {} vs {}", pa.name, pb.name)));
+        }
+    }
+    let in_names: Vec<(String, usize)> =
+        ins_a.iter().map(|p| (p.name.clone(), p.width())).collect();
+    let out_names: Vec<String> = a.outputs().map(|p| p.name.clone()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        let mut sa = Simulator::new(a.clone()).map_err(|e| err(e.to_string()))?;
+        let mut sb = Simulator::new(b.clone()).map_err(|e| err(e.to_string()))?;
+        sa.set_rset(true);
+        sb.set_rset(true);
+        for (name, width) in &in_names {
+            let zeros = vec![Value::Zero; *width];
+            let _ = sa.set_port(name, &zeros);
+            let _ = sb.set_port(name, &zeros);
+        }
+        sa.step();
+        sb.step();
+        sa.set_rset(false);
+        sb.set_rset(false);
+        for _ in 0..cycles {
+            let mut assignment = Vec::with_capacity(in_names.len());
+            for (name, width) in &in_names {
+                let bits: Vec<Value> = (0..*width)
+                    .map(|_| Value::from_bool(rng.gen()))
+                    .collect();
+                sa.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
+                sb.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
+                assignment.push((name.clone(), bits));
+            }
+            sa.step();
+            sb.step();
+            for name in &out_names {
+                let (va, vb) = (sa.port(name), sb.port(name));
+                if va != vb {
+                    return Ok(Some(CounterExample {
+                        inputs: assignment,
+                        port: name.clone(),
+                        got: (va, vb),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse_program(src).unwrap(), top, &[]).unwrap()
+    }
+
+    const TOGGLERS: &str = "TYPE t1 = COMPONENT (IN en: boolean; OUT q: boolean) IS \
+         SIGNAL r: REG; \
+         BEGIN IF RSET THEN r.in := 0 \
+               ELSIF en THEN r.in := NOT r.out END; q := r.out END; \
+         t2 = COMPONENT (IN en: boolean; OUT q: boolean) IS \
+         SIGNAL r: REG; \
+         BEGIN r.in := AND(XOR(r.out, en), NOT RSET); q := r.out END; \
+         t3 = COMPONENT (IN en: boolean; OUT q: boolean) IS \
+         SIGNAL r: REG; \
+         BEGIN r.in := AND(OR(r.out, en), NOT RSET); q := r.out END;";
+
+    #[test]
+    fn equivalent_togglers_pass() {
+        let a = design(TOGGLERS, "t1");
+        let b = design(TOGGLERS, "t2");
+        assert_eq!(
+            check_equivalent_sequential(&a, &b, 4, 64, 1).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn divergent_state_machines_are_caught() {
+        let a = design(TOGGLERS, "t1");
+        let b = design(TOGGLERS, "t3"); // sticky, not toggling
+        let ce = check_equivalent_sequential(&a, &b, 4, 64, 1)
+            .unwrap()
+            .expect("divergence");
+        assert_eq!(ce.port, "q");
+    }
+}

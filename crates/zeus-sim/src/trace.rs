@@ -1,0 +1,216 @@
+//! Waveform capture and a VCD-style text dump.
+//!
+//! A [`Recorder`] watches named signal bits across cycles and renders them
+//! as an ASCII waveform or a Value-Change-Dump-like text, which the
+//! examples use to show the "possible computation sequence" figures of
+//! §10.
+
+use crate::Simulator;
+use std::fmt::Write as _;
+use zeus_elab::NetId;
+use zeus_sema::value::Value;
+
+/// Records selected signals over simulated cycles.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    signals: Vec<(String, NetId)>,
+    /// One row per sample; row k holds the values of all signals at the
+    /// end of cycle k.
+    samples: Vec<Vec<Value>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Watches the named signal bit (hierarchical elaboration name, e.g.
+    /// `blackjack.state[1].out`). Returns false when no such bit exists.
+    pub fn watch(&mut self, sim: &Simulator, name: &str) -> bool {
+        match sim.design().names.get(name) {
+            Some(&net) => {
+                self.signals.push((name.to_string(), net));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Watches all bits of a port, LSB first.
+    pub fn watch_port(&mut self, sim: &Simulator, port: &str) -> bool {
+        match sim.design().port(port) {
+            Some(p) => {
+                for (i, &net) in p.nets.iter().enumerate() {
+                    self.signals.push((format!("{port}[{}]", i + 1), net));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Samples the watched signals at the current cycle.
+    pub fn sample(&mut self, sim: &Simulator) {
+        let row = self
+            .signals
+            .iter()
+            .map(|&(_, net)| sim.value(net).to_boolean())
+            .collect();
+        self.samples.push(row);
+    }
+
+    /// Number of samples taken.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded history of one signal.
+    pub fn history(&self, name: &str) -> Option<Vec<Value>> {
+        let idx = self.signals.iter().position(|(n, _)| n == name)?;
+        Some(self.samples.iter().map(|row| row[idx]).collect())
+    }
+
+    /// Renders an ASCII waveform: one row per signal, one column per
+    /// cycle (`0`, `1`, `U` for undefined, `Z` for no influence).
+    pub fn render(&self) -> String {
+        let name_w = self
+            .signals
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (i, (name, _)) in self.signals.iter().enumerate() {
+            let _ = write!(out, "{name:<name_w$} ");
+            for row in &self.samples {
+                let _ = write!(out, "{}", row[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a VCD-style value change dump (text, `$var`/`#time`
+    /// sections), sufficient for external waveform viewers that accept
+    /// 4-state VCD.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1 ns $end\n$scope module zeus $end\n");
+        let code = |i: usize| -> String {
+            // Printable short id codes: ! .. ~
+            let mut n = i;
+            let mut s = String::new();
+            loop {
+                s.push((b'!' + (n % 94) as u8) as char);
+                n /= 94;
+                if n == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        for (i, (name, _)) in self.signals.iter().enumerate() {
+            let clean = name.replace(' ', "_");
+            let _ = writeln!(out, "$var wire 1 {} {clean} $end", code(i));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<Value>> = vec![None; self.signals.len()];
+        for (t, row) in self.samples.iter().enumerate() {
+            let mut changes = String::new();
+            for (i, &v) in row.iter().enumerate() {
+                if last[i] != Some(v) {
+                    last[i] = Some(v);
+                    let ch = match v {
+                        Value::Zero => '0',
+                        Value::One => '1',
+                        Value::Undef => 'x',
+                        Value::NoInfl => 'z',
+                    };
+                    let _ = writeln!(changes, "{ch}{}", code(i));
+                }
+            }
+            if !changes.is_empty() {
+                let _ = writeln!(out, "#{t}");
+                out.push_str(&changes);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn toggler() -> Simulator {
+        let p = parse_program(
+            "TYPE t = COMPONENT (IN a: boolean; OUT q: boolean) IS \
+             SIGNAL r: REG; \
+             BEGIN IF RSET THEN r.in := 0 ELSE r.in := NOT r.out END; q := r.out END;",
+        )
+        .unwrap();
+        Simulator::new(elaborate(&p, "t", &[]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut sim = toggler();
+        let mut rec = Recorder::new();
+        assert!(rec.watch_port(&sim, "q"));
+        assert!(rec.watch(&sim, "t.r.out"));
+        assert!(!rec.watch(&sim, "t.nothing"));
+        sim.set_rset(true);
+        sim.step();
+        rec.sample(&sim);
+        sim.set_rset(false);
+        for _ in 0..4 {
+            sim.step();
+            rec.sample(&sim);
+        }
+        assert_eq!(rec.len(), 5);
+        let h = rec.history("q[1]").unwrap();
+        assert_eq!(
+            h,
+            vec![Value::Undef, Value::Zero, Value::One, Value::Zero, Value::One]
+        );
+        let text = rec.render();
+        assert!(text.contains("q[1]"));
+        assert!(text.contains("U0101"));
+    }
+
+    #[test]
+    fn vcd_has_headers_and_changes() {
+        let mut sim = toggler();
+        let mut rec = Recorder::new();
+        rec.watch_port(&sim, "q");
+        sim.set_rset(true);
+        sim.step();
+        rec.sample(&sim);
+        sim.set_rset(false);
+        for _ in 0..3 {
+            sim.step();
+            rec.sample(&sim);
+        }
+        let vcd = rec.to_vcd();
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("x"));
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let rec = Recorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.render(), "");
+        assert!(rec.history("x").is_none());
+    }
+}

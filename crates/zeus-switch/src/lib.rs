@@ -1,0 +1,43 @@
+//! # zeus-switch
+//!
+//! A switch-level MOS simulator in the style of Bryant (1981) — the
+//! baseline the Zeus paper compares its simulator against ("conceptually
+//! simpler than state-of-the-art switch-level circuit simulators", §1) —
+//! plus a static-CMOS synthesizer so the *same* elaborated Zeus design
+//! runs on both engines.
+//!
+//! Model: node states {0, 1, X}; bidirectional transistor switches;
+//! strength order input > driven > charged (charge retention on isolated
+//! nodes); relaxation to a fixpoint because gates are nodes.
+//!
+//! ## Example
+//!
+//! ```
+//! use zeus_syntax::parse_program;
+//! use zeus_elab::elaborate;
+//! use zeus_switch::SwitchSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+//!      BEGIN s := XOR(a,b); cout := AND(a,b) END;",
+//! )?;
+//! let design = elaborate(&program, "halfadder", &[])?;
+//! let mut sim = SwitchSim::new(&design);
+//! sim.set_port_num("a", 1)?;
+//! sim.set_port_num("b", 1)?;
+//! sim.step();
+//! assert_eq!(sim.port_num("cout"), Some(1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod network;
+mod sim;
+mod synth;
+
+pub use network::{Conduction, Network, SNode, TransKind, Transistor, SV};
+pub use sim::SwitchSim;
+pub use synth::{synthesize, Synth};

@@ -1,0 +1,240 @@
+//! Transistor-level network model (after Bryant, 1981).
+//!
+//! The paper positions the Zeus simulator as "conceptually simpler than
+//! state-of-the-art switch-level circuit simulators [Bryant (1981)]"
+//! (claim C1 in `DESIGN.md`). To give that claim a measurable baseline we
+//! implement the published switch-level model: nodes with states
+//! `{0, 1, X}`, bidirectional MOS transistors as switches, strength
+//! ordering input > driven > charged, and relaxation to a fixpoint.
+
+use std::fmt;
+
+/// A switch-level node state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SV {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl fmt::Display for SV {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SV::Zero => write!(f, "0"),
+            SV::One => write!(f, "1"),
+            SV::X => write!(f, "X"),
+        }
+    }
+}
+
+impl SV {
+    /// Converts from a Zeus four-valued signal (UNDEF and NOINFL both map
+    /// to X — the switch level cannot distinguish them on a forced node).
+    pub fn from_value(v: zeus_sema::Value) -> SV {
+        match v {
+            zeus_sema::Value::Zero => SV::Zero,
+            zeus_sema::Value::One => SV::One,
+            _ => SV::X,
+        }
+    }
+
+    /// Converts to a Zeus value (X becomes UNDEF).
+    pub fn to_value(self) -> zeus_sema::Value {
+        match self {
+            SV::Zero => zeus_sema::Value::Zero,
+            SV::One => zeus_sema::Value::One,
+            SV::X => zeus_sema::Value::Undef,
+        }
+    }
+}
+
+/// Index of a switch-level node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SNode(pub u32);
+
+impl SNode {
+    /// Index into the node arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransKind {
+    /// N-channel: conducts when the gate is 1.
+    N,
+    /// P-channel: conducts when the gate is 0.
+    P,
+}
+
+/// One MOS transistor: a bidirectional switch between `a` and `b`
+/// controlled by `gate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transistor {
+    /// Polarity.
+    pub kind: TransKind,
+    /// Gate node.
+    pub gate: SNode,
+    /// One channel terminal.
+    pub a: SNode,
+    /// The other channel terminal.
+    pub b: SNode,
+}
+
+/// Conduction state of a switch given its gate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conduction {
+    /// Definitely open (no path).
+    Open,
+    /// Definitely closed (path).
+    Closed,
+    /// Unknown (gate is X).
+    Maybe,
+}
+
+impl Transistor {
+    /// The conduction state for a gate value.
+    pub fn conduction(&self, gate: SV) -> Conduction {
+        match (self.kind, gate) {
+            (TransKind::N, SV::One) | (TransKind::P, SV::Zero) => Conduction::Closed,
+            (TransKind::N, SV::Zero) | (TransKind::P, SV::One) => Conduction::Open,
+            (_, SV::X) => Conduction::Maybe,
+        }
+    }
+}
+
+/// A switch-level network: nodes, the two supplies, and transistors.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    names: Vec<String>,
+    transistors: Vec<Transistor>,
+    vdd: Option<SNode>,
+    gnd: Option<SNode>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> SNode {
+        let id = SNode(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Declares (or returns) the VDD supply node.
+    pub fn vdd(&mut self) -> SNode {
+        if let Some(v) = self.vdd {
+            return v;
+        }
+        let v = self.add_node("VDD");
+        self.vdd = Some(v);
+        v
+    }
+
+    /// Declares (or returns) the GND supply node.
+    pub fn gnd(&mut self) -> SNode {
+        if let Some(g) = self.gnd {
+            return g;
+        }
+        let g = self.add_node("GND");
+        self.gnd = Some(g);
+        g
+    }
+
+    /// Adds a transistor.
+    pub fn add_transistor(&mut self, kind: TransKind, gate: SNode, a: SNode, b: SNode) {
+        self.transistors.push(Transistor { kind, gate, a, b });
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of transistors.
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// Node name.
+    pub fn name(&self, n: SNode) -> &str {
+        &self.names[n.index()]
+    }
+
+    /// All transistors.
+    pub fn transistors(&self) -> &[Transistor] {
+        &self.transistors
+    }
+
+    /// The VDD node if declared.
+    pub fn vdd_node(&self) -> Option<SNode> {
+        self.vdd
+    }
+
+    /// The GND node if declared.
+    pub fn gnd_node(&self) -> Option<SNode> {
+        self.gnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conduction_table() {
+        let mut nw = Network::new();
+        let g = nw.add_node("g");
+        let a = nw.add_node("a");
+        let b = nw.add_node("b");
+        let n = Transistor {
+            kind: TransKind::N,
+            gate: g,
+            a,
+            b,
+        };
+        let p = Transistor {
+            kind: TransKind::P,
+            gate: g,
+            a,
+            b,
+        };
+        assert_eq!(n.conduction(SV::One), Conduction::Closed);
+        assert_eq!(n.conduction(SV::Zero), Conduction::Open);
+        assert_eq!(n.conduction(SV::X), Conduction::Maybe);
+        assert_eq!(p.conduction(SV::Zero), Conduction::Closed);
+        assert_eq!(p.conduction(SV::One), Conduction::Open);
+        assert_eq!(p.conduction(SV::X), Conduction::Maybe);
+    }
+
+    #[test]
+    fn supplies_are_singletons() {
+        let mut nw = Network::new();
+        let v1 = nw.vdd();
+        let v2 = nw.vdd();
+        assert_eq!(v1, v2);
+        let g1 = nw.gnd();
+        assert_ne!(v1, g1);
+        assert_eq!(nw.node_count(), 2);
+    }
+
+    #[test]
+    fn sv_value_round_trip() {
+        use zeus_sema::Value;
+        assert_eq!(SV::from_value(Value::Zero), SV::Zero);
+        assert_eq!(SV::from_value(Value::One), SV::One);
+        assert_eq!(SV::from_value(Value::Undef), SV::X);
+        assert_eq!(SV::from_value(Value::NoInfl), SV::X);
+        assert_eq!(SV::One.to_value(), Value::One);
+        assert_eq!(SV::X.to_value(), Value::Undef);
+    }
+}

@@ -1,0 +1,459 @@
+//! Switch-level simulation by relaxation (after Bryant, 1981).
+//!
+//! Node values are computed from supply reachability through conducting
+//! transistors: a node definitely connected to VDD and not possibly to
+//! GND is 1 (and symmetrically); a node possibly connected to both is X;
+//! an isolated node retains its charge. Because transistor gates are
+//! themselves nodes, the computation iterates to a fixpoint.
+//!
+//! Registers sit at the behavioral boundary (see `DESIGN.md`): their
+//! stored value is presented as a forced node each cycle and re-latched
+//! after the network settles.
+
+use crate::network::{Conduction, SV};
+use crate::synth::{synthesize, Synth};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use zeus_elab::Design;
+use zeus_sema::Value;
+use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::span::Span;
+
+/// A switch-level simulator for an elaborated Zeus design.
+#[derive(Debug, Clone)]
+pub struct SwitchSim {
+    synth: Synth,
+    rset: Option<crate::network::SNode>,
+    ports: HashMap<String, Vec<crate::network::SNode>>,
+    state: Vec<SV>,
+    forced: HashMap<crate::network::SNode, SV>,
+    reg_state: Vec<SV>,
+    /// Adjacency: per node, (transistor index) list.
+    adj: Vec<Vec<u32>>,
+    cycle: u64,
+    rng: StdRng,
+    /// Relaxation iterations used in the last cycle.
+    pub iterations_last_cycle: u32,
+    /// Power-to-ground shorts observed in the last cycle (the hazard
+    /// Zeus's type rules are designed to prevent).
+    pub shorts_last_cycle: u32,
+}
+
+impl SwitchSim {
+    /// Synthesizes and wraps a design.
+    pub fn new(design: &Design) -> SwitchSim {
+        let synth = synthesize(design);
+        let mut ports = HashMap::new();
+        for p in &design.ports {
+            let nodes = p
+                .nets
+                .iter()
+                .map(|n| synth.net_map[&design.netlist.find_ref(*n)])
+                .collect();
+            ports.insert(p.name.clone(), nodes);
+        }
+        let n = synth.network.node_count();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, t) in synth.network.transistors().iter().enumerate() {
+            adj[t.a.index()].push(i as u32);
+            adj[t.b.index()].push(i as u32);
+        }
+        let regs = synth.regs.len();
+        let rset = design
+            .rset
+            .map(|n| synth.net_map[&design.netlist.find_ref(n)]);
+        SwitchSim {
+            synth,
+            rset,
+            ports,
+            state: vec![SV::X; n],
+            forced: HashMap::new(),
+            reg_state: vec![SV::X; regs],
+            adj,
+            cycle: 0,
+            rng: StdRng::seed_from_u64(0x2E05_1983),
+            iterations_last_cycle: 0,
+            shorts_last_cycle: 0,
+        }
+    }
+
+    /// Number of transistors in the synthesized network.
+    pub fn transistor_count(&self) -> usize {
+        self.synth.network.transistor_count()
+    }
+
+    /// Number of switch-level nodes.
+    pub fn node_count(&self) -> usize {
+        self.synth.network.node_count()
+    }
+
+    /// Forces a whole port.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for unknown ports or width mismatches.
+    pub fn set_port(&mut self, name: &str, bits: &[Value]) -> Result<(), Diagnostic> {
+        let nodes = self
+            .ports
+            .get(name)
+            .ok_or_else(|| Diagnostic::error(Span::dummy(), format!("no port '{name}'")))?
+            .clone();
+        if nodes.len() != bits.len() {
+            return Err(Diagnostic::error(
+                Span::dummy(),
+                format!("port '{name}' width mismatch"),
+            ));
+        }
+        for (node, &v) in nodes.into_iter().zip(bits) {
+            self.forced.insert(node, SV::from_value(v));
+        }
+        Ok(())
+    }
+
+    /// Forces a port from a number, LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// See [`SwitchSim::set_port`].
+    pub fn set_port_num(&mut self, name: &str, v: u64) -> Result<(), Diagnostic> {
+        let width = self
+            .ports
+            .get(name)
+            .map(|p| p.len())
+            .ok_or_else(|| Diagnostic::error(Span::dummy(), format!("no port '{name}'")))?;
+        let bits: Vec<Value> = (0..width)
+            .map(|i| Value::from_bool((v >> i) & 1 == 1))
+            .collect();
+        self.set_port(name, &bits)
+    }
+
+    /// Drives the predefined RSET signal (when the design uses it).
+    pub fn set_rset(&mut self, v: bool) {
+        if let Some(r) = self.rset {
+            self.forced
+                .insert(r, SV::from_value(Value::from_bool(v)));
+        }
+    }
+
+    /// Reads a port as Zeus values.
+    pub fn port(&self, name: &str) -> Vec<Value> {
+        match self.ports.get(name) {
+            Some(nodes) => nodes
+                .iter()
+                .map(|n| self.state[n.index()].to_value())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Reads a port as a number; `None` when any bit is X.
+    pub fn port_num(&self, name: &str) -> Option<i64> {
+        let bits = self.port(name);
+        if bits.is_empty() {
+            None
+        } else {
+            zeus_sema::num(&bits)
+        }
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Simulates one clock cycle: forces sources, relaxes the network to
+    /// a fixpoint, then latches the registers.
+    pub fn step(&mut self) {
+        // Sources for this cycle.
+        let mut forced = self.forced.clone();
+        if let Some(v) = self.synth.network.vdd_node() {
+            forced.insert(v, SV::One);
+        }
+        if let Some(g) = self.synth.network.gnd_node() {
+            forced.insert(g, SV::Zero);
+        }
+        for &(node, v) in &self.synth.consts {
+            forced.insert(node, SV::from_value(v));
+        }
+        for i in 0..self.synth.randoms.len() {
+            let v = SV::from_value(Value::from_bool(self.rng.gen()));
+            forced.insert(self.synth.randoms[i], v);
+        }
+        for (i, &(_, out)) in self.synth.regs.iter().enumerate() {
+            forced.insert(out, self.reg_state[i]);
+        }
+        for (&node, &v) in &forced {
+            self.state[node.index()] = v;
+        }
+
+        // Relax to a fixpoint.
+        let n = self.synth.network.node_count();
+        let limit = (2 * n + 16) as u32;
+        let mut iters = 0u32;
+        self.shorts_last_cycle = 0;
+        loop {
+            iters += 1;
+            let (next, shorts) = self.relax_once(&forced);
+            let changed = next != self.state;
+            self.state = next;
+            if !changed {
+                self.shorts_last_cycle = shorts;
+                break;
+            }
+            if iters >= limit {
+                // Oscillation: non-converging nodes are unknown.
+                for (i, v) in self.state.iter_mut().enumerate() {
+                    if !forced.contains_key(&crate::network::SNode(i as u32)) {
+                        *v = SV::X;
+                    }
+                }
+                break;
+            }
+        }
+        self.iterations_last_cycle = iters;
+
+        // Latch registers from their data inputs.
+        for i in 0..self.synth.regs.len() {
+            let (d, _) = self.synth.regs[i];
+            self.reg_state[i] = self.state[d.index()];
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// One relaxation sweep: recomputes every node value from supply /
+    /// input reachability under the current gate values.
+    fn relax_once(&self, forced: &HashMap<crate::network::SNode, SV>) -> (Vec<SV>, u32) {
+        let n = self.synth.network.node_count();
+        // Reachability flags: def1, def0, pos1, pos0.
+        let mut def1 = vec![false; n];
+        let mut def0 = vec![false; n];
+        let mut pos1 = vec![false; n];
+        let mut pos0 = vec![false; n];
+
+        let conduction: Vec<Conduction> = self
+            .synth
+            .network
+            .transistors()
+            .iter()
+            .map(|t| t.conduction(self.state[t.gate.index()]))
+            .collect();
+
+        let bfs = |flags: &mut Vec<bool>, sources: Vec<usize>, definite: bool| {
+            let mut queue = sources;
+            for &s in &queue {
+                flags[s] = true;
+            }
+            let mut head = 0;
+            // The queue only ever contains sources and non-forced nodes,
+            // so forced interior nodes are flagged but never expanded —
+            // they clamp the value and do not conduct a foreign level
+            // through.
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &ti in &self.adj[u] {
+                    let t = &self.synth.network.transistors()[ti as usize];
+                    let ok = match conduction[ti as usize] {
+                        Conduction::Closed => true,
+                        Conduction::Maybe => !definite,
+                        Conduction::Open => false,
+                    };
+                    if !ok {
+                        continue;
+                    }
+                    let v = if t.a.index() == u { t.b } else { t.a };
+                    if !flags[v.index()] {
+                        flags[v.index()] = true;
+                        // Stop at forced nodes: they clamp the value.
+                        if !forced.contains_key(&v) {
+                            queue.push(v.index());
+                        }
+                    }
+                }
+            }
+        };
+
+        let src = |want1: bool, include_x: bool| -> Vec<usize> {
+            forced
+                .iter()
+                .filter(|(_, &v)| {
+                    (want1 && v == SV::One)
+                        || (!want1 && v == SV::Zero)
+                        || (include_x && v == SV::X)
+                })
+                .map(|(n, _)| n.index())
+                .collect()
+        };
+
+        bfs(&mut def1, src(true, false), true);
+        bfs(&mut def0, src(false, false), true);
+        bfs(&mut pos1, src(true, true), false);
+        bfs(&mut pos0, src(false, true), false);
+
+        let mut shorts = 0u32;
+        let mut next = vec![SV::X; n];
+        for i in 0..n {
+            let node = crate::network::SNode(i as u32);
+            if let Some(&v) = forced.get(&node) {
+                next[i] = v;
+                continue;
+            }
+            next[i] = if def1[i] && def0[i] {
+                shorts += 1;
+                SV::X
+            } else if def1[i] && !pos0[i] {
+                SV::One
+            } else if def0[i] && !pos1[i] {
+                SV::Zero
+            } else if pos1[i] || pos0[i] {
+                SV::X
+            } else {
+                // Isolated: charge retention.
+                self.state[i]
+            };
+        }
+        (next, shorts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_sim::Simulator;
+    use zeus_syntax::parse_program;
+
+    fn design(src: &str, top: &str) -> Design {
+        let p = parse_program(src).expect("parse");
+        elaborate(&p, top, &[]).expect("elaborate")
+    }
+
+    const FULLADDER: &str =
+        "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+         BEGIN s := XOR(a,b); cout := AND(a,b) END; \
+         fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
+         SIGNAL h1,h2:halfadder; \
+         BEGIN h1(a,b,*,h2.a); h2(h1.s,cin,*,s); cout := OR(h1.cout,h2.cout) END;";
+
+    #[test]
+    fn fulladder_matches_zeus_simulator() {
+        let d = design(FULLADDER, "fulladder");
+        let mut sw = SwitchSim::new(&d);
+        let mut zs = Simulator::new(d).unwrap();
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                for c in 0..2u64 {
+                    sw.set_port_num("a", a).unwrap();
+                    sw.set_port_num("b", b).unwrap();
+                    sw.set_port_num("cin", c).unwrap();
+                    zs.set_port_num("a", a).unwrap();
+                    zs.set_port_num("b", b).unwrap();
+                    zs.set_port_num("cin", c).unwrap();
+                    sw.step();
+                    zs.step();
+                    assert_eq!(sw.port("s"), zs.port("s"), "a={a} b={b} c={c}");
+                    assert_eq!(sw.port("cout"), zs.port("cout"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_chain_settles() {
+        let d = design(
+            "TYPE t = COMPONENT (IN a: boolean; OUT q: boolean) IS \
+             BEGIN q := NOT NOT NOT a END;",
+            "t",
+        );
+        let mut sw = SwitchSim::new(&d);
+        sw.set_port_num("a", 1).unwrap();
+        sw.step();
+        assert_eq!(sw.port_num("q"), Some(0));
+        sw.set_port_num("a", 0).unwrap();
+        sw.step();
+        assert_eq!(sw.port_num("q"), Some(1));
+    }
+
+    #[test]
+    fn register_boundary_behaves() {
+        let d = design(
+            "TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS \
+             SIGNAL r: REG; BEGIN r(d, q) END;",
+            "t",
+        );
+        let mut sw = SwitchSim::new(&d);
+        sw.set_port_num("d", 1).unwrap();
+        sw.step();
+        sw.set_port_num("d", 0).unwrap();
+        sw.step();
+        assert_eq!(sw.port_num("q"), Some(1));
+        sw.step();
+        assert_eq!(sw.port_num("q"), Some(0));
+    }
+
+    #[test]
+    fn x_inputs_stay_unknown() {
+        let d = design(
+            "TYPE t = COMPONENT (IN a,b: boolean; OUT q: boolean) IS \
+             BEGIN q := AND(a,b) END;",
+            "t",
+        );
+        let mut sw = SwitchSim::new(&d);
+        sw.set_port("a", &[Value::Undef]).unwrap();
+        sw.set_port("b", &[Value::One]).unwrap();
+        sw.step();
+        assert_eq!(sw.port("q"), vec![Value::Undef]);
+        // AND dominance also holds at switch level: a=X, b=0 gives 0.
+        sw.set_port("b", &[Value::Zero]).unwrap();
+        sw.step();
+        assert_eq!(sw.port("q"), vec![Value::Zero]);
+    }
+
+    #[test]
+    fn conflicting_drivers_give_x() {
+        // The "burning transistors" circuit: two closed switches driving
+        // 1 and 0 onto the same multiplex wire.
+        let d = design(
+            "TYPE t = COMPONENT (IN a,b: boolean; OUT q: boolean) IS \
+             SIGNAL h: multiplex; \
+             BEGIN IF a THEN h := 1 END; IF b THEN h := 0 END; q := h END;",
+            "t",
+        );
+        let mut sw = SwitchSim::new(&d);
+        sw.set_port_num("a", 1).unwrap();
+        sw.set_port_num("b", 1).unwrap();
+        sw.step();
+        assert_eq!(sw.port("q"), vec![Value::Undef]);
+        sw.set_port_num("b", 0).unwrap();
+        sw.step();
+        assert_eq!(sw.port("q"), vec![Value::One]);
+    }
+
+    #[test]
+    fn charge_retention_on_open_switch() {
+        let d = design(
+            "TYPE t = COMPONENT (IN a,dd: boolean; OUT q: boolean) IS \
+             SIGNAL h: multiplex; \
+             BEGIN IF a THEN h := dd END; q := h END;",
+            "t",
+        );
+        let mut sw = SwitchSim::new(&d);
+        sw.set_port_num("a", 1).unwrap();
+        sw.set_port_num("dd", 1).unwrap();
+        sw.step();
+        assert_eq!(sw.port("q"), vec![Value::One]);
+        // Open the switch: the wire keeps its charge at switch level
+        // (dynamic storage) — a behavior Zeus abstracts as NOINFL.
+        sw.set_port_num("a", 0).unwrap();
+        sw.step();
+        assert_eq!(sw.port("q"), vec![Value::One]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Exhaustive gate-level equivalence between the switch-level CMOS
+//! realizations and the Zeus simulator, over defined inputs.
+
+use zeus_elab::elaborate;
+use zeus_sim::Simulator;
+use zeus_switch::SwitchSim;
+use zeus_syntax::parse_program;
+
+fn both(src: &str, top: &str) -> (Simulator, SwitchSim) {
+    let p = parse_program(src).expect("parse");
+    let d = elaborate(&p, top, &[]).expect("elaborate");
+    (Simulator::new(d.clone()).unwrap(), SwitchSim::new(&d))
+}
+
+#[test]
+fn all_gates_match_exhaustively() {
+    let src = "TYPE t = COMPONENT (IN a,b,c: boolean; \
+               OUT gand, gor, gnand, gnor, gxor, gnot, geq: boolean) IS \
+         BEGIN \
+           gand := AND(a,b,c); \
+           gor := OR(a,b,c); \
+           gnand := NAND(a,b,c); \
+           gnor := NOR(a,b,c); \
+           gxor := XOR(a,b,c); \
+           gnot := NOT a; \
+           geq := EQUAL((a,b), (b,c)) \
+         END;";
+    let (mut zs, mut sw) = both(src, "t");
+    for bits in 0..8u64 {
+        let (a, b, c) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+        zs.set_port_num("a", a).unwrap();
+        zs.set_port_num("b", b).unwrap();
+        zs.set_port_num("c", c).unwrap();
+        sw.set_port_num("a", a).unwrap();
+        sw.set_port_num("b", b).unwrap();
+        sw.set_port_num("c", c).unwrap();
+        zs.step();
+        sw.step();
+        for port in ["gand", "gor", "gnand", "gnor", "gxor", "gnot", "geq"] {
+            assert_eq!(
+                zs.port(port),
+                sw.port(port),
+                "{port} differs at a={a} b={b} c={c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_equal_matches() {
+    let src = "TYPE t = COMPONENT (IN a, b: ARRAY[1..5] OF boolean; OUT q: boolean) IS \
+         BEGIN q := EQUAL(a, b) END;";
+    let (mut zs, mut sw) = both(src, "t");
+    for (x, y) in [(0u64, 0u64), (31, 31), (5, 5), (5, 4), (0, 31), (21, 20)] {
+        zs.set_port_num("a", x).unwrap();
+        zs.set_port_num("b", y).unwrap();
+        sw.set_port_num("a", x).unwrap();
+        sw.set_port_num("b", y).unwrap();
+        zs.step();
+        sw.step();
+        assert_eq!(zs.port("q"), sw.port("q"), "a={x} b={y}");
+        assert_eq!(zs.port_num("q"), Some((x == y) as i64));
+    }
+}
+
+#[test]
+fn transmission_gate_mux_matches() {
+    let src = "TYPE t = COMPONENT (IN s, d0, d1: boolean; OUT q: boolean) IS \
+         SIGNAL w: multiplex; \
+         BEGIN \
+           IF s THEN w := d1 ELSE w := d0 END; \
+           q := w \
+         END;";
+    let (mut zs, mut sw) = both(src, "t");
+    for bits in 0..8u64 {
+        let (s, d0, d1) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+        zs.set_port_num("s", s).unwrap();
+        zs.set_port_num("d0", d0).unwrap();
+        zs.set_port_num("d1", d1).unwrap();
+        sw.set_port_num("s", s).unwrap();
+        sw.set_port_num("d0", d0).unwrap();
+        sw.set_port_num("d1", d1).unwrap();
+        zs.step();
+        sw.step();
+        assert_eq!(zs.port("q"), sw.port("q"), "s={s} d0={d0} d1={d1}");
+    }
+}
+
+#[test]
+fn conflicting_drivers_register_as_a_short() {
+    // The exact hazard the Zeus type rules guard against: two closed
+    // switches fighting. At switch level this is a definite VDD and GND
+    // connection on one node — a power-to-ground short.
+    let src = "TYPE t = COMPONENT (IN a,b: boolean; OUT q: boolean) IS \
+         SIGNAL w: multiplex; \
+         BEGIN IF a THEN w := 1 END; IF b THEN w := 0 END; q := w END;";
+    let (_, mut sw) = both(src, "t");
+    sw.set_port_num("a", 1).unwrap();
+    sw.set_port_num("b", 1).unwrap();
+    sw.step();
+    assert!(sw.shorts_last_cycle > 0, "the fight is a short");
+    sw.set_port_num("b", 0).unwrap();
+    sw.step();
+    assert_eq!(sw.shorts_last_cycle, 0, "single driver is clean");
+}
+
+#[test]
+fn relaxation_iterations_track_logic_depth() {
+    // A longer inverter chain needs more relaxation sweeps to settle.
+    let shallow = "TYPE t = COMPONENT (IN a: boolean; OUT q: boolean) IS \
+         BEGIN q := NOT a END;";
+    let deep = "TYPE t = COMPONENT (IN a: boolean; OUT q: boolean) IS \
+         SIGNAL h: ARRAY[1..12] OF boolean; \
+         BEGIN h[1] := NOT a; \
+               FOR i := 2 TO 12 DO h[i] := NOT h[i-1] END; \
+               q := h[12] END;";
+    let (_, mut s1) = both(shallow, "t");
+    let (_, mut s2) = both(deep, "t");
+    s1.set_port_num("a", 1).unwrap();
+    s2.set_port_num("a", 1).unwrap();
+    s1.step();
+    s2.step();
+    assert!(
+        s2.iterations_last_cycle > s1.iterations_last_cycle,
+        "deep {} vs shallow {}",
+        s2.iterations_last_cycle,
+        s1.iterations_last_cycle
+    );
+    // And the logic is right: 12 inversions of NOT a bring back a.
+    assert_eq!(s2.port_num("q"), Some(1));
+}

@@ -1,0 +1,759 @@
+//! Abstract syntax tree for Zeus programs.
+//!
+//! The shapes follow the cross-referenced EBNF of paper §7 (main grammar)
+//! and the layout-language grammar of §6/§7. Nodes carry [`Span`]s for
+//! diagnostics; spans never affect equality-relevant semantics but are kept
+//! in `PartialEq` since tests compare freshly parsed trees.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The identifier text (case-sensitive).
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+
+    /// Creates an identifier with a dummy span (for synthesized nodes).
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident::new(name, Span::dummy())
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// `Hardware = {declaration}` — a whole Zeus program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// A declaration section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `CONST { ident "=" constant ";" }`
+    Const(Vec<ConstDef>),
+    /// `TYPE { ident [params] "=" type ";" }`
+    Type(Vec<TypeDef>),
+    /// `SIGNAL { idlist ":" type [args] ";" }`
+    Signal(Vec<SignalDef>),
+}
+
+/// One `ident = constant` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Bound name.
+    pub name: Ident,
+    /// Numeric or signal constant.
+    pub value: Constant,
+}
+
+/// `constant = ConstExpression | sigConstExpression`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// A numeric constant expression, e.g. `length = 7`.
+    Num(ConstExpr),
+    /// A signal constant, e.g. `start = (0,0,0)`.
+    Sig(SigConst),
+}
+
+/// A signal constant: nested tuples of basic values, or `BIN(a,b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigConst {
+    /// `( sc {, sc} )`
+    Tuple(Vec<SigConst>, Span),
+    /// `0`, `1`, or a named value (`UNDEF`, `NOINFL`, or another constant).
+    Value(SigValue),
+    /// `BIN(ConstExpression, ConstExpression)`
+    Bin(ConstExpr, ConstExpr, Span),
+}
+
+impl SigConst {
+    /// Source span of this constant.
+    pub fn span(&self) -> Span {
+        match self {
+            SigConst::Tuple(_, s) | SigConst::Bin(_, _, s) => *s,
+            SigConst::Value(v) => v.span(),
+        }
+    }
+}
+
+/// `value = "0" | "1" | ident`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigValue {
+    /// Literal `0`.
+    Zero(Span),
+    /// Literal `1`.
+    One(Span),
+    /// A named value — `UNDEF`, `NOINFL`, or a reference to another
+    /// signal constant; resolved in semantic analysis.
+    Name(Ident),
+}
+
+impl SigValue {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            SigValue::Zero(s) | SigValue::One(s) => *s,
+            SigValue::Name(i) => i.span,
+        }
+    }
+}
+
+/// One `TYPE` definition, possibly parameterized: `tree(n) = ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: Ident,
+    /// Formal numeric parameters, e.g. `(n)`.
+    pub params: Vec<Ident>,
+    /// The defined type.
+    pub ty: Type,
+}
+
+/// `type = arrayDeclaration | componentDeclaration | ident [args]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// `ARRAY [lo..hi] OF elem`. Multi-dimensional shorthand
+    /// `ARRAY[1..n,1..n] OF t` desugars to nested arrays at parse time.
+    Array {
+        /// Lower bound (inclusive).
+        lo: ConstExpr,
+        /// Upper bound (inclusive).
+        hi: ConstExpr,
+        /// Element type.
+        elem: Box<Type>,
+        /// Source span.
+        span: Span,
+    },
+    /// A component (or function component / record) declaration.
+    Component(Box<ComponentType>),
+    /// A reference to a named type, with optional actual parameters:
+    /// `bo(4)`, `boolean`, `REG`, `tree(n DIV 2)`.
+    Named {
+        /// Referenced type name.
+        name: Ident,
+        /// Actual numeric parameters.
+        args: Vec<ConstExpr>,
+    },
+}
+
+impl Type {
+    /// Source span of the type.
+    pub fn span(&self) -> Span {
+        match self {
+            Type::Array { span, .. } => *span,
+            Type::Component(c) => c.span,
+            Type::Named { name, args } => args
+                .last()
+                .map(|a| name.span.to(a.span()))
+                .unwrap_or(name.span),
+        }
+    }
+}
+
+/// Parameter passing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// `IN` — value transmitted to the component.
+    In,
+    /// `OUT` — value transmitted from the component.
+    Out,
+    /// Neither keyword — bidirectional communication.
+    InOut,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::In => write!(f, "IN"),
+            Mode::Out => write!(f, "OUT"),
+            Mode::InOut => write!(f, "INOUT"),
+        }
+    }
+}
+
+/// One formal-parameter group: `[IN|OUT] idlist : type`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FParams {
+    /// Passing mode (INOUT when no keyword given).
+    pub mode: Mode,
+    /// The parameter names in this group.
+    pub names: Vec<Ident>,
+    /// Their common type.
+    pub ty: Type,
+}
+
+/// `componentDeclaration` (§7 rules 25-29).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentType {
+    /// Formal parameter groups.
+    pub params: Vec<FParams>,
+    /// Layout statements between the parameter list and `IS`
+    /// (used for boundary/pin placement, e.g. `{ BOTTOM in; out }`).
+    pub header_layout: Vec<LayoutStmt>,
+    /// Function-component result type (`: type` before `IS`).
+    pub result: Option<Type>,
+    /// The body; `None` makes this a record type (no internal connections).
+    pub body: Option<ComponentBody>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// The `IS ... BEGIN ... END` part of a component declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentBody {
+    /// `USES idlist;` — `None` means everything visible, `Some(empty)`
+    /// means nothing imported (§3.2).
+    pub uses: Option<Vec<Ident>>,
+    /// Local declarations.
+    pub decls: Vec<Decl>,
+    /// Layout statement list before `BEGIN`.
+    pub layout: Vec<LayoutStmt>,
+    /// The statement part.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One `SIGNAL` definition for a group of names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalDef {
+    /// Declared signal names.
+    pub names: Vec<Ident>,
+    /// Their type (actual parameters are part of [`Type::Named`]).
+    pub ty: Type,
+}
+
+// ---------------------------------------------------------------------------
+// Constant expressions (Modula-2 style, §3.1)
+// ---------------------------------------------------------------------------
+
+/// Binary operators of constant expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `OR`
+    Or,
+    /// `*`
+    Mul,
+    /// `DIV`
+    Div,
+    /// `MOD`
+    Mod,
+    /// `AND`
+    And,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl ConstBinOp {
+    /// Canonical source text.
+    pub fn text(self) -> &'static str {
+        match self {
+            ConstBinOp::Add => "+",
+            ConstBinOp::Sub => "-",
+            ConstBinOp::Or => "OR",
+            ConstBinOp::Mul => "*",
+            ConstBinOp::Div => "DIV",
+            ConstBinOp::Mod => "MOD",
+            ConstBinOp::And => "AND",
+            ConstBinOp::Eq => "=",
+            ConstBinOp::Ne => "<>",
+            ConstBinOp::Lt => "<",
+            ConstBinOp::Le => "<=",
+            ConstBinOp::Gt => ">",
+            ConstBinOp::Ge => ">=",
+        }
+    }
+}
+
+/// Unary operators of constant expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstUnOp {
+    /// Unary `+` (identity).
+    Plus,
+    /// Unary `-` (negation).
+    Minus,
+    /// `NOT` (boolean complement over 0/1).
+    Not,
+}
+
+/// A compile-time numeric expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstExpr {
+    /// A number literal.
+    Num(i64, Span),
+    /// A named constant or replication variable.
+    Name(Ident),
+    /// A call of a predefined constant function: `min(a;b)`, `odd(i+j)`.
+    /// The grammar separates arguments with `;` (§7 rule 14); we accept
+    /// `,` as well.
+    Call {
+        /// Function name.
+        name: Ident,
+        /// Arguments.
+        args: Vec<ConstExpr>,
+        /// Span of the whole call.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: ConstUnOp,
+        /// Operand.
+        expr: Box<ConstExpr>,
+        /// Span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: ConstBinOp,
+        /// Left operand.
+        lhs: Box<ConstExpr>,
+        /// Right operand.
+        rhs: Box<ConstExpr>,
+    },
+}
+
+impl ConstExpr {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            ConstExpr::Num(_, s) => *s,
+            ConstExpr::Name(i) => i.span,
+            ConstExpr::Call { span, .. } | ConstExpr::Unary { span, .. } => *span,
+            ConstExpr::Binary { lhs, rhs, .. } => lhs.span().to(rhs.span()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signals and expressions (§7 rules 36-45)
+// ---------------------------------------------------------------------------
+
+/// One selector step in a signal path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selector {
+    /// `[ConstExpression]`
+    Index(ConstExpr),
+    /// `[lo .. hi]`
+    Range(ConstExpr, ConstExpr),
+    /// `[NUM(signal)]` — dynamic index; elaborates to mux/demux hardware.
+    NumIndex(Box<SignalRef>, Span),
+    /// `.field`
+    Field(Ident),
+    /// `.first..last` — a range of record fields (§7 rule 39).
+    FieldRange(Ident, Ident),
+}
+
+/// `signal` without the `*` alternative: `ident {selector}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalRef {
+    /// The base identifier.
+    pub base: Ident,
+    /// Selector chain.
+    pub sels: Vec<Selector>,
+    /// Span of the whole reference.
+    pub span: Span,
+}
+
+/// `signal = ident{...} | "*"` — a possibly-empty signal reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal {
+    /// A real signal path.
+    Ref(SignalRef),
+    /// `*` — "empty signal" / no connection.
+    Star(Span),
+}
+
+impl Signal {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Signal::Ref(r) => r.span,
+            Signal::Star(s) => *s,
+        }
+    }
+}
+
+/// Run-time expressions (§7 rules 40-45).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A signal reference.
+    Sig(SignalRef),
+    /// A call of a (function) component: `XOR(a,b)`, `plus[n](a,b)`.
+    /// `type_args` holds the numeric parameters (written in brackets per
+    /// the prose of §3.2; the printer emits brackets).
+    Call {
+        /// Function component type name.
+        name: Ident,
+        /// Numeric type parameters.
+        type_args: Vec<ConstExpr>,
+        /// The argument expressions (the flattened actual parameters).
+        args: Vec<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `NOT expression` — prefix form of the NOT function component.
+    Not(Box<Expr>, Span),
+    /// `BIN(a, b)` — constant `a` as `b` boolean bits.
+    Bin(ConstExpr, ConstExpr, Span),
+    /// A signal constant, e.g. `(0,1,0)` cannot be distinguished from a
+    /// tuple expression at parse time; plain `0`/`1` literals land here.
+    Const(SigConst),
+    /// `*` optionally with a replication count: `* : n` stands for `n`
+    /// empty signals (§7 rule 44).
+    Star {
+        /// How many empty bit positions; `None` means "as many as needed".
+        count: Option<ConstExpr>,
+        /// Span.
+        span: Span,
+    },
+    /// `( e {, e} )` — tuple; parenthesization is insignificant for
+    /// parameter passing (§4.7) but preserved for printing.
+    Tuple(Vec<Expr>, Span),
+}
+
+impl Expr {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Sig(r) => r.span,
+            Expr::Call { span, .. }
+            | Expr::Not(_, span)
+            | Expr::Bin(_, _, span)
+            | Expr::Star { span, .. }
+            | Expr::Tuple(_, span) => *span,
+            Expr::Const(c) => c.span(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statements (§7 rules 33-60)
+// ---------------------------------------------------------------------------
+
+/// Which assignment operator a statement uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `:=` — signal definition.
+    Define,
+    /// `==` — aliasing (one signal, several names).
+    Alias,
+}
+
+/// A Zeus statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `signal (:= | ==) expression`
+    Assign {
+        /// Left-hand side (may be `*`).
+        lhs: Signal,
+        /// Operator.
+        op: AssignOp,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Span.
+        span: Span,
+    },
+    /// `signal [expression]` — connection statement.
+    Connection {
+        /// The instantiated component (or array of components).
+        target: SignalRef,
+        /// The actual-parameter expression, if any.
+        args: Option<Expr>,
+        /// Span.
+        span: Span,
+    },
+    /// `FOR i := a (TO|DOWNTO) b DO [SEQUENTIALLY] ... END`
+    For {
+        /// Replication variable.
+        var: Ident,
+        /// Start bound.
+        from: ConstExpr,
+        /// End bound.
+        to: ConstExpr,
+        /// `DOWNTO` instead of `TO`.
+        downto: bool,
+        /// `SEQUENTIALLY` marker (§4.5).
+        sequentially: bool,
+        /// Replicated statements.
+        body: Vec<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `WHEN c THEN ... {OTHERWISEWHEN c THEN ...} [OTHERWISE ...] END` —
+    /// compile-time conditional generation (§4.2).
+    WhenGen {
+        /// `(condition, statements)` arms in order.
+        arms: Vec<(ConstExpr, Vec<Stmt>)>,
+        /// `OTHERWISE` statements.
+        otherwise: Option<Vec<Stmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// `IF e THEN ... {ELSIF e THEN ...} [ELSE ...] END` — hardware switch.
+    If {
+        /// `(condition, statements)` arms in order.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// `ELSE` statements.
+        els: Option<Vec<Stmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// `RESULT expression` — value of a function component.
+    Result(Expr, Span),
+    /// `PARALLEL ... END`
+    Parallel(Vec<Stmt>, Span),
+    /// `SEQUENTIAL ... END`
+    Sequential(Vec<Stmt>, Span),
+    /// `WITH signal DO ... END`
+    With {
+        /// The qualifying signal (must be written out completely, §4.6).
+        signal: SignalRef,
+        /// Statements with the qualification opened.
+        body: Vec<Stmt>,
+        /// Span.
+        span: Span,
+    },
+    /// The empty statement (grammar rule 35 allows it).
+    Empty(Span),
+}
+
+impl Stmt {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Connection { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::WhenGen { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Result(_, span)
+            | Stmt::Parallel(_, span)
+            | Stmt::Sequential(_, span)
+            | Stmt::With { span, .. }
+            | Stmt::Empty(span) => *span,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout language (§6)
+// ---------------------------------------------------------------------------
+
+/// Which edge of a component a boundary statement names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// `TOP`
+    Top,
+    /// `RIGHT`
+    Right,
+    /// `BOTTOM`
+    Bottom,
+    /// `LEFT`
+    Left,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Top => write!(f, "TOP"),
+            Side::Right => write!(f, "RIGHT"),
+            Side::Bottom => write!(f, "BOTTOM"),
+            Side::Left => write!(f, "LEFT"),
+        }
+    }
+}
+
+/// A layout-language statement (§6, layout grammar of §7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutStmt {
+    /// `basic = [orientationchange] signal ["=" type]`.
+    ///
+    /// The `= type` form is the *replacement* of a `virtual` signal
+    /// (§6.4); the orientation change is one of the dihedral-group
+    /// elements, e.g. `flip90 s[3]`.
+    Basic {
+        /// Optional orientation change identifier.
+        orientation: Option<Ident>,
+        /// The placed (or replaced) signal.
+        signal: SignalRef,
+        /// Replacement type for virtual signals.
+        replace: Option<Type>,
+        /// Span.
+        span: Span,
+    },
+    /// `ORDER direction ... END`.
+    Order {
+        /// Direction of separation, e.g. `lefttoright`.
+        direction: Ident,
+        /// Ordered layout statements.
+        body: Vec<LayoutStmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `FOR i := a (TO|DOWNTO) b DO ... END` in layout context.
+    For {
+        /// Replication variable.
+        var: Ident,
+        /// Start bound.
+        from: ConstExpr,
+        /// End bound.
+        to: ConstExpr,
+        /// `DOWNTO` instead of `TO`.
+        downto: bool,
+        /// Replicated layout statements.
+        body: Vec<LayoutStmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `TOP|RIGHT|BOTTOM|LEFT layoutStatementList` — pin placement.
+    Boundary {
+        /// The named edge.
+        side: Side,
+        /// The pins (signals) placed on that edge, in order.
+        body: Vec<LayoutStmt>,
+        /// Span.
+        span: Span,
+    },
+    /// `WHEN c THEN ... {OTHERWISEWHEN ...} [OTHERWISE ...] END`.
+    WhenGen {
+        /// Arms.
+        arms: Vec<(ConstExpr, Vec<LayoutStmt>)>,
+        /// Otherwise branch.
+        otherwise: Option<Vec<LayoutStmt>>,
+        /// Span.
+        span: Span,
+    },
+    /// `WITH signal DO ... END`.
+    With {
+        /// Qualifying signal.
+        signal: SignalRef,
+        /// Body.
+        body: Vec<LayoutStmt>,
+        /// Span.
+        span: Span,
+    },
+}
+
+impl LayoutStmt {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            LayoutStmt::Basic { span, .. }
+            | LayoutStmt::Order { span, .. }
+            | LayoutStmt::For { span, .. }
+            | LayoutStmt::Boundary { span, .. }
+            | LayoutStmt::WhenGen { span, .. }
+            | LayoutStmt::With { span, .. } => *span,
+        }
+    }
+}
+
+/// The eight directions of separation (§6/§7).
+pub const DIRECTIONS: &[&str] = &[
+    "toptobottom",
+    "bottomtotop",
+    "lefttoright",
+    "righttoleft",
+    "toplefttobottomright",
+    "bottomrighttotopleft",
+    "toprighttobottomleft",
+    "bottomlefttotopright",
+];
+
+/// The seven orientation changes (all of the dihedral group D4 except the
+/// identity, §6.3).
+pub const ORIENTATIONS: &[&str] = &[
+    "rotate90",
+    "rotate180",
+    "rotate270",
+    "flip0",
+    "flip45",
+    "flip90",
+    "flip135",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(Mode::In.to_string(), "IN");
+        assert_eq!(Mode::Out.to_string(), "OUT");
+        assert_eq!(Mode::InOut.to_string(), "INOUT");
+    }
+
+    #[test]
+    fn const_expr_span_composition() {
+        let lhs = ConstExpr::Num(1, Span::new(0, 1));
+        let rhs = ConstExpr::Num(2, Span::new(4, 5));
+        let e = ConstExpr::Binary {
+            op: ConstBinOp::Add,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        };
+        assert_eq!(e.span(), Span::new(0, 5));
+    }
+
+    #[test]
+    fn direction_and_orientation_tables() {
+        assert_eq!(DIRECTIONS.len(), 8);
+        assert_eq!(ORIENTATIONS.len(), 7);
+        assert!(DIRECTIONS.contains(&"toptobottom"));
+        assert!(ORIENTATIONS.contains(&"flip135"));
+    }
+
+    #[test]
+    fn binop_text_round_trip() {
+        for op in [
+            ConstBinOp::Add,
+            ConstBinOp::Sub,
+            ConstBinOp::Or,
+            ConstBinOp::Mul,
+            ConstBinOp::Div,
+            ConstBinOp::Mod,
+            ConstBinOp::And,
+            ConstBinOp::Eq,
+            ConstBinOp::Ne,
+            ConstBinOp::Lt,
+            ConstBinOp::Le,
+            ConstBinOp::Gt,
+            ConstBinOp::Ge,
+        ] {
+            assert!(!op.text().is_empty());
+        }
+    }
+}

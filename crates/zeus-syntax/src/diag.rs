@@ -1,0 +1,234 @@
+//! Diagnostics shared by the whole toolchain.
+//!
+//! All phases (lexing, parsing, semantic analysis, elaboration, simulation)
+//! report problems as [`Diagnostic`] values carrying a [`Span`] and a
+//! severity, so a driver can render them uniformly against the source text.
+
+use crate::span::{SourceMap, Span};
+use std::error::Error;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advice that does not affect the result.
+    Note,
+    /// Suspicious but legal construct (e.g. the multiplex "abuse" of §4.7).
+    Warning,
+    /// A rule violation; compilation cannot produce a valid design.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single problem report with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity of the report.
+    pub severity: Severity,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable message, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with a line/column prefix resolved via `map`.
+    pub fn render(&self, map: &SourceMap) -> String {
+        format!(
+            "{}: {}: {}",
+            map.line_col(self.span.start),
+            self.severity,
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (at {})", self.severity, self.message, self.span)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// A collection of diagnostics accumulated by a phase.
+///
+/// Phases push into a `DiagSink` and return `Result<T, Diagnostics>` so a
+/// single run can report many independent problems.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Convenience: push an error.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(span, message));
+    }
+
+    /// Convenience: push a warning.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(span, message));
+    }
+
+    /// True if any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics of all severities.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// True when no diagnostics were reported.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Iterates over the diagnostics in emission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Merges another collection into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Renders all diagnostics, one per line, against `map`.
+    pub fn render(&self, map: &SourceMap) -> String {
+        self.diags
+            .iter()
+            .map(|d| d.render(map))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostics {}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics { diags: vec![d] }
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.diags.iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Self {
+        Diagnostics {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn sink_tracks_errors() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_empty());
+        ds.warning(Span::new(0, 1), "odd but legal");
+        assert!(!ds.has_errors());
+        ds.error(Span::new(1, 2), "boom");
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn render_with_source_map() {
+        let map = SourceMap::new("abc\ndef");
+        let d = Diagnostic::error(Span::new(5, 6), "bad token");
+        assert_eq!(d.render(&map), "2:2: error: bad token");
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        let d = Diagnostic::note(Span::new(0, 0), "hi");
+        assert!(!format!("{d}").is_empty());
+        let ds: Diagnostics = std::iter::once(d).collect();
+        assert!(!format!("{ds}").is_empty());
+    }
+}

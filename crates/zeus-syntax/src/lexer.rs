@@ -1,0 +1,438 @@
+//! The Zeus lexer.
+//!
+//! Implements the vocabulary of paper §2: identifiers, numbers with an
+//! optional octal suffix `B`/`b`, the special symbols, and `<* ... *>`
+//! comments (which nest, so commented-out code containing comments works).
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Converts Zeus source text into a token stream.
+///
+/// # Errors
+///
+/// Returns the accumulated [`Diagnostics`] if the source contains characters
+/// outside the vocabulary, an unterminated comment, or a malformed number.
+/// Lexing continues past recoverable errors so several problems can be
+/// reported at once.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostics> {
+    let mut lx = Lexer::new(src);
+    lx.run();
+    if lx.diags.has_errors() {
+        Err(lx.diags)
+    } else {
+        Ok(lx.tokens)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize) {
+        self.tokens
+            .push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.emit(TokenKind::Eof, start);
+                return;
+            };
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' => self.ident(start),
+                b'0'..=b'9' => self.number(start),
+                b'+' => {
+                    self.bump();
+                    self.emit(TokenKind::Plus, start);
+                }
+                b'-' => {
+                    self.bump();
+                    self.emit(TokenKind::Minus, start);
+                }
+                b'(' => {
+                    self.bump();
+                    self.emit(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.bump();
+                    self.emit(TokenKind::RParen, start);
+                }
+                b'[' => {
+                    self.bump();
+                    self.emit(TokenKind::LBracket, start);
+                }
+                b']' => {
+                    self.bump();
+                    self.emit(TokenKind::RBracket, start);
+                }
+                b'{' => {
+                    self.bump();
+                    self.emit(TokenKind::LBrace, start);
+                }
+                b'}' => {
+                    self.bump();
+                    self.emit(TokenKind::RBrace, start);
+                }
+                b',' => {
+                    self.bump();
+                    self.emit(TokenKind::Comma, start);
+                }
+                b';' => {
+                    self.bump();
+                    self.emit(TokenKind::Semicolon, start);
+                }
+                b'*' => {
+                    self.bump();
+                    self.emit(TokenKind::Star, start);
+                }
+                b'.' => {
+                    self.bump();
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        self.emit(TokenKind::DotDot, start);
+                    } else {
+                        self.emit(TokenKind::Dot, start);
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.emit(TokenKind::Assign, start);
+                    } else {
+                        self.emit(TokenKind::Colon, start);
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.emit(TokenKind::Alias, start);
+                    } else {
+                        self.emit(TokenKind::Eq, start);
+                    }
+                }
+                b'<' => {
+                    // `<*` comments are consumed in skip_trivia; here `<`
+                    // can only begin `<=`, `<>` or plain `<`.
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            self.emit(TokenKind::Le, start);
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            self.emit(TokenKind::Ne, start);
+                        }
+                        _ => self.emit(TokenKind::Lt, start),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.emit(TokenKind::Ge, start);
+                    } else {
+                        self.emit(TokenKind::Gt, start);
+                    }
+                }
+                other => {
+                    self.bump();
+                    self.diags.push(Diagnostic::error(
+                        Span::new(start as u32, self.pos as u32),
+                        format!(
+                            "character '{}' is not in the Zeus vocabulary",
+                            other as char
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Skips whitespace and (nested) `<* ... *>` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'<') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.peek() {
+                            None => {
+                                self.diags.push(Diagnostic::error(
+                                    Span::new(start as u32, self.pos as u32),
+                                    "unterminated comment",
+                                ));
+                                return;
+                            }
+                            Some(b'<') if self.peek2() == Some(b'*') => {
+                                self.pos += 2;
+                                depth += 1;
+                            }
+                            Some(b'*') if self.peek2() == Some(b'>') => {
+                                self.pos += 2;
+                                depth -= 1;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match TokenKind::keyword(text) {
+            Some(kw) => self.emit(kw, start),
+            None => self.emit(TokenKind::Ident(text.to_string()), start),
+        }
+    }
+
+    /// `number = digit {digit} ["B"|"b"]` — the suffix marks octal (§2).
+    ///
+    /// A digit run followed by a letter other than the octal suffix is a
+    /// malformed number (identifiers must start with a letter, so `12ab`
+    /// cannot be re-tokenized).
+    fn number(&mut self, start: usize) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let digits_end = self.pos;
+        let mut octal = false;
+        if let Some(c) = self.peek() {
+            if c == b'B' || c == b'b' {
+                // Octal suffix only if not followed by more ident chars
+                // (so `10b` is octal 8 but `10bits` is an error).
+                if !self
+                    .peek2()
+                    .map(|n| n.is_ascii_alphanumeric())
+                    .unwrap_or(false)
+                {
+                    self.bump();
+                    octal = true;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..digits_end]).expect("ascii digits");
+        let radix = if octal { 8 } else { 10 };
+        let value = i64::from_str_radix(text, radix);
+        match value {
+            Ok(v) => self.emit(TokenKind::Number(v), start),
+            Err(_) => {
+                let span = Span::new(start as u32, self.pos as u32);
+                self.diags.push(Diagnostic::error(
+                    span,
+                    if octal && text.bytes().any(|d| d >= b'8') {
+                        format!("'{text}' contains digits not valid in an octal number")
+                    } else {
+                        format!("number '{text}' is out of range")
+                    },
+                ));
+                self.emit(TokenKind::Number(0), start);
+            }
+        }
+        // Trailing alphanumerics right after a number are malformed.
+        if self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric())
+            .unwrap_or(false)
+        {
+            let tail_start = self.pos;
+            while self
+                .peek()
+                .map(|c| c.is_ascii_alphanumeric())
+                .unwrap_or(false)
+            {
+                self.bump();
+            }
+            self.diags.push(Diagnostic::error(
+                Span::new(tail_start as u32, self.pos as u32),
+                "identifier characters may not follow a number",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![Eof]);
+        assert_eq!(kinds("   \n\t"), vec![Eof]);
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(
+            kinds("+ - ( ) [ ] . , ; : < <= > >= := == .. * = <> { }"),
+            vec![
+                Plus, Minus, LParen, RParen, LBracket, RBracket, Dot, Comma, Semicolon, Colon,
+                Lt, Le, Gt, Ge, Assign, Alias, DotDot, Star, Eq, Ne, LBrace, RBrace, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_symbols_without_spaces() {
+        assert_eq!(kinds("a:=b"), vec![ident("a"), Assign, ident("b"), Eof]);
+        assert_eq!(kinds("a==b"), vec![ident("a"), Alias, ident("b"), Eof]);
+        assert_eq!(
+            kinds("1..4"),
+            vec![Number(1), DotDot, Number(4), Eof]
+        );
+    }
+
+    fn ident(s: &str) -> TokenKind {
+        Ident(s.to_string())
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("IF score THEN END"),
+            vec![KwIf, ident("score"), KwThen, KwEnd, Eof]
+        );
+        // Lower-case reserved-looking words are plain identifiers.
+        assert_eq!(kinds("if then"), vec![ident("if"), ident("then"), Eof]);
+        // Mixed-case is an identifier too.
+        assert_eq!(kinds("If"), vec![ident("If"), Eof]);
+    }
+
+    #[test]
+    fn identifiers_with_digits() {
+        assert_eq!(kinds("h1 bo5 x2y"), vec![ident("h1"), ident("bo5"), ident("x2y"), Eof]);
+    }
+
+    #[test]
+    fn decimal_and_octal_numbers() {
+        assert_eq!(kinds("0 7 22 1023"), vec![Number(0), Number(7), Number(22), Number(1023), Eof]);
+        assert_eq!(kinds("10B"), vec![Number(8), Eof]);
+        assert_eq!(kinds("17b"), vec![Number(15), Eof]);
+        assert_eq!(kinds("777B"), vec![Number(511), Eof]);
+    }
+
+    #[test]
+    fn bad_octal_digit_is_error() {
+        assert!(lex("19B").is_err());
+    }
+
+    #[test]
+    fn number_followed_by_letters_is_error() {
+        assert!(lex("12ab").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a <* hi there *> b"), vec![ident("a"), ident("b"), Eof]);
+        assert_eq!(kinds("<* leading *> x"), vec![ident("x"), Eof]);
+    }
+
+    #[test]
+    fn comments_nest() {
+        assert_eq!(
+            kinds("a <* outer <* inner *> still out *> b"),
+            vec![ident("a"), ident("b"), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("a <* oops").is_err());
+    }
+
+    #[test]
+    fn comment_containing_symbols() {
+        // `<*the * indicates that no connection is made*>` from the paper.
+        assert_eq!(
+            kinds("h2; <*the * indicates that no connection is made*> x"),
+            vec![ident("h2"), Semicolon, ident("x"), Eof]
+        );
+    }
+
+    #[test]
+    fn invalid_character_reports_error() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab :=").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn paper_fragment_lexes() {
+        let src = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS\n\
+                   BEGIN s := XOR(a,b); cout := AND(a,b) END;";
+        let toks = lex(src).unwrap();
+        assert!(toks.len() > 20);
+        assert_eq!(toks.last().unwrap().kind, Eof);
+    }
+}

@@ -1,0 +1,1504 @@
+//! Recursive-descent parser for the Zeus grammar of paper §7.
+//!
+//! The parser covers the main grammar (rules 1-63) and the layout-language
+//! grammar. Deviations from the (typo-ridden) printed EBNF are documented in
+//! `DESIGN.md`; the important disambiguation decisions are:
+//!
+//! * In expression position, `ident (...)` is a function-component call and
+//!   `ident [c1,..] (...)` is a call with numeric type parameters (the prose
+//!   of §3.2 writes `plus[n](a,b)`).
+//! * In statement position, `signal (expr)` is a connection statement.
+//! * `ARRAY[a..b, c..d] OF t` is accepted as sugar for nested arrays, and
+//!   `m[i,j]` as sugar for `m[i][j]` (used by the chessboard example).
+//! * A `BOUNDARY` layout list contains only basic items (pins).
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete Zeus program.
+///
+/// # Errors
+///
+/// Returns all lexical and syntactic diagnostics accumulated; parsing stops
+/// at the first syntax error (recovery in a `;`-separated, keyword-rich
+/// grammar adds little value for a compiler used programmatically).
+pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let prog = p.program();
+    match prog {
+        Ok(prog) if !p.diags.has_errors() => Ok(prog),
+        Ok(_) => Err(p.diags),
+        Err(d) => {
+            p.diags.push(d);
+            Err(p.diags)
+        }
+    }
+}
+
+/// Parses a single expression (useful for tests and tools).
+///
+/// # Errors
+///
+/// Returns diagnostics when the text is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    match p.expression().and_then(|e| {
+        p.expect(&TokenKind::Eof)?;
+        Ok(e)
+    }) {
+        Ok(e) => Ok(e),
+        Err(d) => {
+            p.diags.push(d);
+            Err(p.diags)
+        }
+    }
+}
+
+/// Parses a single constant expression.
+///
+/// # Errors
+///
+/// Returns diagnostics when the text is not exactly one constant expression.
+pub fn parse_const_expr(src: &str) -> Result<ConstExpr, Diagnostics> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    match p.const_expr().and_then(|e| {
+        p.expect(&TokenKind::Eof)?;
+        Ok(e)
+    }) {
+        Ok(e) => Ok(e),
+        Err(d) => {
+            p.diags.push(d);
+            Err(p.diags)
+        }
+    }
+}
+
+type PResult<T> = Result<T, Diagnostic>;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Diagnostics,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> PResult<Token> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::error(
+                self.span(),
+                format!("expected '{}' but found '{}'", kind.text(), self.peek().text()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<Ident> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok(Ident::new(name, t.span))
+            }
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!("expected an identifier but found '{}'", other.text()),
+            )),
+        }
+    }
+
+    // -- program & declarations ------------------------------------------
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut decls = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            decls.push(self.declaration()?);
+        }
+        Ok(Program { decls })
+    }
+
+    fn declaration(&mut self) -> PResult<Decl> {
+        match self.peek() {
+            TokenKind::KwConst => self.const_decl(),
+            TokenKind::KwType => self.type_decl(),
+            TokenKind::KwSignal => self.signal_decl(),
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!(
+                    "expected CONST, TYPE or SIGNAL but found '{}'",
+                    other.text()
+                ),
+            )),
+        }
+    }
+
+    fn const_decl(&mut self) -> PResult<Decl> {
+        self.expect(&TokenKind::KwConst)?;
+        let mut defs = Vec::new();
+        while let TokenKind::Ident(_) = self.peek() {
+            let name = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let value = self.constant()?;
+            self.expect(&TokenKind::Semicolon)?;
+            defs.push(ConstDef { name, value });
+        }
+        Ok(Decl::Const(defs))
+    }
+
+    /// `constant = ConstExpression | sigConstExpression`.
+    ///
+    /// A leading `(` or `BIN` or a bare `0`/`1` not followed by an operator
+    /// means a signal constant; everything else is numeric.
+    fn constant(&mut self) -> PResult<Constant> {
+        match self.peek() {
+            TokenKind::LParen => Ok(Constant::Sig(self.sig_const()?)),
+            TokenKind::KwBin => Ok(Constant::Sig(self.sig_const()?)),
+            _ => Ok(Constant::Num(self.const_expr()?)),
+        }
+    }
+
+    fn sig_const(&mut self) -> PResult<SigConst> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                let start = self.bump().span;
+                let mut items = vec![self.sig_const()?];
+                while self.eat(&TokenKind::Comma) {
+                    items.push(self.sig_const()?);
+                }
+                let end = self.expect(&TokenKind::RParen)?.span;
+                Ok(SigConst::Tuple(items, start.to(end)))
+            }
+            TokenKind::KwBin => {
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen)?;
+                let a = self.const_expr()?;
+                self.expect(&TokenKind::Comma)?;
+                let b = self.const_expr()?;
+                let end = self.expect(&TokenKind::RParen)?.span;
+                Ok(SigConst::Bin(a, b, start.to(end)))
+            }
+            TokenKind::Number(0) => {
+                let t = self.bump();
+                Ok(SigConst::Value(SigValue::Zero(t.span)))
+            }
+            TokenKind::Number(1) => {
+                let t = self.bump();
+                Ok(SigConst::Value(SigValue::One(t.span)))
+            }
+            TokenKind::Ident(_) => {
+                let id = self.ident()?;
+                Ok(SigConst::Value(SigValue::Name(id)))
+            }
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!(
+                    "expected a signal constant (0, 1, name, tuple or BIN) but found '{}'",
+                    other.text()
+                ),
+            )),
+        }
+    }
+
+    fn type_decl(&mut self) -> PResult<Decl> {
+        self.expect(&TokenKind::KwType)?;
+        let mut defs = Vec::new();
+        while let TokenKind::Ident(_) = self.peek() {
+            let name = self.ident()?;
+            let mut params = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                params.push(self.ident()?);
+                while self.eat(&TokenKind::Comma) {
+                    params.push(self.ident()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            self.expect(&TokenKind::Eq)?;
+            let ty = self.ty()?;
+            self.expect(&TokenKind::Semicolon)?;
+            defs.push(TypeDef { name, params, ty });
+        }
+        Ok(Decl::Type(defs))
+    }
+
+    fn signal_decl(&mut self) -> PResult<Decl> {
+        self.expect(&TokenKind::KwSignal)?;
+        let mut defs = Vec::new();
+        while let TokenKind::Ident(_) = self.peek() {
+            let mut names = vec![self.ident()?];
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.ident()?);
+            }
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.ty()?;
+            self.expect(&TokenKind::Semicolon)?;
+            defs.push(SignalDef { names, ty });
+        }
+        Ok(Decl::Signal(defs))
+    }
+
+    // -- types -------------------------------------------------------------
+
+    fn ty(&mut self) -> PResult<Type> {
+        match self.peek() {
+            TokenKind::KwArray => self.array_type(),
+            TokenKind::KwComponent => self.component_type(),
+            TokenKind::Ident(_) => {
+                let name = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat(&TokenKind::LParen) {
+                    args.push(self.const_expr()?);
+                    while self.eat(&TokenKind::Comma) {
+                        args.push(self.const_expr()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                Ok(Type::Named { name, args })
+            }
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!(
+                    "expected ARRAY, COMPONENT or a type name but found '{}'",
+                    other.text()
+                ),
+            )),
+        }
+    }
+
+    /// `ARRAY [a..b {, c..d}] OF type` — comma-separated dimensions are
+    /// sugar for nested arrays.
+    fn array_type(&mut self) -> PResult<Type> {
+        let start = self.expect(&TokenKind::KwArray)?.span;
+        self.expect(&TokenKind::LBracket)?;
+        let mut dims = Vec::new();
+        loop {
+            let lo = self.const_expr()?;
+            self.expect(&TokenKind::DotDot)?;
+            let hi = self.const_expr()?;
+            dims.push((lo, hi));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::KwOf)?;
+        let elem = self.ty()?;
+        let span = start.to(elem.span());
+        let mut ty = elem;
+        for (lo, hi) in dims.into_iter().rev() {
+            ty = Type::Array {
+                lo,
+                hi,
+                elem: Box::new(ty),
+                span,
+            };
+        }
+        Ok(ty)
+    }
+
+    fn component_type(&mut self) -> PResult<Type> {
+        let start = self.expect(&TokenKind::KwComponent)?.span;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            params.push(self.fparams()?);
+            while self.eat(&TokenKind::Semicolon) {
+                params.push(self.fparams()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let mut header_layout = Vec::new();
+        if self.eat(&TokenKind::LBrace) {
+            header_layout = self.layout_list()?;
+            self.expect(&TokenKind::RBrace)?;
+        }
+        let mut result = None;
+        if self.eat(&TokenKind::Colon) {
+            result = Some(self.ty()?);
+        }
+        let mut body = None;
+        let mut end = self.prev_span();
+        if self.eat(&TokenKind::KwIs) {
+            let mut uses = None;
+            if self.eat(&TokenKind::KwUses) {
+                let mut list = Vec::new();
+                if let TokenKind::Ident(_) = self.peek() {
+                    list.push(self.ident()?);
+                    while self.eat(&TokenKind::Comma) {
+                        list.push(self.ident()?);
+                    }
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                uses = Some(list);
+            }
+            let mut decls = Vec::new();
+            while matches!(
+                self.peek(),
+                TokenKind::KwConst | TokenKind::KwType | TokenKind::KwSignal
+            ) {
+                decls.push(self.declaration()?);
+            }
+            let mut layout = Vec::new();
+            if self.eat(&TokenKind::LBrace) {
+                layout = self.layout_list()?;
+                self.expect(&TokenKind::RBrace)?;
+            }
+            self.expect(&TokenKind::KwBegin)?;
+            let stmts = self.stmt_list()?;
+            end = self.expect(&TokenKind::KwEnd)?.span;
+            body = Some(ComponentBody {
+                uses,
+                decls,
+                layout,
+                stmts,
+            });
+        }
+        Ok(Type::Component(Box::new(ComponentType {
+            params,
+            header_layout,
+            result,
+            body,
+            span: start.to(end),
+        })))
+    }
+
+    fn fparams(&mut self) -> PResult<FParams> {
+        let mode = if self.eat(&TokenKind::KwIn) {
+            Mode::In
+        } else if self.eat(&TokenKind::KwOut) {
+            Mode::Out
+        } else {
+            Mode::InOut
+        };
+        let mut names = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.ident()?);
+        }
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        Ok(FParams { mode, names, ty })
+    }
+
+    // -- constant expressions ----------------------------------------------
+
+    fn const_expr(&mut self) -> PResult<ConstExpr> {
+        let lhs = self.simple_const_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(ConstBinOp::Eq),
+            TokenKind::Ne => Some(ConstBinOp::Ne),
+            TokenKind::Lt => Some(ConstBinOp::Lt),
+            TokenKind::Le => Some(ConstBinOp::Le),
+            TokenKind::Gt => Some(ConstBinOp::Gt),
+            TokenKind::Ge => Some(ConstBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.simple_const_expr()?;
+            Ok(ConstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn simple_const_expr(&mut self) -> PResult<ConstExpr> {
+        let start = self.span();
+        let neg = if self.eat(&TokenKind::Minus) {
+            true
+        } else {
+            self.eat(&TokenKind::Plus);
+            false
+        };
+        let mut lhs = self.const_term()?;
+        if neg {
+            let span = start.to(lhs.span());
+            lhs = ConstExpr::Unary {
+                op: ConstUnOp::Minus,
+                expr: Box::new(lhs),
+                span,
+            };
+        }
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => ConstBinOp::Add,
+                TokenKind::Minus => ConstBinOp::Sub,
+                TokenKind::KwOr => ConstBinOp::Or,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.const_term()?;
+            lhs = ConstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn const_term(&mut self) -> PResult<ConstExpr> {
+        let mut lhs = self.const_factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => ConstBinOp::Mul,
+                TokenKind::KwDiv => ConstBinOp::Div,
+                TokenKind::KwMod => ConstBinOp::Mod,
+                TokenKind::KwAnd => ConstBinOp::And,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.const_factor()?;
+            lhs = ConstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn const_factor(&mut self) -> PResult<ConstExpr> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                let t = self.bump();
+                Ok(ConstExpr::Num(n, t.span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.const_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::KwNot => {
+                let start = self.bump().span;
+                let e = self.const_factor()?;
+                let span = start.to(e.span());
+                Ok(ConstExpr::Unary {
+                    op: ConstUnOp::Not,
+                    expr: Box::new(e),
+                    span,
+                })
+            }
+            TokenKind::Ident(_) => {
+                let name = self.ident()?;
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = vec![self.const_expr()?];
+                    // Grammar separates arguments with ';'; we accept ','.
+                    while self.eat(&TokenKind::Semicolon) || self.eat(&TokenKind::Comma) {
+                        args.push(self.const_expr()?);
+                    }
+                    let end = self.expect(&TokenKind::RParen)?.span;
+                    let span = name.span.to(end);
+                    Ok(ConstExpr::Call { name, args, span })
+                } else {
+                    Ok(ConstExpr::Name(name))
+                }
+            }
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!(
+                    "expected a constant expression but found '{}'",
+                    other.text()
+                ),
+            )),
+        }
+    }
+
+    // -- signals -------------------------------------------------------------
+
+    /// Parses `ident { selectors }`; `base` has already been consumed.
+    fn signal_ref_after(&mut self, base: Ident) -> PResult<SignalRef> {
+        let mut sels = Vec::new();
+        let start = base.span;
+        loop {
+            if self.eat(&TokenKind::LBracket) {
+                loop {
+                    if self.at(&TokenKind::KwNum) {
+                        let nstart = self.bump().span;
+                        self.expect(&TokenKind::LParen)?;
+                        let inner = self.signal_ref()?;
+                        self.expect(&TokenKind::RParen)?;
+                        let span = nstart.to(self.prev_span());
+                        sels.push(Selector::NumIndex(Box::new(inner), span));
+                    } else {
+                        let lo = self.const_expr()?;
+                        if self.eat(&TokenKind::DotDot) {
+                            let hi = self.const_expr()?;
+                            sels.push(Selector::Range(lo, hi));
+                        } else {
+                            sels.push(Selector::Index(lo));
+                        }
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBracket)?;
+            } else if self.at(&TokenKind::Dot) {
+                self.bump();
+                let field = self.ident()?;
+                if self.eat(&TokenKind::DotDot) {
+                    let last = self.ident()?;
+                    sels.push(Selector::FieldRange(field, last));
+                } else {
+                    sels.push(Selector::Field(field));
+                }
+            } else {
+                break;
+            }
+        }
+        let span = start.to(self.prev_span());
+        Ok(SignalRef { base, sels, span })
+    }
+
+    fn signal_ref(&mut self) -> PResult<SignalRef> {
+        let base = self.signal_base()?;
+        self.signal_ref_after(base)
+    }
+
+    /// A signal base identifier; the predefined CLK and RSET are keywords
+    /// in the token stream but ordinary signals semantically.
+    fn signal_base(&mut self) -> PResult<Ident> {
+        match self.peek() {
+            TokenKind::KwClk => {
+                let t = self.bump();
+                Ok(Ident::new("CLK", t.span))
+            }
+            TokenKind::KwRset => {
+                let t = self.bump();
+                Ok(Ident::new("RSET", t.span))
+            }
+            _ => self.ident(),
+        }
+    }
+
+    // -- expressions -----------------------------------------------------------
+
+    fn expression(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Star => {
+                let start = self.bump().span;
+                let mut count = None;
+                if self.eat(&TokenKind::Colon) {
+                    count = Some(self.const_expr()?);
+                }
+                let span = start.to(self.prev_span());
+                Ok(Expr::Star { count, span })
+            }
+            TokenKind::LParen => {
+                let start = self.bump().span;
+                let mut items = vec![self.expression()?];
+                while self.eat(&TokenKind::Comma) {
+                    items.push(self.expression()?);
+                }
+                let end = self.expect(&TokenKind::RParen)?.span;
+                Ok(Expr::Tuple(items, start.to(end)))
+            }
+            TokenKind::KwNot => {
+                let start = self.bump().span;
+                let e = self.expression()?;
+                let span = start.to(e.span());
+                Ok(Expr::Not(Box::new(e), span))
+            }
+            TokenKind::KwBin => {
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen)?;
+                let a = self.const_expr()?;
+                self.expect(&TokenKind::Comma)?;
+                let b = self.const_expr()?;
+                let end = self.expect(&TokenKind::RParen)?.span;
+                Ok(Expr::Bin(a, b, start.to(end)))
+            }
+            // The gate keywords AND/OR are callable in expressions.
+            TokenKind::KwAnd | TokenKind::KwOr => {
+                let name = match self.peek() {
+                    TokenKind::KwAnd => "AND",
+                    _ => "OR",
+                };
+                let t = self.bump();
+                let ident = Ident::new(name, t.span);
+                self.finish_call(ident, Vec::new())
+            }
+            TokenKind::KwClk | TokenKind::KwRset => {
+                let r = self.signal_ref()?;
+                Ok(Expr::Sig(r))
+            }
+            TokenKind::Number(n) => {
+                let t = self.bump();
+                match n {
+                    0 => Ok(Expr::Const(SigConst::Value(SigValue::Zero(t.span)))),
+                    1 => Ok(Expr::Const(SigConst::Value(SigValue::One(t.span)))),
+                    _ => Err(Diagnostic::error(
+                        t.span,
+                        "a number in an expression must be the signal value 0 or 1 (use BIN for wider constants)",
+                    )),
+                }
+            }
+            TokenKind::Ident(_) => {
+                let base = self.ident()?;
+                // `ident(` is a call; `ident[c1,..](` is a call with type
+                // parameters; anything else is a signal reference.
+                if self.at(&TokenKind::LParen) {
+                    return self.finish_call(base, Vec::new());
+                }
+                if self.at(&TokenKind::LBracket) && self.is_call_with_type_args() {
+                    self.bump(); // '['
+                    let mut type_args = vec![self.const_expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        type_args.push(self.const_expr()?);
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    return self.finish_call(base, type_args);
+                }
+                let r = self.signal_ref_after(base)?;
+                Ok(Expr::Sig(r))
+            }
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!("expected an expression but found '{}'", other.text()),
+            )),
+        }
+    }
+
+    /// Lookahead: does `[ ... ] (` follow? Then the brackets are numeric
+    /// type parameters of a call, not an index selector.
+    fn is_call_with_type_args(&self) -> bool {
+        debug_assert!(self.at(&TokenKind::LBracket));
+        let mut depth = 0usize;
+        let mut i = 0usize;
+        loop {
+            match self.peek_at(i) {
+                TokenKind::LBracket => depth += 1,
+                TokenKind::RBracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.peek_at(i + 1) == &TokenKind::LParen;
+                    }
+                }
+                TokenKind::Eof => return false,
+                // Ranges and NUM can only be selectors.
+                TokenKind::DotDot | TokenKind::KwNum => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    fn finish_call(&mut self, name: Ident, type_args: Vec<ConstExpr>) -> PResult<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            args.push(self.expression()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expression()?);
+            }
+        }
+        let end = self.expect(&TokenKind::RParen)?.span;
+        let span = name.span.to(end);
+        Ok(Expr::Call {
+            name,
+            type_args,
+            args,
+            span,
+        })
+    }
+
+    // -- statements -----------------------------------------------------------
+
+    fn stmt_starts(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Ident(_)
+                | TokenKind::Star
+                | TokenKind::KwFor
+                | TokenKind::KwWhen
+                | TokenKind::KwIf
+                | TokenKind::KwResult
+                | TokenKind::KwParallel
+                | TokenKind::KwSequential
+                | TokenKind::KwWith
+                | TokenKind::KwClk
+                | TokenKind::KwRset
+        )
+    }
+
+    fn stmt_list(&mut self) -> PResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Semicolon) {
+                continue; // empty statement
+            }
+            if !self.stmt_starts() {
+                break;
+            }
+            stmts.push(self.statement()?);
+            if !self.at(&TokenKind::Semicolon) {
+                break;
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        match self.peek().clone() {
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwWhen => self.when_stmt(),
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwResult => {
+                let start = self.bump().span;
+                let e = self.expression()?;
+                let span = start.to(e.span());
+                Ok(Stmt::Result(e, span))
+            }
+            TokenKind::KwParallel => {
+                let start = self.bump().span;
+                let body = self.stmt_list()?;
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(Stmt::Parallel(body, start.to(end)))
+            }
+            TokenKind::KwSequential => {
+                let start = self.bump().span;
+                let body = self.stmt_list()?;
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(Stmt::Sequential(body, start.to(end)))
+            }
+            TokenKind::KwWith => {
+                let start = self.bump().span;
+                let signal = self.signal_ref()?;
+                self.expect(&TokenKind::KwDo)?;
+                let body = self.stmt_list()?;
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(Stmt::With {
+                    signal,
+                    body,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Star => {
+                let star = self.bump();
+                let lhs = Signal::Star(star.span);
+                let op = if self.eat(&TokenKind::Assign) {
+                    AssignOp::Define
+                } else if self.eat(&TokenKind::Alias) {
+                    AssignOp::Alias
+                } else {
+                    return Err(Diagnostic::error(
+                        self.span(),
+                        "'*' at statement level must be followed by ':=' or '=='",
+                    ));
+                };
+                let rhs = self.expression()?;
+                let span = star.span.to(rhs.span());
+                Ok(Stmt::Assign { lhs, op, rhs, span })
+            }
+            TokenKind::Ident(_) | TokenKind::KwClk | TokenKind::KwRset => {
+                let target = self.signal_ref()?;
+                if self.eat(&TokenKind::Assign) {
+                    let rhs = self.expression()?;
+                    let span = target.span.to(rhs.span());
+                    Ok(Stmt::Assign {
+                        lhs: Signal::Ref(target),
+                        op: AssignOp::Define,
+                        rhs,
+                        span,
+                    })
+                } else if self.eat(&TokenKind::Alias) {
+                    let rhs = self.expression()?;
+                    let span = target.span.to(rhs.span());
+                    Ok(Stmt::Assign {
+                        lhs: Signal::Ref(target),
+                        op: AssignOp::Alias,
+                        rhs,
+                        span,
+                    })
+                } else if self.at(&TokenKind::LParen) {
+                    let args = self.expression()?;
+                    let span = target.span.to(args.span());
+                    Ok(Stmt::Connection {
+                        target,
+                        args: Some(args),
+                        span,
+                    })
+                } else {
+                    let span = target.span;
+                    Ok(Stmt::Connection {
+                        target,
+                        args: None,
+                        span,
+                    })
+                }
+            }
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!("expected a statement but found '{}'", other.text()),
+            )),
+        }
+    }
+
+    fn for_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.expect(&TokenKind::KwFor)?.span;
+        let var = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let from = self.const_expr()?;
+        let downto = if self.eat(&TokenKind::KwTo) {
+            false
+        } else {
+            self.expect(&TokenKind::KwDownto)?;
+            true
+        };
+        let to = self.const_expr()?;
+        self.expect(&TokenKind::KwDo)?;
+        let sequentially = self.eat(&TokenKind::KwSequentially);
+        let body = self.stmt_list()?;
+        let end = self.expect(&TokenKind::KwEnd)?.span;
+        Ok(Stmt::For {
+            var,
+            from,
+            to,
+            downto,
+            sequentially,
+            body,
+            span: start.to(end),
+        })
+    }
+
+    fn when_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.expect(&TokenKind::KwWhen)?.span;
+        let mut arms = Vec::new();
+        let cond = self.const_expr()?;
+        self.expect(&TokenKind::KwThen)?;
+        arms.push((cond, self.stmt_list()?));
+        while self.eat(&TokenKind::KwOtherwisewhen) {
+            let cond = self.const_expr()?;
+            self.expect(&TokenKind::KwThen)?;
+            arms.push((cond, self.stmt_list()?));
+        }
+        let otherwise = if self.eat(&TokenKind::KwOtherwise) {
+            Some(self.stmt_list()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::KwEnd)?.span;
+        Ok(Stmt::WhenGen {
+            arms,
+            otherwise,
+            span: start.to(end),
+        })
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.expect(&TokenKind::KwIf)?.span;
+        let mut arms = Vec::new();
+        let cond = self.expression()?;
+        self.expect(&TokenKind::KwThen)?;
+        arms.push((cond, self.stmt_list()?));
+        while self.eat(&TokenKind::KwElsif) {
+            let cond = self.expression()?;
+            self.expect(&TokenKind::KwThen)?;
+            arms.push((cond, self.stmt_list()?));
+        }
+        let els = if self.eat(&TokenKind::KwElse) {
+            Some(self.stmt_list()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::KwEnd)?.span;
+        Ok(Stmt::If {
+            arms,
+            els,
+            span: start.to(end),
+        })
+    }
+
+    // -- layout language -------------------------------------------------------
+
+    fn layout_starts(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Ident(_)
+                | TokenKind::KwOrder
+                | TokenKind::KwFor
+                | TokenKind::KwWhen
+                | TokenKind::KwWith
+                | TokenKind::KwTop
+                | TokenKind::KwRight
+                | TokenKind::KwBottom
+                | TokenKind::KwLeft
+        )
+    }
+
+    fn layout_list(&mut self) -> PResult<Vec<LayoutStmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Semicolon) {
+                continue;
+            }
+            if !self.layout_starts() {
+                break;
+            }
+            stmts.push(self.layout_stmt()?);
+            if !self.at(&TokenKind::Semicolon) {
+                break;
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn layout_stmt(&mut self) -> PResult<LayoutStmt> {
+        match self.peek().clone() {
+            TokenKind::KwOrder => {
+                let start = self.bump().span;
+                let direction = self.ident()?;
+                if !DIRECTIONS.contains(&direction.name.as_str()) {
+                    return Err(Diagnostic::error(
+                        direction.span,
+                        format!("'{}' is not a direction of separation", direction.name),
+                    ));
+                }
+                let body = self.layout_list()?;
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(LayoutStmt::Order {
+                    direction,
+                    body,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::KwFor => {
+                let start = self.bump().span;
+                let var = self.ident()?;
+                // The layout grammar writes `i = 1 TO n` in examples and
+                // `":="` in the EBNF; accept both.
+                if !self.eat(&TokenKind::Assign) {
+                    self.expect(&TokenKind::Eq)?;
+                }
+                let from = self.const_expr()?;
+                let downto = if self.eat(&TokenKind::KwTo) {
+                    false
+                } else {
+                    self.expect(&TokenKind::KwDownto)?;
+                    true
+                };
+                let to = self.const_expr()?;
+                self.expect(&TokenKind::KwDo)?;
+                let body = self.layout_list()?;
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(LayoutStmt::For {
+                    var,
+                    from,
+                    to,
+                    downto,
+                    body,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::KwWhen => {
+                let start = self.bump().span;
+                let mut arms = Vec::new();
+                let cond = self.const_expr()?;
+                self.expect(&TokenKind::KwThen)?;
+                arms.push((cond, self.layout_list()?));
+                while self.eat(&TokenKind::KwOtherwisewhen) {
+                    let cond = self.const_expr()?;
+                    self.expect(&TokenKind::KwThen)?;
+                    arms.push((cond, self.layout_list()?));
+                }
+                let otherwise = if self.eat(&TokenKind::KwOtherwise) {
+                    Some(self.layout_list()?)
+                } else {
+                    None
+                };
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(LayoutStmt::WhenGen {
+                    arms,
+                    otherwise,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::KwWith => {
+                let start = self.bump().span;
+                let signal = self.signal_ref()?;
+                self.expect(&TokenKind::KwDo)?;
+                let body = self.layout_list()?;
+                let end = self.expect(&TokenKind::KwEnd)?.span;
+                Ok(LayoutStmt::With {
+                    signal,
+                    body,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::KwTop | TokenKind::KwRight | TokenKind::KwBottom | TokenKind::KwLeft => {
+                let side = match self.peek() {
+                    TokenKind::KwTop => Side::Top,
+                    TokenKind::KwRight => Side::Right,
+                    TokenKind::KwBottom => Side::Bottom,
+                    _ => Side::Left,
+                };
+                let start = self.bump().span;
+                // A boundary list contains only basic pin items.
+                let mut body = Vec::new();
+                loop {
+                    if self.eat(&TokenKind::Semicolon) {
+                        if matches!(self.peek(), TokenKind::Ident(_)) {
+                            body.push(self.layout_basic()?);
+                            continue;
+                        }
+                        break;
+                    }
+                    if matches!(self.peek(), TokenKind::Ident(_)) && body.is_empty() {
+                        body.push(self.layout_basic()?);
+                        continue;
+                    }
+                    break;
+                }
+                let span = start.to(self.prev_span());
+                Ok(LayoutStmt::Boundary { side, body, span })
+            }
+            TokenKind::Ident(_) => self.layout_basic(),
+            other => Err(Diagnostic::error(
+                self.span(),
+                format!("expected a layout statement but found '{}'", other.text()),
+            )),
+        }
+    }
+
+    fn layout_basic(&mut self) -> PResult<LayoutStmt> {
+        let first = self.ident()?;
+        let start = first.span;
+        // Orientation prefix: a known orientation name followed by an
+        // identifier is `orientationchange signal`.
+        let (orientation, signal) = if ORIENTATIONS.contains(&first.name.as_str())
+            && matches!(self.peek(), TokenKind::Ident(_))
+        {
+            let sig = self.signal_ref()?;
+            (Some(first), sig)
+        } else {
+            let sig = self.signal_ref_after(first)?;
+            (None, sig)
+        };
+        let mut replace = None;
+        if self.eat(&TokenKind::Eq) {
+            replace = Some(self.ty()?);
+        }
+        let span = start.to(self.prev_span());
+        Ok(LayoutStmt::Basic {
+            orientation,
+            signal,
+            replace,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> Program {
+        match parse_program(src) {
+            Ok(p) => p,
+            Err(e) => panic!("parse failed for:\n{src}\n{e}"),
+        }
+    }
+
+    #[test]
+    fn empty_program() {
+        assert_eq!(ok("").decls.len(), 0);
+    }
+
+    #[test]
+    fn const_declarations() {
+        let p = ok("CONST start=(0,0,0); length = 7; a=((0,1),(1,0),(0,0)); ten = BIN(10,5);");
+        let Decl::Const(defs) = &p.decls[0] else {
+            panic!("expected const")
+        };
+        assert_eq!(defs.len(), 4);
+        assert!(matches!(defs[0].value, Constant::Sig(SigConst::Tuple(_, _))));
+        assert!(matches!(defs[1].value, Constant::Num(ConstExpr::Num(7, _))));
+        assert!(matches!(defs[3].value, Constant::Sig(SigConst::Bin(_, _, _))));
+    }
+
+    #[test]
+    fn halfadder_parses() {
+        let p = ok("TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+                    BEGIN s := XOR(a,b); cout := AND(a,b) END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert_eq!(c.params.len(), 2);
+        assert_eq!(c.params[0].mode, Mode::In);
+        assert_eq!(c.params[1].mode, Mode::Out);
+        let body = c.body.as_ref().expect("has body");
+        assert_eq!(body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn fulladder_with_connections() {
+        let p = ok("TYPE fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
+                    SIGNAL h1,h2:halfadder; \
+                    BEGIN h1(a,b,*,h2.a); h2(h1.s,cin,*,s); cout := OR(h1.cout,h2.cout) END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        let body = c.body.as_ref().unwrap();
+        assert!(matches!(&body.stmts[0], Stmt::Connection { args: Some(_), .. }));
+        assert!(matches!(&body.stmts[2], Stmt::Assign { op: AssignOp::Define, .. }));
+    }
+
+    #[test]
+    fn record_type_without_body() {
+        let p = ok("TYPE bus = COMPONENT (r,s,t:bo(3); u:boolean);");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert!(c.body.is_none());
+        assert_eq!(c.params[0].mode, Mode::InOut);
+    }
+
+    #[test]
+    fn parameterized_array_type() {
+        let p = ok("TYPE bo(n) = ARRAY[1..n] OF boolean;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        assert_eq!(defs[0].params.len(), 1);
+        assert!(matches!(defs[0].ty, Type::Array { .. }));
+    }
+
+    #[test]
+    fn multidim_array_desugars() {
+        let p = ok("TYPE m = ARRAY[1..3,1..4] OF boolean;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Array { elem, .. } = &defs[0].ty else {
+            panic!()
+        };
+        assert!(matches!(**elem, Type::Array { .. }));
+    }
+
+    #[test]
+    fn function_component_with_result() {
+        let p = ok("TYPE mux4 = COMPONENT (IN d:bo(4); IN a:bo(2); IN g: boolean):boolean IS \
+                    CONST bit2 = ((0,0),(0,1),(1,0),(1,1)); \
+                    SIGNAL h: multiplex; \
+                    BEGIN \
+                      FOR i:=1 TO 4 DO IF EQUAL(a,bit2[i]) THEN h :=d[i] END END; \
+                      RESULT AND(NOT g,h) \
+                    END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert!(c.result.is_some());
+        let body = c.body.as_ref().unwrap();
+        assert!(matches!(body.stmts.last(), Some(Stmt::Result(_, _))));
+    }
+
+    #[test]
+    fn replication_and_when() {
+        let p = ok("TYPE t = COMPONENT (IN a: boolean) IS BEGIN \
+             FOR i:=2 TO 2*n-1 DO \
+               WHEN i MOD 2 <> 0 THEN x := a OTHERWISE y := a END \
+             END END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        let Stmt::For { body, .. } = &c.body.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(body[0], Stmt::WhenGen { .. }));
+    }
+
+    #[test]
+    fn sequential_parallel_with() {
+        ok("TYPE t = COMPONENT (IN a: boolean) IS BEGIN \
+            SEQUENTIAL PARALLEL x := a; y := a END; z := a END; \
+            WITH g[1] DO x := x1; z == h END \
+            END;");
+    }
+
+    #[test]
+    fn star_lhs_statement() {
+        let p = ok("TYPE t = COMPONENT (IN a: boolean) IS BEGIN * := x.b END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert!(matches!(
+            c.body.as_ref().unwrap().stmts[0],
+            Stmt::Assign {
+                lhs: Signal::Star(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn call_with_type_args_in_brackets() {
+        let e = parse_expr("plus[n](a,b)").unwrap();
+        let Expr::Call {
+            name, type_args, args, ..
+        } = e
+        else {
+            panic!()
+        };
+        assert_eq!(name.name, "plus");
+        assert_eq!(type_args.len(), 1);
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn indexed_signal_is_not_call() {
+        let e = parse_expr("d[i]").unwrap();
+        assert!(matches!(e, Expr::Sig(_)));
+        let e = parse_expr("x[2..7]").unwrap();
+        assert!(matches!(e, Expr::Sig(_)));
+    }
+
+    #[test]
+    fn num_selector() {
+        let e = parse_expr("ram[NUM(a)].out").unwrap();
+        let Expr::Sig(r) = e else { panic!() };
+        assert!(matches!(r.sels[0], Selector::NumIndex(_, _)));
+        assert!(matches!(r.sels[1], Selector::Field(_)));
+    }
+
+    #[test]
+    fn star_with_count() {
+        let e = parse_expr("*:3").unwrap();
+        assert!(matches!(e, Expr::Star { count: Some(_), .. }));
+    }
+
+    #[test]
+    fn rset_in_condition() {
+        ok("TYPE t = COMPONENT (IN a: boolean) IS BEGIN \
+            IF RSET THEN x := a ELSE y := CLK END END;");
+    }
+
+    #[test]
+    fn signal_instantiation_with_args() {
+        let p = ok("SIGNAL adder: rippleCarry(4);");
+        let Decl::Signal(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Named { name, args } = &defs[0].ty else {
+            panic!()
+        };
+        assert_eq!(name.name, "rippleCarry");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn layout_order_and_boundary() {
+        let p = ok("TYPE htree = COMPONENT(IN in:boolean; out: multiplex) { BOTTOM in; out } IS \
+             SIGNAL s: ARRAY[1..4] OF h; \
+             { ORDER lefttoright \
+                 ORDER toptobottom s[1]; flip90 s[3] END; \
+                 ORDER toptobottom s[2]; flip90 s[4] END; \
+               END } \
+             BEGIN x := in END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert_eq!(c.header_layout.len(), 1);
+        let LayoutStmt::Boundary { side, body, .. } = &c.header_layout[0] else {
+            panic!()
+        };
+        assert_eq!(*side, Side::Bottom);
+        assert_eq!(body.len(), 2);
+        let body_layout = &c.body.as_ref().unwrap().layout;
+        let LayoutStmt::Order { direction, body, .. } = &body_layout[0] else {
+            panic!()
+        };
+        assert_eq!(direction.name, "lefttoright");
+        assert_eq!(body.len(), 2);
+        let LayoutStmt::Order { body: inner, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &inner[1],
+            LayoutStmt::Basic {
+                orientation: Some(o),
+                ..
+            } if o.name == "flip90"
+        ));
+    }
+
+    #[test]
+    fn layout_replacement_chessboard() {
+        let p = ok("TYPE chessboard(n) = COMPONENT(IN a:boolean) IS \
+             SIGNAL m: ARRAY[1..n,1..n] OF virtual; \
+             { ORDER toptobottom \
+                 FOR i := 1 TO n DO \
+                   ORDER lefttoright \
+                     FOR j := 1 TO n DO \
+                       WHEN odd(i+j) THEN m[i,j] = black OTHERWISE m[i,j] = white END \
+                     END \
+                   END \
+                 END \
+               END } \
+             BEGIN x := a END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        let layout = &c.body.as_ref().unwrap().layout;
+        assert_eq!(layout.len(), 1);
+    }
+
+    #[test]
+    fn bad_direction_is_error() {
+        let r = parse_program(
+            "TYPE t = COMPONENT(IN a:boolean) IS { ORDER sideways x END } BEGIN y := a END;",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn syntax_error_reports() {
+        assert!(parse_program("TYPE = ;").is_err());
+        assert!(parse_program("SIGNAL x boolean;").is_err());
+        assert!(parse_expr("2").is_err()); // numbers other than 0/1
+    }
+
+    #[test]
+    fn field_range_selector() {
+        let e = parse_expr("s.b1..c1").unwrap();
+        let Expr::Sig(r) = e else { panic!() };
+        assert!(matches!(r.sels[0], Selector::FieldRange(_, _)));
+    }
+
+    #[test]
+    fn connection_without_args() {
+        let p = ok("TYPE t = COMPONENT(IN a: boolean) IS BEGIN r END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert!(matches!(
+            c.body.as_ref().unwrap().stmts[0],
+            Stmt::Connection { args: None, .. }
+        ));
+    }
+
+    #[test]
+    fn uses_list() {
+        let p = ok("TYPE t = COMPONENT(IN a: boolean) IS USES bo, fulladder; BEGIN x := a END; \
+                    u = COMPONENT(IN a: boolean) IS USES ; BEGIN x := a END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        assert_eq!(c.body.as_ref().unwrap().uses.as_ref().unwrap().len(), 2);
+        let Type::Component(c) = &defs[1].ty else {
+            panic!()
+        };
+        assert_eq!(c.body.as_ref().unwrap().uses.as_ref().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn downto_replication() {
+        ok("TYPE t = COMPONENT(IN a: boolean) IS BEGIN \
+            FOR i:=4 DOWNTO 1 DO x[i] := a END END;");
+    }
+
+    #[test]
+    fn for_sequentially() {
+        let p = ok("TYPE t = COMPONENT(IN a: boolean) IS BEGIN \
+            SEQUENTIAL h[1] := cin; \
+              FOR i:=1 TO 4 DO SEQUENTIALLY add[i](a[i],b[i],h[i],h[i+1],s[i]) END; \
+              cout := h[5] \
+            END END;");
+        let Decl::Type(defs) = &p.decls[0] else {
+            panic!()
+        };
+        let Type::Component(c) = &defs[0].ty else {
+            panic!()
+        };
+        let Stmt::Sequential(body, _) = &c.body.as_ref().unwrap().stmts[0] else {
+            panic!()
+        };
+        let Stmt::For { sequentially, .. } = &body[1] else {
+            panic!()
+        };
+        assert!(sequentially);
+    }
+}

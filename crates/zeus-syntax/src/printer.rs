@@ -1,0 +1,719 @@
+//! Pretty-printer: AST back to canonical Zeus source.
+//!
+//! The printer produces text that re-parses to an equal AST (modulo spans),
+//! which the property tests in this crate verify. It is also used by
+//! `zeusc` to echo normalized programs.
+
+use crate::ast::*;
+
+/// Prints a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut pr = Printer::new();
+    for d in &p.decls {
+        pr.decl(d);
+    }
+    pr.out
+}
+
+/// Prints a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut pr = Printer::new();
+    pr.expr(e);
+    pr.out
+}
+
+/// Prints a single constant expression.
+pub fn print_const_expr(e: &ConstExpr) -> String {
+    let mut pr = Printer::new();
+    pr.const_expr(e);
+    pr.out
+}
+
+/// Prints a single statement.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut pr = Printer::new();
+    pr.stmt(s);
+    pr.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn nl(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn word(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn decl(&mut self, d: &Decl) {
+        match d {
+            Decl::Const(defs) => {
+                self.word("CONST");
+                self.indent += 1;
+                for def in defs {
+                    self.nl();
+                    self.word(&def.name.name);
+                    self.word(" = ");
+                    match &def.value {
+                        Constant::Num(e) => self.const_expr(e),
+                        Constant::Sig(c) => self.sig_const(c),
+                    }
+                    self.word(";");
+                }
+                self.indent -= 1;
+                self.nl();
+            }
+            Decl::Type(defs) => {
+                self.word("TYPE");
+                self.indent += 1;
+                for def in defs {
+                    self.nl();
+                    self.word(&def.name.name);
+                    if !def.params.is_empty() {
+                        self.word("(");
+                        for (i, p) in def.params.iter().enumerate() {
+                            if i > 0 {
+                                self.word(", ");
+                            }
+                            self.word(&p.name);
+                        }
+                        self.word(")");
+                    }
+                    self.word(" = ");
+                    self.ty(&def.ty);
+                    self.word(";");
+                }
+                self.indent -= 1;
+                self.nl();
+            }
+            Decl::Signal(defs) => {
+                self.word("SIGNAL");
+                self.indent += 1;
+                for def in defs {
+                    self.nl();
+                    for (i, n) in def.names.iter().enumerate() {
+                        if i > 0 {
+                            self.word(", ");
+                        }
+                        self.word(&n.name);
+                    }
+                    self.word(": ");
+                    self.ty(&def.ty);
+                    self.word(";");
+                }
+                self.indent -= 1;
+                self.nl();
+            }
+        }
+    }
+
+    fn ty(&mut self, t: &Type) {
+        match t {
+            Type::Array { lo, hi, elem, .. } => {
+                self.word("ARRAY [");
+                self.const_expr(lo);
+                self.word("..");
+                self.const_expr(hi);
+                self.word("] OF ");
+                self.ty(elem);
+            }
+            Type::Named { name, args } => {
+                self.word(&name.name);
+                if !args.is_empty() {
+                    self.word("(");
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.word(", ");
+                        }
+                        self.const_expr(a);
+                    }
+                    self.word(")");
+                }
+            }
+            Type::Component(c) => self.component(c),
+        }
+    }
+
+    fn component(&mut self, c: &ComponentType) {
+        self.word("COMPONENT (");
+        for (i, g) in c.params.iter().enumerate() {
+            if i > 0 {
+                self.word("; ");
+            }
+            match g.mode {
+                Mode::In => self.word("IN "),
+                Mode::Out => self.word("OUT "),
+                Mode::InOut => {}
+            }
+            for (j, n) in g.names.iter().enumerate() {
+                if j > 0 {
+                    self.word(", ");
+                }
+                self.word(&n.name);
+            }
+            self.word(": ");
+            self.ty(&g.ty);
+        }
+        self.word(")");
+        if !c.header_layout.is_empty() {
+            self.word(" { ");
+            self.layout_list_inline(&c.header_layout);
+            self.word(" }");
+        }
+        if let Some(r) = &c.result {
+            self.word(": ");
+            self.ty(r);
+        }
+        if let Some(body) = &c.body {
+            self.word(" IS");
+            self.indent += 1;
+            if let Some(uses) = &body.uses {
+                self.nl();
+                self.word("USES ");
+                for (i, u) in uses.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.word(&u.name);
+                }
+                self.word(";");
+            }
+            for d in &body.decls {
+                self.nl();
+                self.decl(d);
+            }
+            if !body.layout.is_empty() {
+                self.nl();
+                self.word("{ ");
+                self.layout_list_inline(&body.layout);
+                self.word(" }");
+            }
+            self.nl();
+            self.word("BEGIN");
+            self.indent += 1;
+            self.stmt_list(&body.stmts);
+            self.indent -= 1;
+            self.nl();
+            self.word("END");
+            self.indent -= 1;
+        }
+    }
+
+    fn stmt_list(&mut self, stmts: &[Stmt]) {
+        for (i, s) in stmts.iter().enumerate() {
+            self.nl();
+            self.stmt(s);
+            if i + 1 < stmts.len() {
+                self.word(";");
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { lhs, op, rhs, .. } => {
+                match lhs {
+                    Signal::Ref(r) => self.signal_ref(r),
+                    Signal::Star(_) => self.word("*"),
+                }
+                self.word(match op {
+                    AssignOp::Define => " := ",
+                    AssignOp::Alias => " == ",
+                });
+                self.expr(rhs);
+            }
+            Stmt::Connection { target, args, .. } => {
+                self.signal_ref(target);
+                if let Some(a) = args {
+                    self.expr(a);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                downto,
+                sequentially,
+                body,
+                ..
+            } => {
+                self.word("FOR ");
+                self.word(&var.name);
+                self.word(" := ");
+                self.const_expr(from);
+                self.word(if *downto { " DOWNTO " } else { " TO " });
+                self.const_expr(to);
+                self.word(" DO");
+                if *sequentially {
+                    self.word(" SEQUENTIALLY");
+                }
+                self.indent += 1;
+                self.stmt_list(body);
+                self.indent -= 1;
+                self.nl();
+                self.word("END");
+            }
+            Stmt::WhenGen {
+                arms, otherwise, ..
+            } => {
+                for (i, (c, stmts)) in arms.iter().enumerate() {
+                    self.word(if i == 0 { "WHEN " } else { "OTHERWISEWHEN " });
+                    self.const_expr(c);
+                    self.word(" THEN");
+                    self.indent += 1;
+                    self.stmt_list(stmts);
+                    self.indent -= 1;
+                    self.nl();
+                }
+                if let Some(o) = otherwise {
+                    self.word("OTHERWISE");
+                    self.indent += 1;
+                    self.stmt_list(o);
+                    self.indent -= 1;
+                    self.nl();
+                }
+                self.word("END");
+            }
+            Stmt::If { arms, els, .. } => {
+                for (i, (c, stmts)) in arms.iter().enumerate() {
+                    self.word(if i == 0 { "IF " } else { "ELSIF " });
+                    self.expr(c);
+                    self.word(" THEN");
+                    self.indent += 1;
+                    self.stmt_list(stmts);
+                    self.indent -= 1;
+                    self.nl();
+                }
+                if let Some(e) = els {
+                    self.word("ELSE");
+                    self.indent += 1;
+                    self.stmt_list(e);
+                    self.indent -= 1;
+                    self.nl();
+                }
+                self.word("END");
+            }
+            Stmt::Result(e, _) => {
+                self.word("RESULT ");
+                self.expr(e);
+            }
+            Stmt::Parallel(body, _) => {
+                self.word("PARALLEL");
+                self.indent += 1;
+                self.stmt_list(body);
+                self.indent -= 1;
+                self.nl();
+                self.word("END");
+            }
+            Stmt::Sequential(body, _) => {
+                self.word("SEQUENTIAL");
+                self.indent += 1;
+                self.stmt_list(body);
+                self.indent -= 1;
+                self.nl();
+                self.word("END");
+            }
+            Stmt::With { signal, body, .. } => {
+                self.word("WITH ");
+                self.signal_ref(signal);
+                self.word(" DO");
+                self.indent += 1;
+                self.stmt_list(body);
+                self.indent -= 1;
+                self.nl();
+                self.word("END");
+            }
+            Stmt::Empty(_) => {}
+        }
+    }
+
+    fn signal_ref(&mut self, r: &SignalRef) {
+        self.word(&r.base.name);
+        for sel in &r.sels {
+            match sel {
+                Selector::Index(e) => {
+                    self.word("[");
+                    self.const_expr(e);
+                    self.word("]");
+                }
+                Selector::Range(lo, hi) => {
+                    self.word("[");
+                    self.const_expr(lo);
+                    self.word("..");
+                    self.const_expr(hi);
+                    self.word("]");
+                }
+                Selector::NumIndex(s, _) => {
+                    self.word("[NUM(");
+                    self.signal_ref(s);
+                    self.word(")]");
+                }
+                Selector::Field(f) => {
+                    self.word(".");
+                    self.word(&f.name);
+                }
+                Selector::FieldRange(a, b) => {
+                    self.word(".");
+                    self.word(&a.name);
+                    self.word("..");
+                    self.word(&b.name);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Sig(r) => self.signal_ref(r),
+            Expr::Call {
+                name,
+                type_args,
+                args,
+                ..
+            } => {
+                self.word(&name.name);
+                if !type_args.is_empty() {
+                    self.word("[");
+                    for (i, a) in type_args.iter().enumerate() {
+                        if i > 0 {
+                            self.word(", ");
+                        }
+                        self.const_expr(a);
+                    }
+                    self.word("]");
+                }
+                self.word("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.expr(a);
+                }
+                self.word(")");
+            }
+            Expr::Not(inner, _) => {
+                self.word("NOT ");
+                self.expr(inner);
+            }
+            Expr::Bin(a, b, _) => {
+                self.word("BIN(");
+                self.const_expr(a);
+                self.word(", ");
+                self.const_expr(b);
+                self.word(")");
+            }
+            Expr::Const(c) => self.sig_const(c),
+            Expr::Star { count, .. } => {
+                self.word("*");
+                if let Some(c) = count {
+                    self.word(" : ");
+                    self.const_expr(c);
+                }
+            }
+            Expr::Tuple(items, _) => {
+                self.word("(");
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.expr(a);
+                }
+                self.word(")");
+            }
+        }
+    }
+
+    fn sig_const(&mut self, c: &SigConst) {
+        match c {
+            SigConst::Tuple(items, _) => {
+                self.word("(");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.sig_const(item);
+                }
+                self.word(")");
+            }
+            SigConst::Value(v) => match v {
+                SigValue::Zero(_) => self.word("0"),
+                SigValue::One(_) => self.word("1"),
+                SigValue::Name(n) => self.word(&n.name),
+            },
+            SigConst::Bin(a, b, _) => {
+                self.word("BIN(");
+                self.const_expr(a);
+                self.word(", ");
+                self.const_expr(b);
+                self.word(")");
+            }
+        }
+    }
+
+    fn const_expr(&mut self, e: &ConstExpr) {
+        self.const_expr_prec(e, 0);
+    }
+
+    /// Precedence: 0 relation, 1 additive, 2 multiplicative, 3 unary/atom.
+    fn const_prec(e: &ConstExpr) -> u8 {
+        match e {
+            ConstExpr::Binary { op, .. } => match op {
+                ConstBinOp::Eq
+                | ConstBinOp::Ne
+                | ConstBinOp::Lt
+                | ConstBinOp::Le
+                | ConstBinOp::Gt
+                | ConstBinOp::Ge => 0,
+                ConstBinOp::Add | ConstBinOp::Sub | ConstBinOp::Or => 1,
+                ConstBinOp::Mul | ConstBinOp::Div | ConstBinOp::Mod | ConstBinOp::And => 2,
+            },
+            ConstExpr::Unary { .. } => 1, // leading sign parses at additive level
+            _ => 3,
+        }
+    }
+
+    fn const_expr_prec(&mut self, e: &ConstExpr, min: u8) {
+        let prec = Self::const_prec(e);
+        let paren = prec < min;
+        if paren {
+            self.word("(");
+        }
+        match e {
+            ConstExpr::Num(n, _) => {
+                self.word(&n.to_string());
+            }
+            ConstExpr::Name(i) => self.word(&i.name),
+            ConstExpr::Call { name, args, .. } => {
+                self.word(&name.name);
+                self.word("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.word("; ");
+                    }
+                    self.const_expr_prec(a, 0);
+                }
+                self.word(")");
+            }
+            ConstExpr::Unary { op, expr, .. } => match op {
+                ConstUnOp::Plus => {
+                    self.word("+");
+                    self.const_expr_prec(expr, 2);
+                }
+                ConstUnOp::Minus => {
+                    self.word("-");
+                    self.const_expr_prec(expr, 2);
+                }
+                ConstUnOp::Not => {
+                    self.word("NOT ");
+                    self.const_expr_prec(expr, 3);
+                }
+            },
+            ConstExpr::Binary { op, lhs, rhs } => {
+                // Relations are non-associative in the grammar
+                // (`ConstExpression = SimpleConstExpr [relation
+                // SimpleConstExpr]`), so a relation operand of a relation
+                // must be parenthesized; the arithmetic levels are left
+                // associative.
+                let lhs_min = if prec == 0 { 1 } else { prec };
+                self.const_expr_prec(lhs, lhs_min);
+                self.word(" ");
+                self.word(op.text());
+                self.word(" ");
+                self.const_expr_prec(rhs, prec + 1);
+            }
+        }
+        if paren {
+            self.word(")");
+        }
+    }
+
+    fn layout_list_inline(&mut self, stmts: &[LayoutStmt]) {
+        for (i, s) in stmts.iter().enumerate() {
+            if i > 0 {
+                self.word("; ");
+            }
+            self.layout_stmt(s);
+        }
+    }
+
+    fn layout_stmt(&mut self, s: &LayoutStmt) {
+        match s {
+            LayoutStmt::Basic {
+                orientation,
+                signal,
+                replace,
+                ..
+            } => {
+                if let Some(o) = orientation {
+                    self.word(&o.name);
+                    self.word(" ");
+                }
+                self.signal_ref(signal);
+                if let Some(t) = replace {
+                    self.word(" = ");
+                    self.ty(t);
+                }
+            }
+            LayoutStmt::Order {
+                direction, body, ..
+            } => {
+                self.word("ORDER ");
+                self.word(&direction.name);
+                self.word(" ");
+                self.layout_list_inline(body);
+                self.word(" END");
+            }
+            LayoutStmt::For {
+                var,
+                from,
+                to,
+                downto,
+                body,
+                ..
+            } => {
+                self.word("FOR ");
+                self.word(&var.name);
+                self.word(" := ");
+                self.const_expr(from);
+                self.word(if *downto { " DOWNTO " } else { " TO " });
+                self.const_expr(to);
+                self.word(" DO ");
+                self.layout_list_inline(body);
+                self.word(" END");
+            }
+            LayoutStmt::Boundary { side, body, .. } => {
+                self.word(&side.to_string());
+                self.word(" ");
+                self.layout_list_inline(body);
+            }
+            LayoutStmt::WhenGen {
+                arms, otherwise, ..
+            } => {
+                for (i, (c, stmts)) in arms.iter().enumerate() {
+                    self.word(if i == 0 { "WHEN " } else { "OTHERWISEWHEN " });
+                    self.const_expr(c);
+                    self.word(" THEN ");
+                    self.layout_list_inline(stmts);
+                    self.word(" ");
+                }
+                if let Some(o) = otherwise {
+                    self.word("OTHERWISE ");
+                    self.layout_list_inline(o);
+                    self.word(" ");
+                }
+                self.word("END");
+            }
+            LayoutStmt::With { signal, body, .. } => {
+                self.word("WITH ");
+                self.signal_ref(signal);
+                self.word(" DO ");
+                self.layout_list_inline(body);
+                self.word(" END");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    /// Strips spans by re-parsing printed text and printing again.
+    fn round_trip_program(src: &str) {
+        let p1 = parse_program(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed:\n{printed}\n{e}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "printer not a fixpoint");
+    }
+
+    #[test]
+    fn round_trip_halfadder() {
+        round_trip_program(
+            "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+             BEGIN s := XOR(a,b); cout := AND(a,b) END;",
+        );
+    }
+
+    #[test]
+    fn round_trip_function_component() {
+        round_trip_program(
+            "TYPE bo(n) = ARRAY[1..n] OF boolean; \
+             mux4 = COMPONENT (IN d:bo(4); IN a:bo(2); IN g: boolean):boolean IS \
+             CONST bit2 = ((0,0),(0,1),(1,0),(1,1)); \
+             SIGNAL h: multiplex; \
+             BEGIN FOR i:=1 TO 4 DO IF EQUAL(a,bit2[i]) THEN h := d[i] END END; \
+             RESULT AND(NOT g,h) END;",
+        );
+    }
+
+    #[test]
+    fn round_trip_layout() {
+        round_trip_program(
+            "TYPE t = COMPONENT(IN in:boolean; out: multiplex) { BOTTOM in; out } IS \
+             SIGNAL s: ARRAY[1..4] OF x; \
+             { ORDER lefttoright ORDER toptobottom s[1]; flip90 s[3] END; \
+               ORDER toptobottom s[2]; flip90 s[4] END END } \
+             BEGIN out == s[1].out END;",
+        );
+    }
+
+    #[test]
+    fn round_trip_sequential() {
+        round_trip_program(
+            "TYPE t = COMPONENT(IN a:boolean) IS BEGIN \
+             SEQUENTIAL h[1] := a; \
+             FOR i:=1 TO 4 DO SEQUENTIALLY add[i](a, h[i], h[i+1]) END; \
+             cout := h[5] END END;",
+        );
+    }
+
+    #[test]
+    fn const_expr_precedence_survives() {
+        let e1 = crate::parser::parse_const_expr("(1+2)*3 MOD (4-5)").unwrap();
+        let printed = print_const_expr(&e1);
+        let e2 = crate::parser::parse_const_expr(&printed).unwrap();
+        assert_eq!(print_const_expr(&e2), printed);
+    }
+
+    #[test]
+    fn expr_star_count() {
+        let e = parse_expr("* : 3").unwrap();
+        assert_eq!(print_expr(&e), "* : 3");
+    }
+
+    #[test]
+    fn round_trip_when_generation() {
+        round_trip_program(
+            "TYPE routingnetwork(n) = COMPONENT(IN input: channel(n-1); OUT output: channel(n-1)) IS \
+             SIGNAL top,bottom: routingnetwork(n DIV 2); \
+             c: ARRAY[0..n DIV 2-1] OF router; \
+             BEGIN \
+             WHEN n=2 THEN c[0](input[0],input[1],output[0],output[1]) \
+             OTHERWISE \
+               FOR i := 0 TO n DIV 2 -1 DO \
+                 c[i](input[2*i],input[2*i+1],top.input[i],bottom.input[i]); \
+                 output[i] := top.output[i]; \
+                 output[i+ n DIV 2] := bottom.output[i] \
+               END \
+             END END;",
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] into the original source so
+//! diagnostics can point at the offending text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, computed on demand from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets back to line/column positions for one source text.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Byte offsets at which each line starts. `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Builds the line table for `text`.
+    pub fn new(text: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: text.len() as u32,
+        }
+    }
+
+    /// Converts a byte offset to a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the text are clamped to the last position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line as u32 + 1,
+            col: offset - self.line_starts[line] + 1,
+        }
+    }
+
+    /// Number of lines in the source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union_and_len() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::dummy().is_empty());
+    }
+
+    #[test]
+    fn line_col_lookup() {
+        let sm = SourceMap::new("ab\ncde\n\nf");
+        assert_eq!(sm.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(sm.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.line_col(5), LineCol { line: 2, col: 3 });
+        assert_eq!(sm.line_col(7), LineCol { line: 3, col: 1 });
+        assert_eq!(sm.line_col(8), LineCol { line: 4, col: 1 });
+        assert_eq!(sm.line_count(), 4);
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let sm = SourceMap::new("xy");
+        assert_eq!(sm.line_col(99), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn empty_source() {
+        let sm = SourceMap::new("");
+        assert_eq!(sm.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.line_count(), 1);
+    }
+}

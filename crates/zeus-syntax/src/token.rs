@@ -1,0 +1,338 @@
+//! Token definitions for the Zeus vocabulary (paper §2).
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keywords are reserved words written in upper case in Zeus source, exactly
+/// as listed in §2 of the paper. Identifiers are `letter {letter|digit}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier (case-sensitive; upper-case reserved words are keywords).
+    Ident(String),
+    /// A number literal, already converted (octal `B`/`b` suffix handled).
+    Number(i64),
+
+    // Special symbols.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{` (opens a layout statement list)
+    LBrace,
+    /// `}` (closes a layout statement list)
+    RBrace,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `:=` (signal definition)
+    Assign,
+    /// `==` (aliasing)
+    Alias,
+    /// `..` (range)
+    DotDot,
+    /// `*` (unspecified signal / multiplication)
+    Star,
+
+    // Keywords (§2 vocabulary). One variant per reserved word; each
+    // corresponds 1:1 to its upper-case spelling.
+    /// `AND`
+    KwAnd,
+    /// `ARRAY`
+    KwArray,
+    /// `BEGIN`
+    KwBegin,
+    /// `BIN`
+    KwBin,
+    /// `BOTTOM`
+    KwBottom,
+    /// `CLK`
+    KwClk,
+    /// `COMPONENT`
+    KwComponent,
+    /// `CONST`
+    KwConst,
+    /// `DIV`
+    KwDiv,
+    /// `DO`
+    KwDo,
+    /// `DOWNTO`
+    KwDownto,
+    /// `ELSE`
+    KwElse,
+    /// `ELSIF`
+    KwElsif,
+    /// `END`
+    KwEnd,
+    /// `FOR`
+    KwFor,
+    /// `IF`
+    KwIf,
+    /// `IN`
+    KwIn,
+    /// `IS`
+    KwIs,
+    /// `LEFT`
+    KwLeft,
+    /// `MOD`
+    KwMod,
+    /// `NOT`
+    KwNot,
+    /// `NUM`
+    KwNum,
+    /// `OF`
+    KwOf,
+    /// `OR`
+    KwOr,
+    /// `ORDER`
+    KwOrder,
+    /// `OTHERWISE`
+    KwOtherwise,
+    /// `OTHERWISEWHEN`
+    KwOtherwisewhen,
+    /// `OUT`
+    KwOut,
+    /// `PARALLEL`
+    KwParallel,
+    /// `RSET`
+    KwRset,
+    /// `RESULT`
+    KwResult,
+    /// `RIGHT`
+    KwRight,
+    /// `SEQUENTIAL`
+    KwSequential,
+    /// `SEQUENTIALLY`
+    KwSequentially,
+    /// `SIGNAL`
+    KwSignal,
+    /// `THEN`
+    KwThen,
+    /// `TO`
+    KwTo,
+    /// `TOP`
+    KwTop,
+    /// `TYPE`
+    KwType,
+    /// `USES`
+    KwUses,
+    /// `WHEN`
+    KwWhen,
+    /// `WITH`
+    KwWith,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up an upper-case word in the reserved keyword table.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "AND" => KwAnd,
+            "ARRAY" => KwArray,
+            "BEGIN" => KwBegin,
+            "BIN" => KwBin,
+            "BOTTOM" => KwBottom,
+            "CLK" => KwClk,
+            "COMPONENT" => KwComponent,
+            "CONST" => KwConst,
+            "DIV" => KwDiv,
+            "DO" => KwDo,
+            "DOWNTO" => KwDownto,
+            "ELSE" => KwElse,
+            "ELSIF" => KwElsif,
+            "END" => KwEnd,
+            "FOR" => KwFor,
+            "IF" => KwIf,
+            "IN" => KwIn,
+            "IS" => KwIs,
+            "LEFT" => KwLeft,
+            "MOD" => KwMod,
+            "NOT" => KwNot,
+            "NUM" => KwNum,
+            "OF" => KwOf,
+            "OR" => KwOr,
+            "ORDER" => KwOrder,
+            "OTHERWISE" => KwOtherwise,
+            "OTHERWISEWHEN" => KwOtherwisewhen,
+            "OUT" => KwOut,
+            "PARALLEL" => KwParallel,
+            "RSET" => KwRset,
+            "RESULT" => KwResult,
+            "RIGHT" => KwRight,
+            "SEQUENTIAL" => KwSequential,
+            "SEQUENTIALLY" => KwSequentially,
+            "SIGNAL" => KwSignal,
+            "THEN" => KwThen,
+            "TO" => KwTo,
+            "TOP" => KwTop,
+            "TYPE" => KwType,
+            "USES" => KwUses,
+            "WHEN" => KwWhen,
+            "WITH" => KwWith,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source text of this token kind (for messages/printing).
+    pub fn text(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => s.clone(),
+            Number(n) => n.to_string(),
+            Plus => "+".into(),
+            Minus => "-".into(),
+            LParen => "(".into(),
+            RParen => ")".into(),
+            LBracket => "[".into(),
+            RBracket => "]".into(),
+            LBrace => "{".into(),
+            RBrace => "}".into(),
+            Dot => ".".into(),
+            Comma => ",".into(),
+            Semicolon => ";".into(),
+            Colon => ":".into(),
+            Lt => "<".into(),
+            Le => "<=".into(),
+            Gt => ">".into(),
+            Ge => ">=".into(),
+            Eq => "=".into(),
+            Ne => "<>".into(),
+            Assign => ":=".into(),
+            Alias => "==".into(),
+            DotDot => "..".into(),
+            Star => "*".into(),
+            KwAnd => "AND".into(),
+            KwArray => "ARRAY".into(),
+            KwBegin => "BEGIN".into(),
+            KwBin => "BIN".into(),
+            KwBottom => "BOTTOM".into(),
+            KwClk => "CLK".into(),
+            KwComponent => "COMPONENT".into(),
+            KwConst => "CONST".into(),
+            KwDiv => "DIV".into(),
+            KwDo => "DO".into(),
+            KwDownto => "DOWNTO".into(),
+            KwElse => "ELSE".into(),
+            KwElsif => "ELSIF".into(),
+            KwEnd => "END".into(),
+            KwFor => "FOR".into(),
+            KwIf => "IF".into(),
+            KwIn => "IN".into(),
+            KwIs => "IS".into(),
+            KwLeft => "LEFT".into(),
+            KwMod => "MOD".into(),
+            KwNot => "NOT".into(),
+            KwNum => "NUM".into(),
+            KwOf => "OF".into(),
+            KwOr => "OR".into(),
+            KwOrder => "ORDER".into(),
+            KwOtherwise => "OTHERWISE".into(),
+            KwOtherwisewhen => "OTHERWISEWHEN".into(),
+            KwOut => "OUT".into(),
+            KwParallel => "PARALLEL".into(),
+            KwRset => "RSET".into(),
+            KwResult => "RESULT".into(),
+            KwRight => "RIGHT".into(),
+            KwSequential => "SEQUENTIAL".into(),
+            KwSequentially => "SEQUENTIALLY".into(),
+            KwSignal => "SIGNAL".into(),
+            KwThen => "THEN".into(),
+            KwTo => "TO".into(),
+            KwTop => "TOP".into(),
+            KwType => "TYPE".into(),
+            KwUses => "USES".into(),
+            KwWhen => "WHEN".into(),
+            KwWith => "WITH".into(),
+            Eof => "<eof>".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text())
+    }
+}
+
+/// A lexical token: kind plus source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_table_round_trips() {
+        for w in [
+            "AND", "ARRAY", "BEGIN", "BIN", "BOTTOM", "CLK", "COMPONENT", "CONST", "DIV", "DO",
+            "DOWNTO", "ELSE", "ELSIF", "END", "FOR", "IF", "IN", "IS", "LEFT", "MOD", "NOT",
+            "NUM", "OF", "OR", "ORDER", "OTHERWISE", "OTHERWISEWHEN", "OUT", "PARALLEL", "RSET",
+            "RESULT", "RIGHT", "SEQUENTIAL", "SEQUENTIALLY", "SIGNAL", "THEN", "TO", "TOP",
+            "TYPE", "USES", "WHEN", "WITH",
+        ] {
+            let kind = TokenKind::keyword(w).unwrap_or_else(|| panic!("{w} not a keyword"));
+            assert_eq!(kind.text(), w);
+        }
+    }
+
+    #[test]
+    fn non_keywords_are_none() {
+        assert_eq!(TokenKind::keyword("and"), None);
+        assert_eq!(TokenKind::keyword("REG"), None); // REG is predefined, not reserved
+        assert_eq!(TokenKind::keyword("score"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        let t = Token::new(TokenKind::Assign, Span::new(0, 2));
+        assert_eq!(format!("{t}"), ":=");
+    }
+}

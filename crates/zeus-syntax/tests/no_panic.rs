@@ -1,0 +1,43 @@
+//! The front end must never panic: arbitrary input produces either a
+//! parse tree or diagnostics.
+
+use proptest::prelude::*;
+use zeus_syntax::{lex, parse_program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~\n]{0,200}") {
+        let _ = parse_program(&input);
+    }
+
+    /// Token soup from the Zeus vocabulary: much denser coverage of the
+    /// parser's error paths than raw ASCII.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("TYPE"), Just("COMPONENT"), Just("ARRAY"), Just("BEGIN"),
+                Just("END"), Just("IS"), Just("IF"), Just("THEN"), Just("ELSE"),
+                Just("FOR"), Just("TO"), Just("DO"), Just("WHEN"), Just("OTHERWISE"),
+                Just("SIGNAL"), Just("CONST"), Just("WITH"), Just("RESULT"),
+                Just("SEQUENTIAL"), Just("PARALLEL"), Just("USES"), Just("NUM"),
+                Just("BIN"), Just("NOT"), Just("AND"), Just("OR"), Just("("),
+                Just(")"), Just("["), Just("]"), Just("{"), Just("}"), Just(";"),
+                Just(","), Just(":"), Just(":="), Just("=="), Just(".."), Just("."),
+                Just("*"), Just("="), Just("<"), Just(">"), Just("x"), Just("y"),
+                Just("boolean"), Just("multiplex"), Just("0"), Just("1"), Just("42"),
+            ],
+            0..60,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_program(&input);
+    }
+}

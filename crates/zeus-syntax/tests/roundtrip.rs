@@ -1,0 +1,241 @@
+//! Print → parse round-trip on *generated* ASTs.
+//!
+//! The inline printer tests check paper programs; here proptest generates
+//! random constant expressions, expressions, statements and layout
+//! fragments, prints them, re-parses, and requires the printer to be a
+//! fixpoint — which catches precedence and spacing bugs in either
+//! direction.
+
+use proptest::prelude::*;
+use zeus_syntax::ast::*;
+use zeus_syntax::span::Span;
+use zeus_syntax::{parse_program, print_program};
+
+fn ident_strategy() -> impl Strategy<Value = Ident> {
+    // Lower-case identifiers that cannot collide with keywords (all
+    // keywords are upper case) or predefined names used specially.
+    "[a-z][a-z0-9]{0,5}"
+        .prop_filter("avoid predefined basic types", |s| {
+            !matches!(s.as_str(), "boolean" | "multiplex" | "virtual" | "min" | "max" | "odd")
+        })
+        .prop_map(|s| Ident::new(s, Span::dummy()))
+}
+
+fn const_expr_strategy() -> impl Strategy<Value = ConstExpr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|n| ConstExpr::Num(n, Span::dummy())),
+        ident_strategy().prop_map(ConstExpr::Name),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(ConstBinOp::Add),
+                    Just(ConstBinOp::Sub),
+                    Just(ConstBinOp::Mul),
+                    Just(ConstBinOp::Div),
+                    Just(ConstBinOp::Mod),
+                    Just(ConstBinOp::And),
+                    Just(ConstBinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, lhs, rhs)| ConstExpr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }),
+            (
+                prop_oneof![Just(ConstUnOp::Minus), Just(ConstUnOp::Not)],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| ConstExpr::Unary {
+                    op,
+                    expr: Box::new(e),
+                    span: Span::dummy(),
+                }),
+            (inner.clone(), inner).prop_map(|(a, b)| ConstExpr::Binary {
+                op: ConstBinOp::Lt,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+            }),
+        ]
+    })
+}
+
+fn selector_strategy() -> impl Strategy<Value = Selector> {
+    prop_oneof![
+        const_expr_strategy().prop_map(Selector::Index),
+        (const_expr_strategy(), const_expr_strategy())
+            .prop_map(|(a, b)| Selector::Range(a, b)),
+        ident_strategy().prop_map(Selector::Field),
+    ]
+}
+
+fn signal_ref_strategy() -> impl Strategy<Value = SignalRef> {
+    (ident_strategy(), proptest::collection::vec(selector_strategy(), 0..3)).prop_map(
+        |(base, sels)| SignalRef {
+            base,
+            sels,
+            span: Span::dummy(),
+        },
+    )
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        signal_ref_strategy().prop_map(Expr::Sig),
+        Just(Expr::Const(SigConst::Value(SigValue::Zero(Span::dummy())))),
+        Just(Expr::Const(SigConst::Value(SigValue::One(Span::dummy())))),
+        Just(Expr::Star {
+            count: None,
+            span: Span::dummy()
+        }),
+        (const_expr_strategy(), const_expr_strategy())
+            .prop_map(|(a, b)| Expr::Bin(a, b, Span::dummy())),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                ident_strategy(),
+                proptest::collection::vec(const_expr_strategy(), 0..2),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(name, type_args, args)| Expr::Call {
+                    name,
+                    type_args,
+                    args,
+                    span: Span::dummy(),
+                }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Not(Box::new(e), Span::dummy())),
+            proptest::collection::vec(inner, 1..4)
+                .prop_map(|items| Expr::Tuple(items, Span::dummy())),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let assign = (signal_ref_strategy(), expr_strategy()).prop_map(|(lhs, rhs)| Stmt::Assign {
+        lhs: Signal::Ref(lhs),
+        op: AssignOp::Define,
+        rhs,
+        span: Span::dummy(),
+    });
+    let alias = (signal_ref_strategy(), signal_ref_strategy()).prop_map(|(lhs, rhs)| {
+        Stmt::Assign {
+            lhs: Signal::Ref(lhs),
+            op: AssignOp::Alias,
+            rhs: Expr::Sig(rhs),
+            span: Span::dummy(),
+        }
+    });
+    let connection =
+        (signal_ref_strategy(), expr_strategy()).prop_map(|(target, args)| Stmt::Connection {
+            target,
+            args: Some(Expr::Tuple(vec![args], Span::dummy())),
+            span: Span::dummy(),
+        });
+    let leaf = prop_oneof![assign, alias, connection];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (
+                ident_strategy(),
+                const_expr_strategy(),
+                const_expr_strategy(),
+                any::<bool>(),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(var, from, to, downto, body)| Stmt::For {
+                    var,
+                    from,
+                    to,
+                    downto,
+                    sequentially: false,
+                    body,
+                    span: Span::dummy(),
+                }),
+            (
+                expr_strategy(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::option::of(proptest::collection::vec(inner.clone(), 1..2))
+            )
+                .prop_map(|(cond, body, els)| Stmt::If {
+                    arms: vec![(cond, body)],
+                    els,
+                    span: Span::dummy(),
+                }),
+            (
+                const_expr_strategy(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::option::of(proptest::collection::vec(inner, 1..2))
+            )
+                .prop_map(|(cond, body, otherwise)| Stmt::WhenGen {
+                    arms: vec![(cond, body)],
+                    otherwise,
+                    span: Span::dummy(),
+                }),
+        ]
+    })
+}
+
+/// Wraps generated statements into a syntactically complete program.
+fn program_with(stmts: Vec<Stmt>) -> Program {
+    let comp = ComponentType {
+        params: vec![FParams {
+            mode: Mode::In,
+            names: vec![Ident::new("p0", Span::dummy())],
+            ty: Type::Named {
+                name: Ident::new("boolean", Span::dummy()),
+                args: Vec::new(),
+            },
+        }],
+        header_layout: Vec::new(),
+        result: None,
+        body: Some(ComponentBody {
+            uses: None,
+            decls: Vec::new(),
+            layout: Vec::new(),
+            stmts,
+        }),
+        span: Span::dummy(),
+    };
+    Program {
+        decls: vec![Decl::Type(vec![TypeDef {
+            name: Ident::new("t0", Span::dummy()),
+            params: Vec::new(),
+            ty: Type::Component(Box::new(comp)),
+        }])],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printed_const_exprs_reparse(e in const_expr_strategy()) {
+        let text = zeus_syntax::print_const_expr(&e);
+        let parsed = zeus_syntax::parse_const_expr(&text)
+            .map_err(|err| TestCaseError::fail(format!("{text}: {err}")))?;
+        prop_assert_eq!(zeus_syntax::print_const_expr(&parsed), text);
+    }
+
+    #[test]
+    fn printed_exprs_reparse(e in expr_strategy()) {
+        let text = zeus_syntax::print_expr(&e);
+        let parsed = zeus_syntax::parse_expr(&text)
+            .map_err(|err| TestCaseError::fail(format!("{text}: {err}")))?;
+        prop_assert_eq!(zeus_syntax::print_expr(&parsed), text);
+    }
+
+    #[test]
+    fn printed_programs_reparse(stmts in proptest::collection::vec(stmt_strategy(), 1..5)) {
+        let prog = program_with(stmts);
+        let text = print_program(&prog);
+        let parsed = parse_program(&text)
+            .map_err(|err| TestCaseError::fail(format!("{text}\n{err}")))?;
+        prop_assert_eq!(print_program(&parsed), text);
+    }
+}

@@ -1,0 +1,104 @@
+//! The paper's Blackjack finite state machine (§10), dealt a scripted
+//! hand, with a waveform of the interesting signals.
+//!
+//! Run with: `cargo run --example blackjack`
+
+use zeus::{examples, Recorder, Simulator, Value, Zeus};
+
+fn state_name(sim: &Simulator) -> &'static str {
+    let mut s = 0u8;
+    for (i, name) in [
+        "blackjack.state[1].out",
+        "blackjack.state[2].out",
+        "blackjack.state[3].out",
+    ]
+    .iter()
+    .enumerate()
+    {
+        if sim.register_by_name(name) == Some(Value::One) {
+            s |= 1 << i;
+        }
+    }
+    match s {
+        0b000 => "start",
+        0b100 => "read",
+        0b010 => "sum",
+        0b110 => "firstace",
+        0b001 => "test",
+        0b101 => "end",
+        _ => "?",
+    }
+}
+
+fn score(sim: &Simulator) -> i64 {
+    (1..=5)
+        .filter(|i| {
+            sim.register_by_name(&format!("blackjack.score[{i}].out")) == Some(Value::One)
+        })
+        .map(|i| 1 << (i - 1))
+        .sum()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let z = Zeus::parse(examples::BLACKJACK)?;
+    let mut sim = z.simulator("blackjack", &[])?;
+    let mut rec = Recorder::new();
+    rec.watch_port(&sim, "hit");
+    rec.watch_port(&sim, "stand");
+    rec.watch_port(&sim, "broke");
+
+    // Power-on reset.
+    sim.set_port_num("ycard", 0)?;
+    sim.set_port_num("value", 0)?;
+    sim.set_rset(true);
+    sim.step();
+    rec.sample(&sim);
+    sim.set_rset(false);
+    sim.step();
+    rec.sample(&sim);
+
+    println!("dealing: 5, ace, 9, 6  (the ace counts 11, demotes on the 9)");
+    println!("cycle  state     score ace");
+    for card in [5u64, 1, 9, 6] {
+        if state_name(&sim) == "end" {
+            break;
+        }
+        // Offer the card while the machine asks for a hit.
+        sim.set_port_num("value", card)?;
+        sim.set_port_num("ycard", 1)?;
+        sim.step();
+        rec.sample(&sim);
+        sim.set_port_num("ycard", 0)?;
+        // Let the FSM digest (sum -> firstace -> test [-> test] -> ...).
+        for _ in 0..5 {
+            sim.step();
+            rec.sample(&sim);
+            let ace = sim
+                .register_by_name("blackjack.ace.out")
+                .unwrap_or(Value::Undef);
+            println!(
+                "{:>5}  {:<9} {:>4}  {}",
+                sim.cycle(),
+                state_name(&sim),
+                score(&sim),
+                ace
+            );
+            if state_name(&sim) == "read" || state_name(&sim) == "end" {
+                break;
+            }
+        }
+    }
+    // One more evaluation to see the verdict outputs.
+    sim.step();
+    rec.sample(&sim);
+    println!(
+        "\nverdict: stand={} broke={} (score {})",
+        sim.port("stand")[0],
+        sim.port("broke")[0],
+        score(&sim)
+    );
+
+    println!("\nwaveform (one column per cycle; U = undefined):");
+    print!("{}", rec.render());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The H-tree layout (§10) and the paper's linear-area claim: the layout
+//! language's ORDER statements and orientation changes (flip90) produce
+//! the classic H arrangement whose area grows linearly in the number of
+//! leaves.
+//!
+//! Run with: `cargo run --example htree_layout`
+
+use zeus::{examples, Zeus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let z = Zeus::parse(examples::TREES)?;
+
+    println!("H-tree area scaling (claim: linear in the number of leaves)\n");
+    println!("{:>8} {:>8} {:>8} {:>10} {:>10}", "leaves", "width", "height", "area", "area/leaf");
+    for k in 1..=4u32 {
+        let n = 4i64.pow(k);
+        let plan = z.floorplan("htree", &[n])?;
+        assert!(plan.leaves_disjoint());
+        println!(
+            "{:>8} {:>8} {:>8} {:>10} {:>10.2}",
+            n,
+            plan.width,
+            plan.height,
+            plan.area(),
+            plan.area() as f64 / n as f64
+        );
+    }
+
+    println!("\nhtree(16) floorplan (L = leaf cell):");
+    let plan = z.floorplan("htree", &[16])?;
+    print!("{}", plan.render_ascii());
+
+    println!("\nFor contrast, the recursive binary tree rtree(16) (q = broadcast node):");
+    let plan = z.floorplan("rtree", &[16])?;
+    println!(
+        "bounding box {} x {} = area {}",
+        plan.width,
+        plan.height,
+        plan.area()
+    );
+    print!("{}", plan.render_ascii());
+
+    // The H-tree shares one multiplex `out` wire among all leaves — one
+    // signal with many names, built with the aliasing operator '=='.
+    let design = z.elaborate("htree", &[64])?;
+    let top_out = design.port("out").expect("out port").nets[0];
+    let aliases = design
+        .names
+        .iter()
+        .filter(|(name, &net)| {
+            name.ends_with(".out") && design.netlist.find_ref(net) == top_out
+        })
+        .count();
+    println!("\nhtree(64): {aliases} names alias the shared multiplex 'out' wire");
+    Ok(())
+}

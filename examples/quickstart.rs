@@ -1,0 +1,82 @@
+//! Quickstart: write a Zeus component, simulate it, inspect the layout.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use zeus::{Value, Zeus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Zeus program straight out of the 1983 paper (§3.2, Fig. 3.2.2):
+    // hardware is a component type; instantiating it is a SIGNAL
+    // declaration; connection statements wire instances together.
+    let source = "
+        TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+        BEGIN
+          s := XOR(a,b);
+          cout := AND(a,b)
+        END;
+
+        fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS
+          SIGNAL h1,h2: halfadder;
+        BEGIN
+          h1(a,b,*,h2.a);
+          h2(h1.s,cin,*,s);
+          cout := OR(h1.cout,h2.cout)
+        END;
+    ";
+
+    // Parse + static checks (declaration order, USES, name resolution).
+    let z = Zeus::parse(source)?;
+
+    // Elaborate: the §4.7 type rules run here, connection statements are
+    // lowered to assignments, and the semantics graph (§8) is built.
+    let design = z.elaborate("fulladder", &[])?;
+    println!(
+        "fulladder: {} nets, {} nodes, {} instances",
+        design.netlist.net_count(),
+        design.netlist.node_count(),
+        design.instances.size(),
+    );
+
+    // Simulate the full truth table.
+    let mut sim = z.simulator("fulladder", &[])?;
+    println!("\n a b cin | s cout");
+    println!(" --------+-------");
+    for a in 0..2u64 {
+        for b in 0..2u64 {
+            for cin in 0..2u64 {
+                sim.set_port_num("a", a)?;
+                sim.set_port_num("b", b)?;
+                sim.set_port_num("cin", cin)?;
+                let report = sim.step();
+                assert!(report.is_clean(), "no transistors were burnt");
+                println!(
+                    " {a} {b}  {cin}  | {} {}",
+                    sim.port("s")[0],
+                    sim.port("cout")[0]
+                );
+            }
+        }
+    }
+
+    // Undefined values propagate per the firing rules of §8: an AND with
+    // a 0 input fires 0 even if the other input is undefined.
+    sim.set_port("a", &[Value::Zero])?;
+    sim.set_port("b", &[Value::Undef])?;
+    sim.set_port_num("cin", 0)?;
+    sim.step();
+    println!(
+        "\na=0, b=U, cin=0  ->  s={} cout={}  (AND dominance keeps cout defined)",
+        sim.port("s")[0],
+        sim.port("cout")[0]
+    );
+
+    // And the switch-level view (Bryant-style baseline): the same design
+    // as a CMOS transistor network.
+    let sw = z.switch_simulator("fulladder", &[])?;
+    println!(
+        "\nCMOS synthesis: {} transistors over {} nodes",
+        sw.transistor_count(),
+        sw.node_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! The systolic pattern matcher of §10, reproducing the paper's
+//! "possible computation sequence" figure: pattern and string streams
+//! enter every second cycle and result bits emerge on the result lane.
+//!
+//! Run with: `cargo run --example systolic_patternmatch`
+
+use zeus::{examples, Recorder, Value, Zeus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let length = 3i64;
+    let pattern = [1u8, 0, 1];
+    let wild = [0u8, 0, 0];
+    let string = [1u8, 0, 1]; // equals the pattern: one aligned cell matches
+
+    let z = Zeus::parse(examples::PATTERNMATCH)?;
+    let mut sim = z.simulator("patternmatch", &[length])?;
+    let mut rec = Recorder::new();
+    rec.watch_port(&sim, "result");
+    rec.watch_port(&sim, "endout");
+    rec.watch_port(&sim, "patternout");
+    rec.watch_port(&sim, "stringout");
+
+    println!("pattern 101 against string 101");
+    println!("items enter every second clock cycle; 0's during idle phases\n");
+
+    let m = pattern.len() as u64;
+    let drive = |sim: &mut zeus::Simulator, t: u64, rset: bool| {
+        let (p, w, e, s) = if t.is_multiple_of(2) {
+            let k = ((t / 2) % m) as usize;
+            (
+                pattern[k] as u64,
+                wild[k] as u64,
+                u64::from(k as u64 == m - 1),
+                string[k] as u64,
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
+        sim.set_rset(rset);
+        sim.set_port_num("pattern", p).unwrap();
+        sim.set_port_num("wild", w).unwrap();
+        sim.set_port_num("endofpattern", e).unwrap();
+        sim.set_port_num("string", s).unwrap();
+        sim.set_port_num("resultin", 0).unwrap();
+        sim.step();
+    };
+
+    let mut t = 0u64;
+    for _ in 0..16 {
+        drive(&mut sim, t, true); // warm-up under reset
+        t += 1;
+    }
+    // Let the pipeline flush, then record.
+    for _ in 0..12 {
+        drive(&mut sim, t, false);
+        t += 1;
+    }
+    let mut hits = Vec::new();
+    for i in 0..36 {
+        drive(&mut sim, t, false);
+        t += 1;
+        rec.sample(&sim);
+        if sim.port("result")[0] == Value::One {
+            hits.push(i);
+        }
+    }
+
+    println!("computation sequence (columns are cycles):");
+    print!("{}", rec.render());
+    println!("\nmatch results appear at cycles {hits:?} — every 2*length = 6 cycles:");
+    println!("only the cell whose pattern/string alignment is exact reports a hit.");
+
+    // Contrast: pattern 1?1 (wildcard in the middle) against string 111
+    // matches at *every* alignment — the wildcard travels with the
+    // pattern, so any symbol is accepted at that position.
+    let mut simw = z.simulator("patternmatch", &[length])?;
+    let wildp = [0u8, 1, 0];
+    let strw = [1u8, 1, 1];
+    let mut tw = 0u64;
+    let drivew = |sim: &mut zeus::Simulator, t: u64, rset: bool| {
+        let (p, w, e, s) = if t.is_multiple_of(2) {
+            let k = ((t / 2) % m) as usize;
+            (
+                pattern[k] as u64,
+                wildp[k] as u64,
+                u64::from(k as u64 == m - 1),
+                strw[k] as u64,
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
+        sim.set_rset(rset);
+        sim.set_port_num("pattern", p).unwrap();
+        sim.set_port_num("wild", w).unwrap();
+        sim.set_port_num("endofpattern", e).unwrap();
+        sim.set_port_num("string", s).unwrap();
+        sim.set_port_num("resultin", 0).unwrap();
+        sim.step();
+    };
+    for _ in 0..28 {
+        drivew(&mut simw, tw, tw < 16);
+        tw += 1;
+    }
+    let mut wild_hits = 0;
+    for _ in 0..36 {
+        drivew(&mut simw, tw, false);
+        tw += 1;
+        if simw.port("result")[0] == Value::One {
+            wild_hits += 1;
+        }
+    }
+    println!("\nwildcard 1?1 vs 111: {wild_hits} hits in 36 cycles (every alignment matches).");
+
+    // And a guaranteed mismatch: all-ones pattern against all-zero string.
+    let mut sim2 = z.simulator("patternmatch", &[length])?;
+    let mut t2 = 0u64;
+    let drive2 = |sim: &mut zeus::Simulator, t: u64, rset: bool| {
+        let (p, e) = if t.is_multiple_of(2) {
+            let k = ((t / 2) % m) as usize;
+            (1u64, u64::from(k as u64 == m - 1))
+        } else {
+            (0, 0)
+        };
+        sim.set_rset(rset);
+        sim.set_port_num("pattern", p).unwrap();
+        sim.set_port_num("wild", 0).unwrap();
+        sim.set_port_num("endofpattern", e).unwrap();
+        sim.set_port_num("string", 0).unwrap();
+        sim.set_port_num("resultin", 0).unwrap();
+        sim.step();
+    };
+    for _ in 0..28 {
+        drive2(&mut sim2, t2, t2 < 16);
+        t2 += 1;
+    }
+    let mut ones = 0;
+    for _ in 0..36 {
+        drive2(&mut sim2, t2, false);
+        t2 += 1;
+        if sim2.port("result")[0] == Value::One {
+            ones += 1;
+        }
+    }
+    println!("pattern 111 vs string 000: {ones} matches (expected 0).");
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Umbrella crate for the Zeus reproduction: integration tests in `tests/`
+//! and runnable examples in `examples/` live here. The actual library is
+//! the [`zeus`] facade crate and its substrate crates.
+pub use zeus;

@@ -1,0 +1,128 @@
+//! E1 + E4: Fig. 3.2.2 (half/full adder) and Fig. Adder (ripple-carry
+//! adders), reproduced from the paper's own Zeus sources.
+
+use zeus::{examples, Value, Zeus};
+
+#[test]
+fn e1_halfadder_truth_table() {
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let mut sim = z.simulator("halfadder", &[]).unwrap();
+    for a in 0..2u64 {
+        for b in 0..2u64 {
+            sim.set_port_num("a", a).unwrap();
+            sim.set_port_num("b", b).unwrap();
+            let r = sim.step();
+            assert!(r.is_clean());
+            assert_eq!(sim.port_num("s"), Some(((a + b) % 2) as i64));
+            assert_eq!(sim.port_num("cout"), Some(((a + b) / 2) as i64));
+        }
+    }
+}
+
+#[test]
+fn e1_fulladder_truth_table() {
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let mut sim = z.simulator("fulladder", &[]).unwrap();
+    for a in 0..2u64 {
+        for b in 0..2u64 {
+            for c in 0..2u64 {
+                sim.set_port_num("a", a).unwrap();
+                sim.set_port_num("b", b).unwrap();
+                sim.set_port_num("cin", c).unwrap();
+                let r = sim.step();
+                assert!(r.is_clean());
+                let total = a + b + c;
+                assert_eq!(sim.port_num("s"), Some((total % 2) as i64));
+                assert_eq!(sim.port_num("cout"), Some((total / 2) as i64));
+            }
+        }
+    }
+}
+
+#[test]
+fn e4_ripplecarry4_exhaustive() {
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let mut sim = z.simulator("rippleCarry4", &[]).unwrap();
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            for cin in 0..2u64 {
+                sim.set_port_num("a", a).unwrap();
+                sim.set_port_num("b", b).unwrap();
+                sim.set_port_num("cin", cin).unwrap();
+                let r = sim.step();
+                assert!(r.is_clean());
+                let total = a + b + cin;
+                assert_eq!(sim.port_num("s"), Some((total % 16) as i64), "a={a} b={b}");
+                assert_eq!(sim.port_num("cout"), Some((total / 16) as i64));
+            }
+        }
+    }
+}
+
+#[test]
+fn e4_parametric_ripplecarry_matches_u64_addition() {
+    use rand::{Rng, SeedableRng};
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1983);
+    for n in [3usize, 8, 16, 32] {
+        let mut sim = z.simulator("rippleCarry", &[n as i64]).unwrap();
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        for _ in 0..32 {
+            let a = rng.gen::<u64>() & mask;
+            let b = rng.gen::<u64>() & mask;
+            let cin = rng.gen::<u64>() & 1;
+            sim.set_port_num("a", a).unwrap();
+            sim.set_port_num("b", b).unwrap();
+            sim.set_port_num("cin", cin).unwrap();
+            let r = sim.step();
+            assert!(r.is_clean());
+            let total = a as u128 + b as u128 + cin as u128;
+            assert_eq!(
+                sim.port_num("s"),
+                Some((total as u64 & mask) as i64),
+                "n={n} a={a} b={b} cin={cin}"
+            );
+            assert_eq!(sim.port_num("cout"), Some((total >> n) as i64));
+        }
+    }
+}
+
+#[test]
+fn e4_equivalent_formulations_agree() {
+    // rippleCarry4 (auxiliary carry array + SEQUENTIAL) and
+    // rippleCarry(4) (direct wiring) are "equivalent" per the paper.
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let mut s1 = z.simulator("rippleCarry4", &[]).unwrap();
+    let mut s2 = z.simulator("rippleCarry", &[4]).unwrap();
+    for a in 0..16u64 {
+        for b in (0..16u64).step_by(3) {
+            s1.set_port_num("a", a).unwrap();
+            s1.set_port_num("b", b).unwrap();
+            s1.set_port_num("cin", 1).unwrap();
+            s2.set_port_num("a", a).unwrap();
+            s2.set_port_num("b", b).unwrap();
+            s2.set_port_num("cin", 1).unwrap();
+            s1.step();
+            s2.step();
+            assert_eq!(s1.port_num("s"), s2.port_num("s"));
+            assert_eq!(s1.port_num("cout"), s2.port_num("cout"));
+        }
+    }
+}
+
+#[test]
+fn e4_undefined_input_propagates_only_where_it_matters() {
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let mut sim = z.simulator("rippleCarry4", &[]).unwrap();
+    // Low bits defined, top bit of a undefined: low sum bits defined.
+    sim.set_port("a", &[Value::One, Value::Zero, Value::Zero, Value::Undef])
+        .unwrap();
+    sim.set_port_num("b", 1).unwrap();
+    sim.set_port_num("cin", 0).unwrap();
+    sim.step();
+    let s = sim.port("s");
+    assert_eq!(s[0], Value::Zero);
+    assert_eq!(s[1], Value::One);
+    assert_eq!(s[2], Value::Zero);
+    assert_eq!(s[3], Value::Undef);
+}

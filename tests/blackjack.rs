@@ -1,0 +1,182 @@
+//! E3: the Blackjack finite state machine of §10, played end to end.
+//!
+//! State encoding (3 bits, LSB first): start=(0,0,0), read=(0,0,1),
+//! sum=(0,1,0), firstace=(0,1,1), test=(1,0,0), end=(1,0,1).
+
+use zeus::{examples, Simulator, Value, Zeus};
+
+fn machine() -> Simulator {
+    let z = Zeus::parse(examples::BLACKJACK).unwrap();
+    let mut sim = z.simulator("blackjack", &[]).unwrap();
+    // Power on: one reset cycle puts the FSM into `start`; inputs idle.
+    sim.set_port_num("ycard", 0).unwrap();
+    sim.set_port_num("value", 0).unwrap();
+    sim.set_rset(true);
+    sim.step();
+    sim.set_rset(false);
+    // start -> read (score cleared).
+    sim.step();
+    sim
+}
+
+/// Decodes the *latched* state register (the state the machine is in
+/// for the next cycle).
+fn state(sim: &Simulator) -> u8 {
+    let mut s = 0u8;
+    for (i, name) in [
+        "blackjack.state[1].out",
+        "blackjack.state[2].out",
+        "blackjack.state[3].out",
+    ]
+    .iter()
+    .enumerate()
+    {
+        if sim.register_by_name(name) == Some(Value::One) {
+            s |= 1 << i;
+        }
+    }
+    s
+}
+
+/// The latched score register, as a number.
+fn score(sim: &Simulator) -> i64 {
+    let mut out = 0;
+    for i in 1..=5 {
+        if sim.register_by_name(&format!("blackjack.score[{i}].out")) == Some(Value::One) {
+            out |= 1 << (i - 1);
+        }
+    }
+    out
+}
+
+const READ: u8 = 0b100; // (0,0,1) LSB-first: bit3 set... see test below
+const TEST: u8 = 0b001;
+const END: u8 = 0b101;
+
+/// Presents one card and advances until the machine is back in `read`
+/// or reaches `end`. Returns the cycle count consumed.
+fn deal(sim: &mut Simulator, card: u64) {
+    assert_eq!(state(sim), READ, "must be in read to deal");
+    sim.set_port_num("value", card).unwrap();
+    sim.set_port_num("ycard", 1).unwrap();
+    let r = sim.step(); // read -> sum (card latched)
+    assert!(r.is_clean());
+    sim.set_port_num("ycard", 0).unwrap();
+    sim.step(); // sum -> firstace
+    sim.step(); // firstace -> test
+    sim.step(); // test -> read/end (or stays in test to demote an ace)
+    let mut guard = 0;
+    while state(sim) == TEST {
+        sim.step();
+        guard += 1;
+        assert!(guard < 4, "test state must converge");
+    }
+}
+
+#[test]
+fn state_encoding_is_lsb_first() {
+    // read = (0,0,1): the tuple lists state[1],state[2],state[3]; the
+    // third bit set means value 0b100 in our LSB-first packing.
+    let sim = machine();
+    assert_eq!(state(&sim), READ);
+}
+
+#[test]
+fn e3_stand_at_17() {
+    let mut sim = machine();
+    deal(&mut sim, 10);
+    assert_eq!(score(&sim), 10);
+    assert_eq!(state(&sim), READ);
+    // Observe the outputs of a cycle evaluated in `read`.
+    sim.step();
+    assert_eq!(sim.port("hit"), vec![Value::One]);
+    deal(&mut sim, 7);
+    assert_eq!(score(&sim), 17);
+    assert_eq!(state(&sim), END);
+    sim.step();
+    assert_eq!(sim.port("stand"), vec![Value::One]);
+    assert_ne!(sim.port("broke"), vec![Value::One]);
+}
+
+#[test]
+fn e3_bust_at_25() {
+    let mut sim = machine();
+    deal(&mut sim, 10);
+    deal(&mut sim, 5);
+    assert_eq!(score(&sim), 15);
+    deal(&mut sim, 10);
+    assert_eq!(score(&sim), 25);
+    assert_eq!(state(&sim), END);
+    sim.step();
+    assert_eq!(sim.port("broke"), vec![Value::One]);
+    assert_ne!(sim.port("stand"), vec![Value::One]);
+}
+
+#[test]
+fn e3_ace_counts_eleven() {
+    let mut sim = machine();
+    deal(&mut sim, 1); // ace: 1 + 10
+    assert_eq!(score(&sim), 11);
+    deal(&mut sim, 6); // 17: stand
+    assert_eq!(score(&sim), 17);
+    assert_eq!(state(&sim), END);
+    sim.step();
+    assert_eq!(sim.port("stand"), vec![Value::One]);
+}
+
+#[test]
+fn e3_soft_ace_demotes_on_bust() {
+    let mut sim = machine();
+    deal(&mut sim, 1); // 11 soft
+    deal(&mut sim, 5); // 16
+    assert_eq!(score(&sim), 16);
+    deal(&mut sim, 10); // 26 -> demote ace -> 16, keep playing
+    assert_eq!(score(&sim), 16);
+    assert_eq!(state(&sim), READ, "demoted hand keeps hitting");
+    deal(&mut sim, 4); // 20: stand
+    assert_eq!(score(&sim), 20);
+    assert_eq!(state(&sim), END);
+    sim.step();
+    assert_eq!(sim.port("stand"), vec![Value::One]);
+}
+
+#[test]
+fn e3_second_ace_counts_one() {
+    let mut sim = machine();
+    deal(&mut sim, 1); // 11 soft
+    deal(&mut sim, 1); // second ace: only +1 (ace flag set) -> 12
+    assert_eq!(score(&sim), 12);
+    assert_eq!(state(&sim), READ);
+}
+
+#[test]
+fn e3_new_game_after_end() {
+    let mut sim = machine();
+    deal(&mut sim, 10);
+    deal(&mut sim, 10); // 20: stand -> end
+    assert_eq!(state(&sim), END);
+    // A card offer in `end` starts a new game.
+    sim.set_port_num("ycard", 1).unwrap();
+    sim.step(); // end -> start
+    sim.set_port_num("ycard", 0).unwrap();
+    sim.step(); // start -> read, score cleared
+    assert_eq!(state(&sim), READ);
+    assert_eq!(score(&sim), 0);
+    deal(&mut sim, 9);
+    assert_eq!(score(&sim), 9);
+}
+
+#[test]
+fn e3_no_runtime_violations_over_a_long_session() {
+    let mut sim = machine();
+    for card in [10u64, 4, 9, 1, 6, 10, 2, 2, 2, 2, 2] {
+        if state(&sim) == END {
+            sim.set_port_num("ycard", 1).unwrap();
+            sim.step();
+            sim.set_port_num("ycard", 0).unwrap();
+            sim.step();
+        }
+        deal(&mut sim, card);
+    }
+    assert_eq!(sim.conflicts_total(), 0);
+}

@@ -1,0 +1,89 @@
+//! The pretty-printer must preserve *meaning*: for every bundled
+//! program, the canonical text elaborates to a design of identical size
+//! and interface as the original source.
+
+use zeus::{examples, Zeus};
+
+/// (example name, top, args) — representative parameters for the
+/// parameterized tops.
+const TOPS: &[(&str, &str, &[i64])] = &[
+    ("adders", "rippleCarry4", &[]),
+    ("adders", "rippleCarry", &[6]),
+    ("mux", "muxtop", &[]),
+    ("blackjack", "blackjack", &[]),
+    ("trees", "tree", &[8]),
+    ("trees", "rtree", &[8]),
+    ("trees", "htree", &[16]),
+    ("patternmatch", "patternmatch", &[5]),
+    ("routing", "routingnetwork", &[8]),
+    ("ram", "ram", &[8, 4, 3]),
+    ("chessboard", "chessboard", &[4]),
+    ("am2901", "am2901", &[]),
+    ("stack", "systolicstack", &[4, 4]),
+    ("queue", "systolicqueue", &[4, 4]),
+    ("counter", "counter", &[6]),
+    ("dictionary", "dictionary", &[4, 4]),
+    ("sorter", "sorter", &[4, 4]),
+    ("recognizer", "recab", &[]),
+    ("semantics", "semc", &[]),
+];
+
+fn source(name: &str) -> &'static str {
+    examples::ALL
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, s, _)| *s)
+        .unwrap_or_else(|| panic!("no example {name}"))
+}
+
+#[test]
+fn canonical_text_elaborates_identically() {
+    for &(name, top, args) in TOPS {
+        let original = Zeus::parse(source(name)).unwrap();
+        let canonical = Zeus::parse(&original.to_canonical_text())
+            .unwrap_or_else(|e| panic!("canonical {name} re-parses: {e}"));
+        let d1 = original
+            .elaborate(top, args)
+            .unwrap_or_else(|e| panic!("{name}/{top}: {e}"));
+        let d2 = canonical
+            .elaborate(top, args)
+            .unwrap_or_else(|e| panic!("canonical {name}/{top}: {e}"));
+        assert_eq!(
+            d1.netlist.net_count(),
+            d2.netlist.net_count(),
+            "{name}/{top} net count"
+        );
+        assert_eq!(
+            d1.netlist.node_count(),
+            d2.netlist.node_count(),
+            "{name}/{top} node count"
+        );
+        assert_eq!(
+            d1.netlist.registers().count(),
+            d2.netlist.registers().count(),
+            "{name}/{top} registers"
+        );
+        assert_eq!(d1.ports.len(), d2.ports.len(), "{name}/{top} ports");
+        for (p1, p2) in d1.ports.iter().zip(&d2.ports) {
+            assert_eq!(p1.name, p2.name);
+            assert_eq!(p1.width(), p2.width());
+            assert_eq!(p1.mode, p2.mode);
+        }
+        assert_eq!(
+            d1.instances.size(),
+            d2.instances.size(),
+            "{name}/{top} instances"
+        );
+    }
+}
+
+#[test]
+fn all_tops_floorplan_without_panicking() {
+    for &(name, top, args) in TOPS {
+        let z = Zeus::parse(source(name)).unwrap();
+        let d = z.elaborate(top, args).unwrap();
+        let plan = zeus::floorplan(&d);
+        assert!(plan.width >= 1 && plan.height >= 1, "{name}/{top}");
+        assert!(plan.leaves_disjoint(), "{name}/{top} leaves overlap");
+    }
+}

@@ -1,0 +1,85 @@
+//! E6: the H-tree and its linear-area claim (C2 in DESIGN.md).
+//!
+//! "The following component type htree describes the well-known H-tree
+//! which has a linear layout area."
+
+use zeus::{examples, Zeus};
+
+#[test]
+fn e6_htree_structure() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    let d = z.elaborate("htree", &[16]).unwrap();
+    fn count(node: &zeus::InstanceNode, ty: &str) -> usize {
+        (node.type_name == ty) as usize
+            + node.children.iter().map(|c| count(c, ty)).sum::<usize>()
+    }
+    // htree(16) → 4 htree(4) → 16 htree(1) → 16 leaves.
+    assert_eq!(count(&d.instances, "htree"), 21);
+    assert_eq!(count(&d.instances, "leaftype"), 16);
+}
+
+#[test]
+fn e6_htree_out_is_one_shared_signal() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    let d = z.elaborate("htree", &[16]).unwrap();
+    // All 16 leaf outs alias with the top out (one signal, many names).
+    let top = d.port("out").unwrap().nets[0];
+    let mut aliased = 0;
+    for (name, &net) in &d.names {
+        if name.ends_with("leaf.out") && d.netlist.find_ref(net) == d.netlist.find_ref(top) {
+            aliased += 1;
+        }
+    }
+    assert_eq!(aliased, 16);
+}
+
+#[test]
+fn e6_htree_area_scales_linearly() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    let mut rows = Vec::new();
+    for n in [4i64, 16, 64, 256] {
+        let plan = z.floorplan("htree", &[n]).unwrap();
+        assert!(plan.leaves_disjoint(), "n={n}");
+        assert_eq!(plan.leaf_count(), n as usize, "one unit cell per leaf");
+        rows.push((n, plan.area()));
+    }
+    // area(4n) / area(n) must hover around 4 (linear in the number of
+    // leaves), not 16 (which a naive row layout's square-law would give
+    // for the *side* — i.e. the H-tree keeps aspect ~1 and area ~ c·n).
+    for w in rows.windows(2) {
+        let (n0, a0) = w[0];
+        let (n1, a1) = w[1];
+        let ratio = a1 as f64 / a0 as f64;
+        assert!(
+            (3.0..=6.0).contains(&ratio),
+            "area({n1})={a1} vs area({n0})={a0}: ratio {ratio}"
+        );
+    }
+    // And the constant is small: area <= 4x the leaf count.
+    for (n, a) in &rows {
+        assert!(*a <= 4 * n, "n={n} area={a}");
+    }
+}
+
+#[test]
+fn e6_htree_is_roughly_square() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    for n in [16i64, 64, 256] {
+        let plan = z.floorplan("htree", &[n]).unwrap();
+        let aspect = plan.width as f64 / plan.height as f64;
+        assert!(
+            (0.4..=2.5).contains(&aspect),
+            "n={n}: {}x{}",
+            plan.width,
+            plan.height
+        );
+    }
+}
+
+#[test]
+fn e6_htree_renders() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    let plan = z.floorplan("htree", &[16]).unwrap();
+    let art = plan.render_ascii();
+    assert!(art.contains('L'), "leaves drawn:\n{art}");
+}

@@ -1,0 +1,275 @@
+//! Coverage of language constructs not exercised by the §10 examples:
+//! OTHERWISEWHEN chains, DOWNTO, field ranges, `* : n`, record wire
+//! bundles, n-ary gates, and top-level SIGNAL instantiation.
+
+use zeus::{Value, Zeus};
+
+#[test]
+fn otherwisewhen_chain_selects_first_true_arm() {
+    let src = "TYPE pick(n) = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         BEGIN \
+           WHEN n = 1 THEN s := a \
+           OTHERWISEWHEN n = 2 THEN s := NOT a \
+           OTHERWISEWHEN n > 2 THEN s := AND(a, a) \
+           OTHERWISE s := 0 \
+           END \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    for (n, a, expect) in [
+        (1i64, 1u64, Value::One),
+        (2, 1, Value::Zero),
+        (5, 1, Value::One),
+        (0, 1, Value::Zero),
+        (-3, 1, Value::Zero),
+    ] {
+        let mut sim = z.simulator("pick", &[n]).unwrap();
+        sim.set_port_num("a", a).unwrap();
+        sim.step();
+        assert_eq!(sim.port("s"), vec![expect], "n={n}");
+    }
+}
+
+#[test]
+fn downto_replication_reverses_wiring() {
+    let src = "TYPE rev = COMPONENT (IN a: ARRAY[1..4] OF boolean; \
+                                     OUT s: ARRAY[1..4] OF boolean) IS \
+         BEGIN FOR i := 4 DOWNTO 1 DO s[i] := a[5-i] END END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("rev", &[]).unwrap();
+    sim.set_port_num("a", 0b0001).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("s"), Some(0b1000));
+}
+
+#[test]
+fn field_range_selects_contiguous_fields() {
+    // `s.b1..d1` denotes the fields b1 through d1 (§7 rule 39).
+    let src = "TYPE h = COMPONENT (b1,c1,d1,e1: multiplex); \
+         t = COMPONENT (IN a: ARRAY[1..3] OF boolean; \
+                        OUT s: ARRAY[1..3] OF boolean) IS \
+         SIGNAL w: h; \
+         BEGIN w.b1..d1 := a; s := w.b1..d1; * := w.e1 END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.set_port_num("a", 0b101).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("s"), Some(0b101));
+}
+
+#[test]
+fn star_with_count_fills_positions() {
+    // `* : n` stands for n empty signals (§7 rule 44).
+    let src = "TYPE inner = COMPONENT (IN x: ARRAY[1..3] OF boolean; OUT y: boolean) IS \
+         BEGIN y := AND(x[1], x[2], x[3]) END; \
+         t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL g: inner; \
+         BEGIN g((a, * : 2), s) END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.set_port_num("a", 1).unwrap();
+    sim.step();
+    // x[2], x[3] unconnected: the AND reads UNDEF.
+    assert_eq!(sim.port("s"), vec![Value::Undef]);
+    sim.set_port_num("a", 0).unwrap();
+    sim.step();
+    // But a 0 input dominates.
+    assert_eq!(sim.port("s"), vec![Value::Zero]);
+}
+
+#[test]
+fn record_type_is_a_wire_bundle() {
+    // "A component type without body represents a record type of
+    //  signals ... a sequence of signals (wires)" (§3.2).
+    let src = "TYPE bo(n) = ARRAY[1..n] OF boolean; \
+         bus = COMPONENT (r,s,t: bo(3); u: boolean); \
+         top = COMPONENT (IN a: bo(3); IN b: boolean; \
+                          OUT outr: bo(3); OUT outu: boolean) IS \
+         SIGNAL w: ARRAY[1..10] OF multiplex; \
+         BEGIN \
+           w := (a, a, a, b); \
+           outr := w[1..3]; \
+           outu := w[10] \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("top", &[]).unwrap();
+    sim.set_port_num("a", 0b110).unwrap();
+    sim.set_port_num("b", 1).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("outr"), Some(0b110));
+    assert_eq!(sim.port_num("outu"), Some(1));
+}
+
+#[test]
+fn nary_gates() {
+    let src = "TYPE t = COMPONENT (IN a,b,c: boolean; \
+                        OUT nand3, nor3, xor3: boolean) IS \
+         BEGIN \
+           nand3 := NAND(a,b,c); \
+           nor3 := NOR(a,b,c); \
+           xor3 := XOR(a,b,c) \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    for bits in 0..8u64 {
+        let (a, b, c) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+        sim.set_port_num("a", a).unwrap();
+        sim.set_port_num("b", b).unwrap();
+        sim.set_port_num("c", c).unwrap();
+        sim.step();
+        assert_eq!(sim.port_num("nand3"), Some((1 - (a & b & c)) as i64));
+        assert_eq!(sim.port_num("nor3"), Some((1 - (a | b | c)) as i64));
+        assert_eq!(sim.port_num("xor3"), Some((a ^ b ^ c) as i64));
+    }
+}
+
+#[test]
+fn top_level_signal_instantiation() {
+    // The paper's programs end with e.g. `SIGNAL adder: rippleCarry(4);`
+    // — the signal declaration is the instantiation.
+    let src = format!(
+        "{} SIGNAL adder8: rippleCarry(8);",
+        zeus::examples::ADDERS
+    );
+    let z = Zeus::parse(&src).unwrap();
+    let d = z.elaborate_signal("adder8").unwrap();
+    assert_eq!(d.top_type, "rippleCarry");
+    let mut sim = zeus::Simulator::new(d).unwrap();
+    sim.set_port_num("a", 107).unwrap();
+    sim.set_port_num("b", 48).unwrap();
+    sim.set_port_num("cin", 0).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("s"), Some(155));
+}
+
+#[test]
+fn octal_numbers_in_programs() {
+    // `10B` is octal 8 (§2).
+    let src = "TYPE t = COMPONENT (IN a: ARRAY[1..10B] OF boolean; \
+                        OUT s: boolean) IS \
+         BEGIN s := AND(a[1], a[10B]) END;";
+    let z = Zeus::parse(src).unwrap();
+    let d = z.elaborate("t", &[]).unwrap();
+    assert_eq!(d.port("a").unwrap().width(), 8);
+}
+
+#[test]
+fn nested_with_statements() {
+    let src = "TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean) IS BEGIN y := x END; \
+         pair = COMPONENT (p, q: inner) IS BEGIN q.x := p.y END; \
+         t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL g: pair; \
+         BEGIN \
+           WITH g DO \
+             WITH p DO x := a END; \
+             s := q.y \
+           END \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.set_port_num("a", 1).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("s"), Some(1));
+}
+
+#[test]
+fn constants_used_as_expressions() {
+    // A signal constant name used in expression position (§4.1 example
+    // style: EQUAL(state.out, start)).
+    let src = "CONST pattern = (1,0,1); \
+         TYPE t = COMPONENT (IN a: ARRAY[1..3] OF boolean; OUT s: boolean) IS \
+         USES pattern; \
+         BEGIN s := EQUAL(a, pattern) END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.set_port_num("a", 0b101).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("s"), Some(1));
+    sim.set_port_num("a", 0b111).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("s"), Some(0));
+}
+
+#[test]
+fn undef_constant_in_signal_constants() {
+    let src = "CONST u = (1, UNDEF, 0); \
+         TYPE t = COMPONENT (IN a: boolean; OUT s: ARRAY[1..3] OF boolean) IS \
+         USES u; \
+         BEGIN s := u; * := a END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.step();
+    assert_eq!(
+        sim.port("s"),
+        vec![Value::One, Value::Undef, Value::Zero]
+    );
+}
+
+#[test]
+fn empty_uses_list_blocks_everything() {
+    let src = "CONST n = 3; \
+         TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES ; \
+         SIGNAL h: ARRAY[1..n] OF boolean; \
+         BEGIN s := a END;";
+    assert!(Zeus::parse(src).is_err());
+}
+
+#[test]
+fn function_component_cannot_be_signal_type() {
+    // "Function component types cannot be used in signal declarations"
+    // (§3.2). Our elaborator rejects the instantiation because a
+    // function component signal's RESULT has no pins to connect.
+    let src = "TYPE f = COMPONENT (IN a: boolean): boolean IS BEGIN RESULT NOT a END; \
+         t = COMPONENT (IN x: boolean; OUT s: boolean) IS \
+         SIGNAL g: f; \
+         BEGIN g.a := x; s := x END;";
+    let z = Zeus::parse(src).unwrap();
+    // The instance's body contains RESULT outside a call context.
+    let e = z.elaborate("t", &[]).expect_err("function as signal");
+    assert!(e.to_string().contains("RESULT"), "{e}");
+}
+
+#[test]
+fn section_4_7_connection_parenthesization() {
+    // The paper's own example: "the parenthesis structure within the n
+    // signal expressions is unimportant" — both connection statements
+    // below are correct for h's 10 interface bits.
+    let src = "TYPE h = COMPONENT (IN a: ARRAY[1..5] OF boolean; \
+                        OUT b: COMPONENT (b1,c1,d1,e1,f1: boolean)) IS \
+         BEGIN b.b1 := a[1]; b.c1 := a[2]; b.d1 := a[3]; \
+               b.e1 := a[4]; b.f1 := a[5] END; \
+         t = COMPONENT (IN p: ARRAY[1..2] OF boolean; \
+                        IN q: ARRAY[1..3] OF boolean; \
+                        OUT o: ARRAY[1..5] OF multiplex) IS \
+         SIGNAL s: h; \
+         BEGIN s((p,q),(o[1],o[2],o[3],o[4],o[5])) END; \
+         t2 = COMPONENT (IN p: ARRAY[1..2] OF boolean; \
+                         IN q: ARRAY[1..3] OF boolean; \
+                         OUT o: ARRAY[1..5] OF multiplex) IS \
+         SIGNAL s: h; \
+         BEGIN s((p,(q[1],q[2],q[3])),(o[1..5])) END;";
+    let z = Zeus::parse(src).unwrap();
+    for top in ["t", "t2"] {
+        let mut sim = z.simulator(top, &[]).unwrap();
+        sim.set_port_num("p", 0b10).unwrap();
+        sim.set_port_num("q", 0b011).unwrap();
+        let r = sim.step();
+        assert!(r.is_clean());
+        // o = (p,q) routed through h: bits p1 p2 q1 q2 q3 = 0,1,1,1,0.
+        assert_eq!(sim.port_num("o"), Some(0b01110), "{top}");
+    }
+}
+
+#[test]
+fn paper_trailing_signal_declarations_instantiate() {
+    // The sources end with the paper's own SIGNAL instantiations.
+    for (src, name, top) in [
+        (zeus::examples::ADDERS, "adder", "rippleCarry"),
+        (zeus::examples::TREES, "btree", "tree"),
+        (zeus::examples::TREES, "bhtree", "htree"),
+        (zeus::examples::PATTERNMATCH, "match", "patternmatch"),
+    ] {
+        let z = Zeus::parse(src).unwrap();
+        let d = z.elaborate_signal(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(d.top_type, top, "{name}");
+    }
+}

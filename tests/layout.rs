@@ -1,0 +1,172 @@
+//! E10 + E11: chessboard replacement (§6.4) and order-statement
+//! semantics (§6.2 / Fig. Snake).
+
+use zeus::{examples, Value, Zeus};
+
+#[test]
+fn e10_chessboard_pattern() {
+    let z = Zeus::parse(examples::CHESSBOARD).unwrap();
+    let plan = z.floorplan("chessboard", &[4]).unwrap();
+    assert!(plan.leaves_disjoint());
+    assert_eq!(plan.leaf_count(), 16);
+    assert_eq!((plan.width, plan.height), (4, 4));
+    let art = plan.render_ascii();
+    // odd(i+j) -> black, else white: rows alternate BWBW / WBWB.
+    assert_eq!(art, "WBWB\nBWBW\nWBWB\nBWBW\n");
+}
+
+#[test]
+fn e10_chessboard_cells_sit_at_grid_positions() {
+    let z = Zeus::parse(examples::CHESSBOARD).unwrap();
+    let plan = z.floorplan("chessboard", &[3]).unwrap();
+    for i in 1..=3i64 {
+        for j in 1..=3i64 {
+            let r = plan
+                .rect(&format!("chessboard.m[{i}][{j}]"))
+                .unwrap_or_else(|| panic!("m[{i}][{j}] placed"));
+            assert_eq!((r.x, r.y), (j - 1, i - 1), "row-major placement");
+        }
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn e10_chessboard_wavefront_simulates() {
+    // black forwards (top->bottom, left->right); white swaps. With
+    // north=1 and west=0, compute the mesh in software and compare the
+    // south-east outputs.
+    let z = Zeus::parse(examples::CHESSBOARD).unwrap();
+    let n = 4usize;
+    let mut sim = z.simulator("chessboard", &[n as i64]).unwrap();
+    for (north, west) in [(1u64, 0u64), (0, 1), (1, 1), (0, 0)] {
+        sim.set_port_num("north", north).unwrap();
+        sim.set_port_num("west", west).unwrap();
+        let r = sim.step();
+        assert!(r.is_clean());
+        // Software mesh.
+        let mut top = vec![vec![0u64; n + 1]; n + 1]; // value entering cell (i,j) from the top
+        let mut left = vec![vec![0u64; n + 1]; n + 1];
+        for j in 0..n {
+            top[0][j] = north;
+        }
+        for i in 0..n {
+            left[i][0] = west;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let black = (i + 1 + j + 1) % 2 == 1;
+                let (b, rgt) = if black {
+                    (top[i][j], left[i][j])
+                } else {
+                    (left[i][j], top[i][j])
+                };
+                top[i + 1][j] = b;
+                left[i][j + 1] = rgt;
+            }
+        }
+        assert_eq!(
+            sim.port_num("south"),
+            Some(top[n][n - 1] as i64),
+            "north={north} west={west}"
+        );
+        assert_eq!(sim.port_num("east"), Some(left[n - 1][n] as i64));
+    }
+}
+
+#[test]
+fn e10_replacing_twice_is_rejected() {
+    let src = "TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := a END; \
+         t = COMPONENT (IN x: boolean; OUT y: boolean) IS \
+         SIGNAL v: ARRAY[1..2] OF virtual; \
+         { v[1] = cell; v[1] = cell; v[2] = cell } \
+         BEGIN v[1].a := x; v[2].a := v[1].b; y := v[2].b END;";
+    let z = Zeus::parse(src).unwrap();
+    let e = z.elaborate("t", &[]).expect_err("double replacement");
+    assert!(e.to_string().contains("at most once"), "{e}");
+}
+
+#[test]
+fn e10_unreplaced_virtual_is_rejected() {
+    let src = "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS \
+         SIGNAL v: ARRAY[1..2] OF virtual; \
+         BEGIN v[1].a := x; y := v[1].b END;";
+    let z = Zeus::parse(src).unwrap();
+    let e = z.elaborate("t", &[]).expect_err("unreplaced virtual");
+    assert!(e.to_string().contains("has not been replaced"), "{e}");
+}
+
+#[test]
+fn e11_snake_order() {
+    // Fig. Snake: rows laid alternately left-to-right and right-to-left
+    // so consecutive elements abut around the turns.
+    let src = "TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := a END; \
+         snake(n) = COMPONENT (IN x: boolean; OUT y: boolean) IS \
+         SIGNAL c: ARRAY[1..n,1..n] OF cell; \
+         { ORDER toptobottom \
+             FOR i := 1 TO n DO \
+               WHEN odd(i) THEN \
+                 ORDER lefttoright FOR j := 1 TO n DO c[i,j] END END \
+               OTHERWISE \
+                 ORDER righttoleft FOR j := 1 TO n DO c[i,j] END END \
+               END \
+             END \
+           END } \
+         BEGIN \
+           c[1,1].a := x; \
+           FOR i := 1 TO n DO FOR j := 2 TO n DO \
+             WHEN odd(i) THEN c[i,j].a := c[i,j-1].b \
+             OTHERWISE c[i,j-1].a := c[i,j].b END \
+           END END; \
+           FOR i := 2 TO n DO \
+             WHEN odd(i) THEN c[i,1].a := c[i-1,1].b \
+             OTHERWISE c[i,n].a := c[i-1,n].b END \
+           END; \
+           WHEN odd(n) THEN y := c[n,n].b OTHERWISE y := c[n,1].b END \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    let plan = z.floorplan("snake", &[4]).unwrap();
+    assert!(plan.leaves_disjoint());
+    assert_eq!((plan.width, plan.height), (4, 4));
+    // Row 2 runs right-to-left: c[2][1] right of c[2][4].
+    let a = plan.rect("snake.c[2][1]").unwrap();
+    let b = plan.rect("snake.c[2][4]").unwrap();
+    assert!(b.x < a.x);
+    // And the chain simulates end-to-end.
+    let mut sim = z.simulator("snake", &[4]).unwrap();
+    sim.set_port_num("x", 1).unwrap();
+    sim.step();
+    assert_eq!(sim.port("y"), vec![Value::One]);
+    sim.set_port_num("x", 0).unwrap();
+    sim.step();
+    assert_eq!(sim.port("y"), vec![Value::Zero]);
+}
+
+#[test]
+fn e11_boundary_pins_on_htree() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    let d = z.elaborate("htree", &[16]).unwrap();
+    let plan = zeus::floorplan(&d);
+    // Every htree level and leaf declares { BOTTOM in; out }.
+    let bottom_pins = plan
+        .pins
+        .iter()
+        .filter(|p| p.side == zeus_syntax::ast::Side::Bottom)
+        .count();
+    assert!(bottom_pins > 0);
+}
+
+#[test]
+fn e11_patternmatch_layout_is_a_row_of_cell_pairs() {
+    // The paper's layout block: ORDER lefttoright over the PEs, each a
+    // toptobottom pair (comparator over accumulator) opened via WITH.
+    let z = Zeus::parse(examples::PATTERNMATCH).unwrap();
+    let plan = z.floorplan("patternmatch", &[5]).unwrap();
+    assert!(plan.leaves_disjoint());
+    // comparator (2 REGs) stacks above accumulator (4 REGs): each PE
+    // column has the same width; five PEs side by side.
+    let c1 = plan.rect("patternmatch.pe[1].comp").unwrap();
+    let a1 = plan.rect("patternmatch.pe[1].acc").unwrap();
+    assert!(c1.y + c1.h <= a1.y, "comparator above accumulator");
+    let c5 = plan.rect("patternmatch.pe[5].comp").unwrap();
+    assert!(c1.x + c1.w <= c5.x, "PEs ordered left to right");
+}

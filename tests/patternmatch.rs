@@ -1,0 +1,182 @@
+//! E7: the systolic pattern matcher of §10 and its "possible computation
+//! sequence" figure.
+//!
+//! Items enter bitwise every second clock cycle (0's during idle
+//! phases); the pattern (with its wildcard and end-of-pattern marker
+//! lanes) flows left to right, the string right to left. The cell whose
+//! alignment matches accumulates 1 and emits a result bit each time the
+//! end-of-pattern marker passes, so with periodic streams the result
+//! port shows a 1 every `2·length` cycles.
+
+use zeus::{examples, Simulator, Value, Zeus};
+
+struct Bench {
+    sim: Simulator,
+    pattern: Vec<u8>,
+    wild: Vec<u8>,
+    string: Vec<u8>,
+    t: u64,
+}
+
+impl Bench {
+    fn new(length: i64, pattern: Vec<u8>, wild: Vec<u8>, string: Vec<u8>) -> Bench {
+        let z = Zeus::parse(examples::PATTERNMATCH).unwrap();
+        let sim = z.simulator("patternmatch", &[length]).unwrap();
+        Bench {
+            sim,
+            pattern,
+            wild,
+            string,
+            t: 0,
+        }
+    }
+
+    /// Drives one cycle of the periodic streams and returns the result
+    /// port value.
+    fn cycle(&mut self, rset: bool) -> Value {
+        let m = self.pattern.len() as u64;
+        let (p, w, e, s) = if self.t.is_multiple_of(2) {
+            let k = ((self.t / 2) % m) as usize;
+            (
+                self.pattern[k],
+                self.wild[k],
+                u8::from(k as u64 == m - 1), // marker with the last symbol
+                self.string[k],
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
+        self.sim.set_rset(rset);
+        self.sim.set_port_num("pattern", p as u64).unwrap();
+        self.sim.set_port_num("wild", w as u64).unwrap();
+        self.sim.set_port_num("endofpattern", e as u64).unwrap();
+        self.sim.set_port_num("string", s as u64).unwrap();
+        self.sim.set_port_num("resultin", 0).unwrap();
+        let r = self.sim.step();
+        assert!(r.is_clean(), "cycle {}: {:?}", self.t, r.conflicts);
+        self.t += 1;
+        self.sim.port("result")[0]
+    }
+
+    /// Warm up under reset until the lanes are filled with real values.
+    fn warm_up(&mut self) {
+        for _ in 0..(4 * self.pattern.len() as u64 + 4) {
+            self.cycle(true);
+        }
+    }
+
+    /// Collects the result stream for `n` cycles after warm-up.
+    fn results(&mut self, n: usize) -> Vec<Value> {
+        (0..n).map(|_| self.cycle(false)).collect()
+    }
+}
+
+#[test]
+fn e7_matching_streams_produce_periodic_hits() {
+    let mut b = Bench::new(3, vec![1, 0, 1], vec![0, 0, 0], vec![1, 0, 1]);
+    b.warm_up();
+    let out = b.results(40);
+    // Skip the pipeline flush, then expect 1s with period 2*length = 6.
+    let settled = &out[12..];
+    let ones: Vec<usize> = settled
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v == Value::One)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(ones.len() >= 3, "expected periodic hits, got {settled:?}");
+    for w in ones.windows(2) {
+        assert_eq!(w[1] - w[0], 6, "hit period must be 2*length: {ones:?}");
+    }
+    // No undefined values after settling.
+    assert!(settled.iter().all(|&v| v != Value::Undef), "{settled:?}");
+}
+
+#[test]
+fn e7_mismatching_streams_never_hit() {
+    let mut b = Bench::new(3, vec![1, 1, 1], vec![0, 0, 0], vec![0, 0, 0]);
+    b.warm_up();
+    let out = b.results(40);
+    let settled = &out[12..];
+    assert!(
+        settled.iter().all(|&v| v != Value::One),
+        "mismatch must never report a match: {settled:?}"
+    );
+}
+
+#[test]
+fn e7_wildcard_matches_anything() {
+    // Pattern 1?1 with a wildcard in the middle vs string 111: a match.
+    let mut b = Bench::new(3, vec![1, 0, 1], vec![0, 1, 0], vec![1, 1, 1]);
+    b.warm_up();
+    let out = b.results(40);
+    assert!(
+        out[12..].contains(&Value::One),
+        "wildcard must match: {out:?}"
+    );
+    // The same streams without the wildcard do not match.
+    let mut b2 = Bench::new(3, vec![1, 0, 1], vec![0, 0, 0], vec![1, 1, 1]);
+    b2.warm_up();
+    let out2 = b2.results(40);
+    assert!(out2[12..].iter().all(|&v| v != Value::One), "{out2:?}");
+}
+
+#[test]
+fn e7_longer_array_still_matches() {
+    let mut b = Bench::new(
+        5,
+        vec![1, 1, 0, 1, 0],
+        vec![0, 0, 0, 0, 0],
+        vec![1, 1, 0, 1, 0],
+    );
+    b.warm_up();
+    let out = b.results(60);
+    let settled = &out[20..];
+    let ones = settled.iter().filter(|&&v| v == Value::One).count();
+    assert!(ones >= 3, "{settled:?}");
+}
+
+#[test]
+fn e7_computation_sequence_figure() {
+    // Reproduce the flavor of the paper's "possible computation sequence"
+    // figure: a waveform of the boundary lanes.
+    let z = Zeus::parse(examples::PATTERNMATCH).unwrap();
+    let sim = z.simulator("patternmatch", &[3]).unwrap();
+    let mut rec = zeus::Recorder::new();
+    let mut b = Bench::new(3, vec![1, 0, 1], vec![0, 0, 0], vec![1, 0, 1]);
+    drop(sim);
+    assert!(rec.watch_port(&b.sim, "result"));
+    assert!(rec.watch_port(&b.sim, "endout"));
+    b.warm_up();
+    for _ in 0..24 {
+        b.cycle(false);
+        rec.sample(&b.sim);
+    }
+    let wave = rec.render();
+    assert!(wave.contains("result[1]"), "{wave}");
+    assert!(wave.contains('1'), "some activity expected:\n{wave}");
+}
+
+#[test]
+fn e7_pass_through_lanes_delay_correctly() {
+    // The pattern exits at patternout after `length` register stages.
+    let mut b = Bench::new(3, vec![1, 1, 0], vec![0, 0, 0], vec![0, 0, 0]);
+    b.warm_up();
+    // Record pattern input vs patternout over a window.
+    let mut ins = Vec::new();
+    let mut outs = Vec::new();
+    for _ in 0..24 {
+        let m = b.pattern.len() as u64;
+        let p_now = if b.t.is_multiple_of(2) {
+            b.pattern[((b.t / 2) % m) as usize]
+        } else {
+            0
+        };
+        ins.push(p_now);
+        b.cycle(false);
+        let po = b.sim.port("patternout")[0];
+        outs.push(if po == Value::One { 1u8 } else { 0u8 });
+    }
+    // patternout equals the input delayed by 3 cycles.
+    assert_eq!(&outs[3..], &ins[..ins.len() - 3], "ins={ins:?} outs={outs:?}");
+}

@@ -1,0 +1,109 @@
+//! Property-based tests across the whole pipeline (proptest).
+
+use proptest::prelude::*;
+use zeus::{examples, Value, Zeus};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parameterized ripple-carry adder computes addition for
+    /// arbitrary widths and operands.
+    #[test]
+    fn ripple_carry_is_addition(n in 3usize..20, a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let z = Zeus::parse(examples::ADDERS).unwrap();
+        let mut sim = z.simulator("rippleCarry", &[n as i64]).unwrap();
+        let mask = (1u64 << n) - 1;
+        let (a, b) = (a & mask, b & mask);
+        sim.set_port_num("a", a).unwrap();
+        sim.set_port_num("b", b).unwrap();
+        sim.set_port_num("cin", cin as u64).unwrap();
+        let r = sim.step();
+        prop_assert!(r.is_clean());
+        let total = a as u128 + b as u128 + cin as u128;
+        prop_assert_eq!(sim.port_num("s"), Some((total as u64 & mask) as i64));
+        prop_assert_eq!(sim.port_num("cout"), Some((total >> n) as i64));
+    }
+
+    /// The blackjack arithmetic substrate: plus/minus/ge/lt agree with
+    /// machine arithmetic mod 32.
+    #[test]
+    fn blackjack_arith_functions(a in 0u64..32, b in 0u64..32) {
+        let src = format!(
+            "{} TYPE probe = COMPONENT (IN x,y: bo5; OUT sum, diff: bo5; \
+                                        OUT geq, less: boolean) IS \
+             BEGIN sum := plus(x,y); diff := minus(x,y); \
+                   geq := ge(x,y); less := lt(x,y) END;",
+            examples::BLACKJACK
+        );
+        let z = Zeus::parse(&src).unwrap();
+        let mut sim = z.simulator("probe", &[]).unwrap();
+        sim.set_port_num("x", a).unwrap();
+        sim.set_port_num("y", b).unwrap();
+        sim.step();
+        prop_assert_eq!(sim.port_num("sum"), Some(((a + b) % 32) as i64));
+        prop_assert_eq!(sim.port_num("diff"), Some(((32 + a - b) % 32) as i64));
+        prop_assert_eq!(sim.port_num("geq"), Some((a >= b) as i64));
+        prop_assert_eq!(sim.port_num("less"), Some((a < b) as i64));
+    }
+
+    /// Broadcast trees deliver the root value to every leaf for any
+    /// power-of-two size.
+    #[test]
+    fn tree_broadcast_property(k in 1u32..8, v in any::<bool>()) {
+        let n = 1i64 << k;
+        let z = Zeus::parse(examples::TREES).unwrap();
+        let mut sim = z.simulator("tree", &[n]).unwrap();
+        sim.set_port("in", &[Value::from_bool(v)]).unwrap();
+        sim.step();
+        prop_assert!(sim.port("leaf").iter().all(|&l| l == Value::from_bool(v)));
+    }
+
+    /// RAM: a write followed by reads always returns the written word,
+    /// for arbitrary geometry.
+    #[test]
+    fn ram_write_read_property(abits in 1i64..6, width in 1i64..9, addr in any::<u64>(), data in any::<u64>()) {
+        let words = 1i64 << abits;
+        let addr = addr % (words as u64);
+        let data = data & ((1u64 << width) - 1);
+        let z = Zeus::parse(examples::RAM).unwrap();
+        let mut sim = z.simulator("ram", &[words, width, abits]).unwrap();
+        sim.set_port_num("a", addr).unwrap();
+        sim.set_port_num("din", data).unwrap();
+        sim.set_port_num("we", 1).unwrap();
+        sim.step();
+        sim.set_port_num("we", 0).unwrap();
+        sim.step();
+        prop_assert_eq!(sim.port_num("dout"), Some(data as i64));
+    }
+
+    /// The switch-level baseline agrees with the Zeus simulator on the
+    /// ripple-carry adder for random operands (C1 semantics side).
+    #[test]
+    fn switch_level_agrees_on_adder(a in 0u64..64, b in 0u64..64) {
+        let z = Zeus::parse(examples::ADDERS).unwrap();
+        let d = z.elaborate("rippleCarry", &[6]).unwrap();
+        let mut lv = zeus::Simulator::new(d.clone()).unwrap();
+        let mut sw = zeus::SwitchSim::new(&d);
+        lv.set_port_num("a", a).unwrap();
+        lv.set_port_num("b", b).unwrap();
+        lv.set_port_num("cin", 0).unwrap();
+        sw.set_port_num("a", a).unwrap();
+        sw.set_port_num("b", b).unwrap();
+        sw.set_port_num("cin", 0).unwrap();
+        lv.step();
+        sw.step();
+        prop_assert_eq!(lv.port_num("s"), sw.port_num("s"));
+        prop_assert_eq!(lv.port_num("cout"), sw.port_num("cout"));
+    }
+
+    /// Print → parse → print is a fixpoint for the canonical text of any
+    /// bundled example (printer round-trip at program scale).
+    #[test]
+    fn printer_fixpoint(idx in 0usize..16) {
+        let (_, src, _) = examples::ALL[idx];
+        let z = Zeus::parse(src).unwrap();
+        let once = z.to_canonical_text();
+        let z2 = Zeus::parse(&once).unwrap();
+        prop_assert_eq!(z2.to_canonical_text(), once);
+    }
+}

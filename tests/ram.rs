@@ -1,0 +1,101 @@
+//! E9: the RAM built from `REG` and `NUM` (§5.1).
+
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use zeus::{examples, Value, Zeus};
+
+#[test]
+fn e9_ram_random_traffic_matches_model() {
+    let z = Zeus::parse(examples::RAM).unwrap();
+    // 16 words x 8 bits, 4 address bits.
+    let mut sim = z.simulator("ram", &[16, 8, 4]).unwrap();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for _ in 0..300 {
+        let addr = rng.gen_range(0..16u64);
+        if rng.gen_bool(0.5) {
+            let data = rng.gen_range(0..256u64);
+            sim.set_port_num("a", addr).unwrap();
+            sim.set_port_num("din", data).unwrap();
+            sim.set_port_num("we", 1).unwrap();
+            let r = sim.step();
+            assert!(r.is_clean());
+            model.insert(addr, data);
+        } else {
+            sim.set_port_num("a", addr).unwrap();
+            sim.set_port_num("we", 0).unwrap();
+            let r = sim.step();
+            assert!(r.is_clean());
+            match model.get(&addr) {
+                Some(&v) => assert_eq!(sim.port_num("dout"), Some(v as i64), "addr={addr}"),
+                None => assert_eq!(
+                    sim.port_num("dout"),
+                    None,
+                    "uninitialized word must read undefined"
+                ),
+            }
+        }
+    }
+    assert!(model.len() > 4, "traffic should have written several words");
+}
+
+#[test]
+fn e9_read_during_write_sees_old_value() {
+    // "It is allowed that in the same clock cycle the in port is assigned
+    //  a value and that the stored value (from the last clock cycle) is
+    //  read at the out port." (§5.1)
+    let z = Zeus::parse(examples::RAM).unwrap();
+    let mut sim = z.simulator("ram", &[4, 4, 2]).unwrap();
+    sim.set_port_num("a", 2).unwrap();
+    sim.set_port_num("din", 9).unwrap();
+    sim.set_port_num("we", 1).unwrap();
+    sim.step(); // writes 9
+    sim.set_port_num("din", 5).unwrap();
+    sim.step(); // writes 5, but the read port sees 9 during this cycle
+    assert_eq!(sim.port_num("dout"), Some(9));
+    sim.set_port_num("we", 0).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("dout"), Some(5));
+}
+
+#[test]
+fn e9_write_disabled_preserves_contents() {
+    let z = Zeus::parse(examples::RAM).unwrap();
+    let mut sim = z.simulator("ram", &[8, 4, 3]).unwrap();
+    sim.set_port_num("a", 3).unwrap();
+    sim.set_port_num("din", 12).unwrap();
+    sim.set_port_num("we", 1).unwrap();
+    sim.step();
+    sim.set_port_num("we", 0).unwrap();
+    sim.set_port_num("din", 1).unwrap();
+    for _ in 0..5 {
+        sim.step();
+        assert_eq!(sim.port_num("dout"), Some(12));
+    }
+}
+
+#[test]
+fn e9_undefined_address_reads_undefined() {
+    let z = Zeus::parse(examples::RAM).unwrap();
+    let mut sim = z.simulator("ram", &[4, 4, 2]).unwrap();
+    // Initialize everything.
+    for a in 0..4u64 {
+        sim.set_port_num("a", a).unwrap();
+        sim.set_port_num("din", a + 1).unwrap();
+        sim.set_port_num("we", 1).unwrap();
+        sim.step();
+    }
+    sim.set_port_num("we", 0).unwrap();
+    sim.set_port("a", &[Value::Undef, Value::Zero]).unwrap();
+    sim.step();
+    assert_eq!(sim.port_num("dout"), None, "X address selects no word");
+}
+
+#[test]
+fn e9_paper_sized_ram_elaborates() {
+    // The paper's 1024 x 16 memory: 16384 registers plus the generated
+    // address mux/demux hardware.
+    let z = Zeus::parse(examples::RAM).unwrap();
+    let d = z.elaborate("ram1k", &[]).unwrap();
+    assert_eq!(d.netlist.registers().count(), 1024 * 16);
+}

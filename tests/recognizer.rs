@@ -1,0 +1,83 @@
+//! Extension: the regular-language recognizer for (a|b)c* (§9's
+//! Foster/Kung invitation), checked against a software regex automaton.
+
+use zeus::{examples, Simulator, Value, Zeus};
+
+const A: u64 = 0;
+const B: u64 = 1;
+const C: u64 = 2;
+const D: u64 = 3;
+
+fn machine() -> Simulator {
+    let z = Zeus::parse(examples::RECOGNIZER).unwrap();
+    z.simulator("recab", &[]).unwrap()
+}
+
+/// Feeds a string; `accept` is observed in the cycle after the last
+/// symbol (the Glushkov registers update at cycle end).
+fn accepts(sim: &mut Simulator, word: &[u64]) -> bool {
+    // The cycle carrying the first symbol also carries start=1.
+    for (i, &sym) in word.iter().enumerate() {
+        sim.set_port_num("start", (i == 0) as u64).unwrap();
+        sim.set_port_num("symbol", sym).unwrap();
+        assert!(sim.step().is_clean());
+    }
+    // Observe acceptance: one more idle evaluation reading the
+    // registers (feed a non-matching symbol with no enables).
+    sim.set_port_num("start", 0).unwrap();
+    sim.set_port_num("symbol", D).unwrap();
+    sim.step();
+    sim.port("accept") == vec![Value::One]
+}
+
+/// The reference automaton for (a|b)c*.
+fn model(word: &[u64]) -> bool {
+    match word {
+        [] => false,
+        [first, rest @ ..] => {
+            (*first == A || *first == B) && rest.iter().all(|&s| s == C)
+        }
+    }
+}
+
+#[test]
+fn agreed_verdicts_on_small_words() {
+    let mut sim = machine();
+    // Exhaust all words of length 1..=4 over the alphabet.
+    for len in 1usize..=4 {
+        for mut code in 0..(4u64.pow(len as u32)) {
+            let mut word = Vec::with_capacity(len);
+            for _ in 0..len {
+                word.push(code % 4);
+                code /= 4;
+            }
+            assert_eq!(
+                accepts(&mut sim, &word),
+                model(&word),
+                "word {word:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_restart_with_start_pulse() {
+    let mut sim = machine();
+    assert!(accepts(&mut sim, &[A, C, C]));
+    // A fresh start pulse restarts recognition mid-stream; stale state
+    // must not leak into the new word.
+    assert!(!accepts(&mut sim, &[C, C]));
+    assert!(accepts(&mut sim, &[B]));
+}
+
+#[test]
+fn longer_tails_of_c() {
+    let mut sim = machine();
+    let mut word = vec![B];
+    for _ in 0..12 {
+        word.push(C);
+        assert!(accepts(&mut sim, &word), "{word:?}");
+    }
+    word.push(A);
+    assert!(!accepts(&mut sim, &word));
+}

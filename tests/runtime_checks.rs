@@ -1,0 +1,132 @@
+//! E13: the runtime single-active-assignment check and the paper's
+//! NP-completeness argument (claim C3 in DESIGN.md).
+//!
+//! "It is easy to show that deciding whether a signal of type multiplex
+//! is assigned the value 0 or 1 exactly once is NP-complete. This is a
+//! theoretical justification for the run-time checks." — we encode a CNF
+//! formula into guards of conditional assignments: statically nothing is
+//! wrong, but for satisfying inputs two assignments fire at once, which
+//! only the runtime check can see.
+
+use zeus::{Value, Zeus};
+
+/// Builds a Zeus program with one multiplex wire conditionally driven by
+/// two clause-guards of a CNF-style condition: a conflict occurs exactly
+/// when both products are true.
+fn two_product_conflict() -> &'static str {
+    "TYPE t = COMPONENT (IN x1,x2,x3: boolean; OUT q: boolean) IS \
+     SIGNAL w: multiplex; \
+     BEGIN \
+       IF AND(x1,x2) THEN w := 1 END; \
+       IF AND(x2,x3) THEN w := 0 END; \
+       q := w \
+     END;"
+}
+
+#[test]
+fn e13_conflict_exactly_on_satisfying_assignment() {
+    let z = Zeus::parse(two_product_conflict()).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    for bits in 0..8u64 {
+        let (x1, x2, x3) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+        sim.set_port_num("x1", x1).unwrap();
+        sim.set_port_num("x2", x2).unwrap();
+        sim.set_port_num("x3", x3).unwrap();
+        let r = sim.step();
+        let both = x1 == 1 && x2 == 1 && x3 == 1;
+        assert_eq!(
+            !r.is_clean(),
+            both,
+            "x1={x1} x2={x2} x3={x3}: conflict iff both products true"
+        );
+    }
+}
+
+#[test]
+fn e13_conflict_reports_net_name_and_cycle() {
+    let z = Zeus::parse(two_product_conflict()).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.set_port_num("x1", 1).unwrap();
+    sim.set_port_num("x2", 1).unwrap();
+    sim.set_port_num("x3", 1).unwrap();
+    sim.step();
+    sim.step();
+    let r = sim.step();
+    assert_eq!(r.conflicts.len(), 1);
+    assert_eq!(r.conflicts[0].name, "t.w");
+    assert_eq!(r.conflicts[0].cycle, 2);
+    assert_eq!(r.conflicts[0].active, 2);
+    assert_eq!(sim.conflicts_total(), 3);
+}
+
+#[test]
+fn e13_values_identical_with_and_without_checking() {
+    // Disabling the check must not change simulated values on clean
+    // cycles (the ablation measured by the check_overhead bench).
+    let z = Zeus::parse(two_product_conflict()).unwrap();
+    let mut checked = z.simulator("t", &[]).unwrap();
+    let mut unchecked = z.simulator("t", &[]).unwrap();
+    unchecked.set_conflict_checking(false);
+    for bits in 0..8u64 {
+        let (x1, x2, x3) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+        if x1 == 1 && x2 == 1 && x3 == 1 {
+            continue; // conflict cycle: resolved values legitimately differ
+        }
+        for s in [&mut checked, &mut unchecked] {
+            s.set_port_num("x1", x1).unwrap();
+            s.set_port_num("x2", x2).unwrap();
+            s.set_port_num("x3", x3).unwrap();
+            s.step();
+        }
+        assert_eq!(checked.port("q"), unchecked.port("q"), "bits={bits}");
+    }
+}
+
+#[test]
+fn e13_wide_fan_in_counts_every_active_driver() {
+    // Eight switches onto one wire; drive k of them and verify the
+    // reported active count.
+    let src = "TYPE t = COMPONENT (IN en: ARRAY[1..8] OF boolean; OUT q: boolean) IS \
+         SIGNAL w: multiplex; \
+         BEGIN \
+           FOR i := 1 TO 8 DO IF en[i] THEN w := 1 END END; \
+           q := w \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    for k in 0..=8u32 {
+        let mask = (1u64 << k) - 1;
+        sim.set_port_num("en", mask).unwrap();
+        let r = sim.step();
+        match k {
+            0 => {
+                assert!(r.is_clean());
+                assert_eq!(sim.port("q"), vec![Value::Undef]); // NOINFL read
+            }
+            1 => {
+                assert!(r.is_clean());
+                assert_eq!(sim.port("q"), vec![Value::One]);
+            }
+            _ => {
+                assert_eq!(r.conflicts.len(), 1);
+                assert_eq!(r.conflicts[0].active, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn e13_undef_guard_counts_as_active() {
+    // An undefined switch condition contributes UNDEF (§8), which is an
+    // active (0,1,UNDEF) assignment.
+    let src = "TYPE t = COMPONENT (IN a,b: boolean; OUT q: boolean) IS \
+         SIGNAL w: multiplex; \
+         BEGIN IF a THEN w := 1 END; IF b THEN w := 1 END; q := w END;";
+    let z = Zeus::parse(src).unwrap();
+    let mut sim = z.simulator("t", &[]).unwrap();
+    sim.set_port_num("a", 1).unwrap();
+    sim.set_port("b", &[Value::Undef]).unwrap();
+    let r = sim.step();
+    assert_eq!(r.conflicts.len(), 1);
+    assert_eq!(sim.port("q"), vec![Value::Undef]);
+}

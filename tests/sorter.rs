@@ -1,0 +1,78 @@
+//! Extension: the odd-even transposition sorting network, against the
+//! standard-library sort.
+
+use rand::{Rng, SeedableRng};
+use zeus::{examples, Zeus};
+
+fn run_sort(sim: &mut zeus::Simulator, n: usize, w: i64, words: &[u64]) -> Vec<i64> {
+    let mut bits = Vec::new();
+    for &word in words {
+        for b in 0..w {
+            bits.push(zeus::Value::from_bool((word >> b) & 1 == 1));
+        }
+    }
+    sim.set_port("a", &bits).unwrap();
+    assert!(sim.step().is_clean());
+    let out = sim.port("z");
+    out.chunks(w as usize)
+        .take(n)
+        .map(|chunk| {
+            let mut v = 0i64;
+            for (b, val) in chunk.iter().enumerate() {
+                assert_ne!(*val, zeus::Value::Undef, "defined inputs sort defined");
+                if *val == zeus::Value::One {
+                    v |= 1 << b;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+#[test]
+fn sorts_random_vectors() {
+    let z = Zeus::parse(examples::SORTER).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for (n, w) in [(4usize, 4i64), (7, 5), (8, 8)] {
+        let mut sim = z.simulator("sorter", &[n as i64, w]).unwrap();
+        for _ in 0..16 {
+            let words: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << w))).collect();
+            let got = run_sort(&mut sim, n, w, &words);
+            let mut expect: Vec<i64> = words.iter().map(|&x| x as i64).collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "n={n} w={w} input={words:?}");
+        }
+    }
+}
+
+#[test]
+fn sorts_adversarial_vectors() {
+    let z = Zeus::parse(examples::SORTER).unwrap();
+    let n = 6usize;
+    let mut sim = z.simulator("sorter", &[n as i64, 4]).unwrap();
+    for words in [
+        vec![15u64, 14, 13, 12, 11, 10], // strictly descending
+        vec![0, 0, 0, 0, 0, 0],          // all equal
+        vec![1, 0, 1, 0, 1, 0],          // alternating
+        vec![0, 15, 0, 15, 0, 15],
+    ] {
+        let got = run_sort(&mut sim, n, 4, &words);
+        let mut expect: Vec<i64> = words.iter().map(|&x| x as i64).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn network_size_is_quadratic() {
+    let z = Zeus::parse(examples::SORTER).unwrap();
+    let d4 = z.elaborate("sorter", &[4, 4]).unwrap();
+    let d8 = z.elaborate("sorter", &[8, 4]).unwrap();
+    let ratio = d8.netlist.node_count() as f64 / d4.netlist.node_count() as f64;
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "n^2 comparators: {} vs {}",
+        d4.netlist.node_count(),
+        d8.netlist.node_count()
+    );
+}

@@ -1,0 +1,224 @@
+//! Extensions: the systolic stack and the dictionary machine (both in
+//! the abstract's list of tested examples), checked against software
+//! models.
+
+use rand::{Rng, SeedableRng};
+use zeus::{examples, Simulator, Zeus};
+
+struct Stack {
+    sim: Simulator,
+}
+
+impl Stack {
+    fn new(depth: i64, width: i64) -> Stack {
+        let z = Zeus::parse(examples::STACK).unwrap();
+        let mut sim = z.simulator("systolicstack", &[depth, width]).unwrap();
+        sim.set_port_num("push", 0).unwrap();
+        sim.set_port_num("pop", 0).unwrap();
+        sim.set_port_num("din", 0).unwrap();
+        sim.set_rset(true);
+        sim.step();
+        sim.set_rset(false);
+        Stack { sim }
+    }
+
+    fn push(&mut self, v: u64) {
+        self.sim.set_port_num("push", 1).unwrap();
+        self.sim.set_port_num("pop", 0).unwrap();
+        self.sim.set_port_num("din", v).unwrap();
+        assert!(self.sim.step().is_clean());
+    }
+
+    fn pop(&mut self) -> Option<i64> {
+        // The top is visible while popping (read before shift).
+        self.sim.set_port_num("push", 0).unwrap();
+        self.sim.set_port_num("pop", 1).unwrap();
+        assert!(self.sim.step().is_clean());
+        self.sim.port_num("top")
+    }
+
+    fn idle(&mut self) {
+        self.sim.set_port_num("push", 0).unwrap();
+        self.sim.set_port_num("pop", 0).unwrap();
+        self.sim.step();
+    }
+
+    fn top(&mut self) -> Option<i64> {
+        self.idle();
+        self.sim.port_num("top")
+    }
+
+    fn empty(&mut self) -> bool {
+        self.idle();
+        self.sim.port_num("empty") == Some(1)
+    }
+}
+
+#[test]
+fn stack_push_pop_lifo() {
+    let mut s = Stack::new(8, 6);
+    assert!(s.empty());
+    for v in [3u64, 14, 1, 59] {
+        s.push(v);
+    }
+    assert!(!s.empty());
+    assert_eq!(s.top(), Some(59));
+    assert_eq!(s.pop(), Some(59));
+    assert_eq!(s.pop(), Some(1));
+    s.push(7);
+    assert_eq!(s.pop(), Some(7));
+    assert_eq!(s.pop(), Some(14));
+    assert_eq!(s.pop(), Some(3));
+    assert!(s.empty());
+}
+
+#[test]
+fn stack_random_against_vec_model() {
+    let mut s = Stack::new(16, 8);
+    let mut model: Vec<u64> = Vec::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for _ in 0..200 {
+        if rng.gen_bool(0.55) && model.len() < 16 {
+            let v = rng.gen_range(0..256u64);
+            s.push(v);
+            model.push(v);
+        } else if let Some(expect) = model.pop() {
+            assert_eq!(s.pop(), Some(expect as i64));
+        } else {
+            assert!(s.empty());
+        }
+    }
+}
+
+#[test]
+fn stack_idle_cycles_preserve_contents() {
+    let mut s = Stack::new(4, 4);
+    s.push(9);
+    s.push(5);
+    for _ in 0..10 {
+        s.idle();
+    }
+    assert_eq!(s.pop(), Some(5));
+    assert_eq!(s.pop(), Some(9));
+}
+
+struct Dict {
+    sim: Simulator,
+    width: i64,
+}
+
+impl Dict {
+    fn new(cells: i64, width: i64) -> Dict {
+        let z = Zeus::parse(examples::DICTIONARY).unwrap();
+        let mut sim = z.simulator("dictionary", &[cells, width]).unwrap();
+        sim.set_port_num("insert", 0).unwrap();
+        sim.set_port_num("extract", 0).unwrap();
+        sim.set_port_num("key", 0).unwrap();
+        sim.set_rset(true);
+        sim.step();
+        sim.set_rset(false);
+        Dict { sim, width }
+    }
+
+    fn sentinel(&self) -> i64 {
+        (1i64 << self.width) - 1
+    }
+
+    fn insert(&mut self, key: u64) {
+        self.sim.set_port_num("insert", 1).unwrap();
+        self.sim.set_port_num("extract", 0).unwrap();
+        self.sim.set_port_num("key", key).unwrap();
+        assert!(self.sim.step().is_clean());
+    }
+
+    fn extract_min(&mut self) -> Option<i64> {
+        self.sim.set_port_num("insert", 0).unwrap();
+        self.sim.set_port_num("extract", 1).unwrap();
+        assert!(self.sim.step().is_clean());
+        self.sim.port_num("minkey")
+    }
+
+    fn min(&mut self) -> Option<i64> {
+        self.sim.set_port_num("insert", 0).unwrap();
+        self.sim.set_port_num("extract", 0).unwrap();
+        self.sim.step();
+        self.sim.port_num("minkey")
+    }
+
+    fn full(&mut self) -> bool {
+        self.sim.set_port_num("insert", 0).unwrap();
+        self.sim.set_port_num("extract", 0).unwrap();
+        self.sim.step();
+        self.sim.port_num("full") == Some(1)
+    }
+}
+
+#[test]
+fn dictionary_extracts_in_sorted_order() {
+    let mut d = Dict::new(8, 6);
+    for k in [40u64, 7, 23, 7, 55, 0] {
+        d.insert(k);
+    }
+    assert_eq!(d.min(), Some(0));
+    let mut out = Vec::new();
+    for _ in 0..6 {
+        out.push(d.extract_min().unwrap());
+    }
+    assert_eq!(out, vec![0, 7, 7, 23, 40, 55]);
+    assert_eq!(d.min(), Some(d.sentinel()), "empty reads the sentinel");
+}
+
+#[test]
+fn dictionary_random_against_heap_model() {
+    let mut d = Dict::new(16, 8);
+    let mut model: Vec<u64> = Vec::new(); // kept sorted
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    for _ in 0..200 {
+        // Keys below the sentinel only.
+        if rng.gen_bool(0.6) && model.len() < 16 {
+            let k = rng.gen_range(0..255u64);
+            d.insert(k);
+            model.push(k);
+            model.sort_unstable();
+        } else if !model.is_empty() {
+            let expect = model.remove(0);
+            assert_eq!(d.extract_min(), Some(expect as i64));
+        } else {
+            assert_eq!(d.min(), Some(d.sentinel()));
+        }
+    }
+}
+
+#[test]
+fn dictionary_full_flag_and_overflow() {
+    let mut d = Dict::new(4, 4);
+    for k in [3u64, 1, 4, 2] {
+        d.insert(k);
+    }
+    assert!(d.full());
+    // Inserting 0 drops the largest stored key (4).
+    d.insert(0);
+    let drained: Vec<i64> = (0..4).map(|_| d.extract_min().unwrap()).collect();
+    assert_eq!(drained, vec![0, 1, 2, 3]);
+    // Inserting a key larger than everything into a full machine drops
+    // the new key itself.
+    let mut d = Dict::new(2, 4);
+    d.insert(5);
+    d.insert(6);
+    d.insert(14);
+    let drained: Vec<i64> = (0..2).map(|_| d.extract_min().unwrap()).collect();
+    assert_eq!(drained, vec![5, 6]);
+}
+
+#[test]
+fn single_cycle_insert_is_systolic() {
+    // Every insert completes in exactly one clock cycle regardless of
+    // where the key lands — the defining property of the machine.
+    let mut d = Dict::new(32, 8);
+    for k in (0..32u64).rev() {
+        let before = d.sim.cycle();
+        d.insert(k);
+        assert_eq!(d.sim.cycle(), before + 1);
+    }
+    assert_eq!(d.min(), Some(0));
+}

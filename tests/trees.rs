@@ -1,0 +1,69 @@
+//! E5: binary trees (Fig. binary tree and the recursive variant).
+
+use zeus::{examples, Value, Zeus};
+
+#[test]
+fn e5_iterative_tree_broadcasts() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    for n in [2i64, 4, 8, 32, 128] {
+        let mut sim = z.simulator("tree", &[n]).unwrap();
+        for v in [Value::One, Value::Zero, Value::Undef] {
+            sim.set_port("in", &[v]).unwrap();
+            let r = sim.step();
+            assert!(r.is_clean());
+            let leaves = sim.port("leaf");
+            assert_eq!(leaves.len(), n as usize);
+            assert!(leaves.iter().all(|&l| l == v), "n={n} v={v}");
+        }
+    }
+}
+
+#[test]
+fn e5_recursive_tree_matches_iterative() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    for n in [2i64, 4, 8, 16] {
+        let mut it = z.simulator("tree", &[n]).unwrap();
+        let mut rec = z.simulator("rtree", &[n]).unwrap();
+        for v in [Value::One, Value::Zero] {
+            it.set_port("in", &[v]).unwrap();
+            rec.set_port("in", &[v]).unwrap();
+            it.step();
+            rec.step();
+            assert_eq!(it.port("leaf"), rec.port("leaf"), "n={n}");
+        }
+    }
+}
+
+#[test]
+fn e5_tree_instance_count() {
+    // A broadcast tree over n leaves uses n-1 q nodes.
+    let z = Zeus::parse(examples::TREES).unwrap();
+    for n in [4i64, 16, 64] {
+        let d = z.elaborate("tree", &[n]).unwrap();
+        fn count(node: &zeus::InstanceNode, ty: &str) -> usize {
+            (node.type_name == ty) as usize
+                + node.children.iter().map(|c| count(c, ty)).sum::<usize>()
+        }
+        assert_eq!(count(&d.instances, "q"), (n - 1) as usize, "n={n}");
+    }
+}
+
+#[test]
+fn e5_recursive_tree_layout_is_disjoint() {
+    let z = Zeus::parse(examples::TREES).unwrap();
+    let plan = z.floorplan("rtree", &[8]).unwrap();
+    assert!(plan.leaves_disjoint());
+    assert!(plan.area() > 0);
+}
+
+#[test]
+fn e5_tree_equivalence_mechanized() {
+    // The iterative and recursive trees are the same circuit: proven
+    // exhaustively by the combinational equivalence checker.
+    let z = Zeus::parse(examples::TREES).unwrap();
+    for n in [2i64, 4, 16] {
+        let a = z.elaborate("tree", &[n]).unwrap();
+        let b = z.elaborate("rtree", &[n]).unwrap();
+        assert_eq!(zeus::check_equivalent(&a, &b, 20).unwrap(), None, "n={n}");
+    }
+}
