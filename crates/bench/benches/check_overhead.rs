@@ -34,7 +34,10 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     drive_random(
                         &mut sim,
-                        &[("en", (1u64 << d.min(63)) - 1), ("data", (1u64 << d.min(63)) - 1)],
+                        &[
+                            ("en", (1u64 << d.min(63)) - 1),
+                            ("data", (1u64 << d.min(63)) - 1),
+                        ],
                         50,
                         13,
                     )

@@ -8,7 +8,10 @@ use zeus_bench::load;
 fn bench(c: &mut Criterion) {
     let z = load(examples::TREES);
     println!("\nH-tree area (claim C2: linear in leaves):");
-    println!("{:>8} {:>7} {:>7} {:>9} {:>10}", "leaves", "width", "height", "area", "area/leaf");
+    println!(
+        "{:>8} {:>7} {:>7} {:>9} {:>10}",
+        "leaves", "width", "height", "area", "area/leaf"
+    );
     for k in 1..=4u32 {
         let n = 4i64.pow(k);
         let d = z.elaborate("htree", &[n]).unwrap();

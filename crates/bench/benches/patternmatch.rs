@@ -17,9 +17,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 for t in 0u64..100 {
                     let active = t % 2 == 0;
-                    sim.set_port_num("pattern", u64::from(active && t % 4 == 0)).unwrap();
-                    sim.set_port_num("string", u64::from(active && t % 4 == 0)).unwrap();
-                    sim.set_port_num("endofpattern", u64::from(active && t % 6 == 4)).unwrap();
+                    sim.set_port_num("pattern", u64::from(active && t % 4 == 0))
+                        .unwrap();
+                    sim.set_port_num("string", u64::from(active && t % 4 == 0))
+                        .unwrap();
+                    sim.set_port_num("endofpattern", u64::from(active && t % 6 == 4))
+                        .unwrap();
                     sim.set_port_num("wild", 0).unwrap();
                     sim.set_port_num("resultin", 0).unwrap();
                     sim.step();

@@ -21,8 +21,10 @@ fn bench(c: &mut Criterion) {
             let mut rng = rand::rngs::StdRng::seed_from_u64(9);
             b.iter(|| {
                 for _ in 0..100 {
-                    sim.set_port_num("a", rng.gen_range(0..words as u64)).unwrap();
-                    sim.set_port_num("din", rng.gen_range(0..(1u64 << width))).unwrap();
+                    sim.set_port_num("a", rng.gen_range(0..words as u64))
+                        .unwrap();
+                    sim.set_port_num("din", rng.gen_range(0..(1u64 << width)))
+                        .unwrap();
                     sim.set_port_num("we", rng.gen_range(0..2)).unwrap();
                     sim.step();
                 }

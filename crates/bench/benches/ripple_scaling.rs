@@ -8,7 +8,10 @@ use zeus_bench::{drive_random, load};
 fn bench(c: &mut Criterion) {
     let z = load(examples::ADDERS);
     println!("\nrippleCarry(n) elaborated sizes:");
-    println!("{:>6} {:>8} {:>8} {:>10}", "n", "nets", "nodes", "instances");
+    println!(
+        "{:>6} {:>8} {:>8} {:>10}",
+        "n", "nets", "nodes", "instances"
+    );
     for n in [4i64, 8, 16, 32, 64] {
         let d = z.elaborate("rippleCarry", &[n]).unwrap();
         println!(

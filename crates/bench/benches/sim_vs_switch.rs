@@ -14,7 +14,10 @@ use zeus_bench::load;
 fn bench(c: &mut Criterion) {
     let z = load(examples::ADDERS);
     println!("\nmodel sizes (rippleCarry(n)):");
-    println!("{:>4} {:>10} {:>12} {:>12}", "n", "zeus nodes", "transistors", "sw nodes");
+    println!(
+        "{:>4} {:>10} {:>12} {:>12}",
+        "n", "zeus nodes", "transistors", "sw nodes"
+    );
     for n in [8i64, 16, 32] {
         let d = z.elaborate("rippleCarry", &[n]).unwrap();
         let sw = zeus::SwitchSim::new(&d);

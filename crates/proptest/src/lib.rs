@@ -1,0 +1,699 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this workspace crate implements the subset of the proptest 1.x API
+//! that the Zeus test suites use: the [`Strategy`] trait with `prop_map`
+//! / `prop_filter` / `prop_recursive`, range and tuple strategies, a
+//! small regex-like string generator, `prop_oneof!`, `collection::vec`,
+//! `option::of`, and the [`proptest!`] macro with
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * generation is plain pseudo-random (deterministic per test name) —
+//!   there is no shrinking; a failure reports the case number and the
+//!   generated inputs' `Debug` rendering when available;
+//! * regex strategies support only the concatenation of literals,
+//!   character classes and `.` with `*`, `+`, `?` and `{m,n}`
+//!   quantifiers — exactly what the Zeus suites need.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Harness configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed or rejected test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the payload explains why.
+    Fail(String),
+    /// The input was rejected (filter exhaustion).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given explanation.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` (with bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// sub-cases and returns the composite case; nesting is bounded by
+    /// `depth`. The `_desired_size` / `_expected_branch_size` hints of
+    /// real proptest are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Each level mixes the leaf back in so composites can bottom
+            // out before the full depth is reached.
+            let mixed = Union {
+                arms: vec![leaf.clone(), level],
+            }
+            .boxed();
+            level = recurse(mixed).boxed();
+        }
+        Union {
+            arms: vec![leaf, level],
+        }
+        .boxed()
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates", self.whence);
+    }
+}
+
+/// A weighted-equal union of strategies (`prop_oneof!`).
+pub struct Union<T> {
+    /// The alternatives.
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! of zero strategies");
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Generates a constant by cloning (`Just(x)`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// -- primitive strategies ---------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                let raw: u64 = rng.gen();
+                raw as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// Strategy for an unconstrained value of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Creates the [`Any`] strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 S0)
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5)
+}
+
+// -- regex-like string strategies ------------------------------------------
+
+/// One element of a simple pattern: the characters it may produce and the
+/// repetition range.
+struct PatPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(pattern: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // pattern[i] is the char after '['.
+    let mut chars = Vec::new();
+    while i < pattern.len() && pattern[i] != ']' {
+        let c = if pattern[i] == '\\' && i + 1 < pattern.len() {
+            i += 1;
+            unescape(pattern[i])
+        } else {
+            pattern[i]
+        };
+        if i + 2 < pattern.len() && pattern[i + 1] == '-' && pattern[i + 2] != ']' {
+            let hi = pattern[i + 2];
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    chars.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    (chars, i + 1) // skip ']'
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_quantifier(pattern: &[char], i: usize) -> (usize, usize, usize) {
+    // Returns (min, max, next index).
+    match pattern.get(i) {
+        Some('*') => (0, 32, i + 1),
+        Some('+') => (1, 32, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = pattern[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or(pattern.len());
+            let body: String = pattern[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().unwrap_or(0),
+                    b.trim().parse().unwrap_or(32),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            };
+            (lo, hi, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatPart> {
+    // Printable ASCII plus newline, the universe for '.' (close enough
+    // for generation purposes).
+    let dot: Vec<char> = (' '..='~').chain(std::iter::once('\n')).collect();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                set
+            }
+            '.' => {
+                i += 1;
+                dot.clone()
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![unescape(chars[i - 1])]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        parts.push(PatPart {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    parts
+}
+
+/// String literals act as (simplified) regex generators, as in proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            if part.chars.is_empty() {
+                continue;
+            }
+            let n = rng.gen_range(part.min..=part.max);
+            for _ in 0..n {
+                out.push(part.chars[rng.gen_range(0..part.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// -- modules ----------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `len` elements generated by `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`: `None` a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` of `inner` three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// `use proptest::prelude::*;` — everything the test files need.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    /// Alias so `prop::collection::vec(..)` style paths work.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Picks uniformly from the listed strategies (all must generate the
+/// same type). Real proptest's `weight => strategy` arms are not
+/// supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![$($crate::Strategy::boxed($strat)),+] }
+    };
+}
+
+/// `prop_assert!(cond)` — fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional context message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}", format!($($fmt)*), a
+            )));
+        }
+    }};
+}
+
+#[doc(hidden)]
+pub fn __run_cases(
+    test_name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // Deterministic per test name so failures reproduce without a seed
+    // file; the case index is reported on failure.
+    let mut seed = 0xC0FF_EE00_2E05_1983u64;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(1099511628211).wrapping_add(b as u64);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < cases {
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) if rejects < cases * 4 => rejects += 1,
+            Err(e) => panic!("proptest '{test_name}' failed at case {case}/{cases}: {e}"),
+        }
+    }
+}
+
+/// The property-test harness macro. Supports the form
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(512))]
+///     #[test]
+///     fn my_property(x in 0..10i64, v in any::<bool>()) { ... }
+/// }
+/// ```
+///
+/// Bodies may use `prop_assert*` and `?` with [`TestCaseError`].
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) ) => {};
+    // `#[test]` is written by the caller and consumed as one of the metas,
+    // matching real proptest (a literal `#[test]` arm would be ambiguous
+    // with the meta repetition).
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            // A tuple of strategies is itself a strategy for the tuple of
+            // values, so one generate() draws every argument.
+            let strategies = ( $($crate::Strategy::boxed($strat),)+ );
+            $crate::__run_cases(stringify!($name), config.cases, |rng| {
+                let ( $($arg,)+ ) = $crate::Strategy::generate(&strategies, rng);
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_within_class() {
+        use rand::SeedableRng as _;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = "[a-z][a-z0-9]{0,5}";
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(!v.is_empty() && v.len() <= 6, "{v:?}");
+            assert!(v.chars().next().unwrap().is_ascii_lowercase());
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..20, b in any::<bool>()) {
+            prop_assert!((3..20).contains(&x));
+            let _ = b;
+        }
+
+        #[test]
+        fn oneof_and_vec(words in crate::collection::vec(
+            prop_oneof![Just("a"), Just("b")], 0..10)) {
+            prop_assert!(words.len() < 10);
+            prop_assert!(words.iter().all(|w| *w == "a" || *w == "b"));
+        }
+
+        #[test]
+        fn map_filter_recursive(v in (0i64..100)
+            .prop_filter("even", |n| n % 2 == 0)
+            .prop_map(|n| n / 2)) {
+            prop_assert!((0..50).contains(&v));
+        }
+    }
+}

@@ -14,11 +14,24 @@
 //! zeusc examples                               list the bundled examples
 //! ```
 //!
+//! Resource-limit flags accepted by every compiling command:
+//!
+//! ```text
+//! --max-instances N    cap on component instances (default 1000000)
+//! --max-nets N         cap on netlist nets (default 2000000)
+//! --fuel N             abstract work budget for elaboration + simulation
+//! --timeout MS         wall-clock deadline in milliseconds
+//! ```
+//!
+//! Exit codes: `0` success, `1` usage or I/O error, `2` the program has
+//! diagnostics, `3` a resource limit was hit (`error[Z9xx]`).
+//!
 //! A file argument of `@name` loads the bundled example of that name
 //! (e.g. `zeusc layout @trees htree 16`).
 
 use std::process::ExitCode;
-use zeus::{examples, Zeus};
+use std::time::Duration;
+use zeus::{examples, Limits, Zeus};
 
 /// Prints a line, ignoring broken pipes (`zeusc ... | head` must not
 /// panic).
@@ -37,13 +50,71 @@ macro_rules! out {
     }};
 }
 
+/// Why `zeusc` failed; each variant maps to a documented exit code.
+enum Failure {
+    /// Bad invocation or I/O problem → exit 1.
+    Usage(String),
+    /// The Zeus program has diagnostics (or a check found a difference)
+    /// → exit 2.
+    Diags(String),
+    /// A resource limit (`Z9xx`) was hit → exit 3.
+    Limit(String),
+}
+
+impl Failure {
+    fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m) | Failure::Diags(m) | Failure::Limit(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            Failure::Usage(_) => ExitCode::from(1),
+            Failure::Diags(_) => ExitCode::from(2),
+            Failure::Limit(_) => ExitCode::from(3),
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(m: String) -> Failure {
+        Failure::Usage(m)
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(m: &str) -> Failure {
+        Failure::Usage(m.to_string())
+    }
+}
+
+/// Classifies rendered diagnostics: resource-limit errors exit 3, all
+/// other diagnostics exit 2.
+fn diags_failure(e: &zeus::Diagnostics, rendered: String) -> Failure {
+    if e.has_resource_limit() {
+        Failure::Limit(rendered)
+    } else {
+        Failure::Diags(rendered)
+    }
+}
+
+/// Same classification for a single diagnostic (simulator errors).
+fn diag_failure(e: &zeus::Diagnostic) -> Failure {
+    if e.is_resource_limit() {
+        Failure::Limit(e.to_string())
+    } else {
+        Failure::Diags(e.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("{}", f.message());
+            f.exit_code()
         }
     }
 }
@@ -62,10 +133,11 @@ fn load_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn parse(src: &str) -> Result<Zeus, String> {
+fn parse(src: &str) -> Result<Zeus, Failure> {
     Zeus::parse(src).map_err(|e| {
         let map = zeus::SourceMap::new(src);
-        e.render(&map)
+        let rendered = e.render(&map);
+        diags_failure(&e, rendered)
     })
 }
 
@@ -79,14 +151,39 @@ fn top_args(rest: &[String]) -> Result<Vec<i64>, String> {
         .collect()
 }
 
-fn flag_value(rest: &[String], flag: &str) -> Option<u64> {
-    let pos = rest.iter().position(|a| a == flag)?;
-    rest.get(pos + 1)?.parse().ok()
+fn flag_value(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
+    let Some(pos) = rest.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let val = rest
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a numeric value"))?;
+    val.parse()
+        .map(Some)
+        .map_err(|_| format!("bad value '{val}' for {flag}"))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: zeusc <check|print|elab|sim|layout|svg|graph|synth|equiv|examples> [...]";
+/// Builds the resource budget from the `--max-instances`, `--max-nets`,
+/// `--fuel` and `--timeout` flags (defaults from [`Limits::default`]).
+fn parse_limits(args: &[String]) -> Result<Limits, String> {
+    let mut limits = Limits::default();
+    if let Some(n) = flag_value(args, "--max-instances")? {
+        limits.max_instances = n as usize;
+    }
+    if let Some(n) = flag_value(args, "--max-nets")? {
+        limits.max_nets = n as usize;
+    }
+    if let Some(n) = flag_value(args, "--fuel")? {
+        limits.fuel = Some(n);
+    }
+    if let Some(ms) = flag_value(args, "--timeout")? {
+        limits.deadline = Some(Duration::from_millis(ms));
+    }
+    Ok(limits)
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    let usage = "usage: zeusc <check|print|elab|sim|layout|svg|graph|synth|equiv|examples> [...]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "examples" => {
@@ -96,7 +193,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "equiv" => {
-            let file = args.get(1).ok_or("usage: zeusc equiv <file> <topA> [args] --vs <topB> [args]")?;
+            let file = args
+                .get(1)
+                .ok_or("usage: zeusc equiv <file> <topA> [args] --vs <topB> [args]")?;
             let split = args
                 .iter()
                 .position(|a| a == "--vs")
@@ -108,14 +207,21 @@ fn run(args: &[String]) -> Result<(), String> {
             let src = load_source(file)?;
             let z = parse(&src)?;
             let map = zeus::SourceMap::new(&src);
-            let da = z.elaborate(top_a, &args_a).map_err(|e| e.render(&map))?;
-            let db = z.elaborate(top_b, &args_b).map_err(|e| e.render(&map))?;
-            match zeus::check_equivalent(&da, &db, 22).map_err(|e| e.to_string())? {
+            let mut limits = parse_limits(args)?;
+            // The historical CLI cap (slightly above the library default).
+            limits.max_input_bits = 22;
+            let elab = |top: &str, targs: &[i64]| {
+                z.elaborate_limited(top, targs, &limits)
+                    .map_err(|e| diags_failure(&e, e.render(&map)))
+            };
+            let da = elab(top_a, &args_a)?;
+            let db = elab(top_b, &args_b)?;
+            match zeus::check_equivalent_with(&da, &db, &limits).map_err(|e| diag_failure(&e))? {
                 None => {
                     outln!("equivalent (exhaustive)");
                     Ok(())
                 }
-                Some(ce) => Err(format!("NOT equivalent: {ce}")),
+                Some(ce) => Err(Failure::Diags(format!("NOT equivalent: {ce}"))),
             }
         }
         "check" => {
@@ -131,14 +237,18 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "elab" | "sim" | "layout" | "svg" | "graph" | "synth" => {
-            let file = args.get(1).ok_or("usage: zeusc <cmd> <file> <top> [args]")?;
+            let file = args
+                .get(1)
+                .ok_or("usage: zeusc <cmd> <file> <top> [args]")?;
             let top = args.get(2).ok_or("missing top component type")?;
             let targs = top_args(&args[3..])?;
             let src = load_source(file)?;
             let z = parse(&src)?;
-            let design = z.elaborate(top, &targs).map_err(|e| {
+            let limits = parse_limits(args)?;
+            let design = z.elaborate_limited(top, &targs, &limits).map_err(|e| {
                 let map = zeus::SourceMap::new(&src);
-                e.render(&map)
+                let rendered = e.render(&map);
+                diags_failure(&e, rendered)
             })?;
             for w in &design.warnings {
                 eprintln!("{}", w.render(&zeus::SourceMap::new(&src)));
@@ -156,8 +266,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     Ok(())
                 }
                 "sim" => {
-                    let cycles = flag_value(&args[3..], "--cycles").unwrap_or(8);
-                    let mut sim = zeus::Simulator::new(design).map_err(|e| e.to_string())?;
+                    let cycles = flag_value(&args[3..], "--cycles")?.unwrap_or(8);
+                    let mut sim = zeus::Simulator::with_limits(design, &limits)
+                        .map_err(|e| diag_failure(&e))?;
                     // Apply --set port=value forcings.
                     let mut iter = args[3..].iter();
                     while let Some(a) = iter.next() {
@@ -169,12 +280,13 @@ fn run(args: &[String]) -> Result<(), String> {
                             let val: u64 = val
                                 .parse()
                                 .map_err(|_| format!("bad value in --set '{kv}'"))?;
-                            sim.set_port_num(port, val).map_err(|e| e.to_string())?;
+                            sim.set_port_num(port, val)
+                                .map_err(|e| Failure::Usage(e.to_string()))?;
                         }
                     }
                     let mut violations = 0u64;
                     for _ in 0..cycles {
-                        let r = sim.step();
+                        let r = sim.try_step().map_err(|e| diag_failure(&e))?;
                         violations += r.conflicts.len() as u64;
                     }
                     outln!("cycles    : {cycles}");
@@ -211,13 +323,15 @@ fn run(args: &[String]) -> Result<(), String> {
                     Ok(())
                 }
                 _ => {
-                    let sw = zeus::SwitchSim::new(&design);
+                    let sw = zeus::SwitchSim::with_limits(&design, &limits);
                     outln!("transistors : {}", sw.transistor_count());
                     outln!("nodes       : {}", sw.node_count());
                     Ok(())
                 }
             }
         }
-        other => Err(format!("unknown command '{other}'\n{usage}")),
+        other => Err(Failure::Usage(format!(
+            "unknown command '{other}'\n{usage}"
+        ))),
     }
 }

@@ -84,7 +84,14 @@ fn elaboration_error_reports_position() {
 
 #[test]
 fn equiv_confirms_the_papers_claim() {
-    let (ok, stdout, _) = zeusc(&["equiv", "@adders", "rippleCarry4", "--vs", "rippleCarry", "4"]);
+    let (ok, stdout, _) = zeusc(&[
+        "equiv",
+        "@adders",
+        "rippleCarry4",
+        "--vs",
+        "rippleCarry",
+        "4",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("equivalent"));
 }
@@ -108,8 +115,17 @@ fn equiv_reports_counterexamples() {
 #[test]
 fn sim_with_forced_inputs() {
     let (ok, stdout, _) = zeusc(&[
-        "sim", "@adders", "rippleCarry4", "--cycles", "1", "--set", "a=9", "--set", "b=3",
-        "--set", "cin=0",
+        "sim",
+        "@adders",
+        "rippleCarry4",
+        "--cycles",
+        "1",
+        "--set",
+        "a=9",
+        "--set",
+        "b=3",
+        "--set",
+        "cin=0",
     ]);
     assert!(ok, "{stdout}");
     // 9 + 3 = 12 = 0b1100, LSB-first rendering "0011".
@@ -131,4 +147,122 @@ fn svg_emits_floorplan() {
     assert!(stdout.starts_with("<svg"));
     assert!(stdout.contains("black"));
     assert!(stdout.contains("white"));
+}
+
+/// Like `zeusc`, but returns the raw exit code for contract tests.
+fn zeusc_code(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_zeusc"))
+        .args(args)
+        .output()
+        .expect("spawn zeusc");
+    (
+        out.status.code().expect("exit code (not a signal)"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn exit_code_0_on_success() {
+    let (code, _, _) = zeusc_code(&["check", "@adders"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn exit_code_1_on_usage_and_io_errors() {
+    let (code, _, _) = zeusc_code(&["frobnicate"]);
+    assert_eq!(code, 1, "unknown command is a usage error");
+    let (code, _, stderr) = zeusc_code(&["check", "/definitely/not/a/file.zeus"]);
+    assert_eq!(code, 1, "{stderr}");
+    let (code, _, stderr) = zeusc_code(&["elab", "@adders", "rippleCarry4", "--fuel", "lots"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("--fuel"), "{stderr}");
+}
+
+#[test]
+fn exit_code_2_on_program_diagnostics() {
+    let dir = std::env::temp_dir().join("zeusc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("syntax-error.zeus");
+    std::fs::write(&file, "TYPE t = COMPONENT (IN a boolean) IS BEGIN END;").unwrap();
+    let (code, _, stderr) = zeusc_code(&["check", file.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("error[Z0"), "{stderr}");
+}
+
+#[test]
+fn exit_code_3_when_instance_budget_trips() {
+    let (code, _, stderr) = zeusc_code(&[
+        "elab",
+        "@routing",
+        "routingnetwork",
+        "8",
+        "--max-instances",
+        "5",
+    ]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("error[Z901]"), "{stderr}");
+}
+
+#[test]
+fn exit_code_3_when_net_budget_trips() {
+    let (code, _, stderr) = zeusc_code(&[
+        "elab",
+        "@routing",
+        "routingnetwork",
+        "8",
+        "--max-nets",
+        "10",
+    ]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("error[Z902]"), "{stderr}");
+}
+
+#[test]
+fn exit_code_3_when_fuel_runs_out() {
+    let (code, _, stderr) = zeusc_code(&[
+        "sim",
+        "@adders",
+        "rippleCarry4",
+        "--cycles",
+        "4",
+        "--fuel",
+        "3",
+    ]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("error[Z904]"), "{stderr}");
+    assert!(stderr.contains("fuel"), "{stderr}");
+}
+
+#[test]
+fn exit_code_3_when_deadline_passes() {
+    // A zero deadline is already expired when elaboration starts; the
+    // amortized deadline check must cancel the run instead of hanging.
+    let (code, _, stderr) =
+        zeusc_code(&["elab", "@routing", "routingnetwork", "8", "--timeout", "0"]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("error[Z905]"), "{stderr}");
+}
+
+#[test]
+fn generous_limits_do_not_interfere() {
+    let (code, stdout, stderr) = zeusc_code(&[
+        "sim",
+        "@adders",
+        "rippleCarry4",
+        "--cycles",
+        "2",
+        "--set",
+        "a=1",
+        "--set",
+        "b=1",
+        "--set",
+        "cin=0",
+        "--fuel",
+        "1000000",
+        "--timeout",
+        "60000",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("cycles    : 2"), "{stdout}");
 }

@@ -19,6 +19,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::design::{Design, Direction, InstanceNode, LayoutItem, Orientation, Port};
+use crate::limits::{Governor, Limits};
 use crate::netlist::{GroupConstraint, NetId, Netlist, NodeOp};
 use crate::shape::{compose_mode, BuiltinComponent, FieldShape, RecordShape, Shape};
 use zeus_sema::consts::{ConstScope, ConstVal, SigVal};
@@ -27,33 +28,12 @@ use zeus_sema::value::Value;
 use zeus_sema::{bin, eval_const_expr, eval_sig_const};
 use zeus_syntax::ast;
 use zeus_syntax::ast::{AssignOp, Mode};
-use zeus_syntax::diag::{Diagnostic, Diagnostics};
+use zeus_syntax::diag::{codes, Diagnostic, Diagnostics};
 use zeus_syntax::span::Span;
 
-/// Tunable limits for elaboration.
-#[derive(Debug, Clone)]
-pub struct ElabOptions {
-    /// Maximum number of component instances before elaboration is
-    /// declared non-terminating (a recursive type without a `WHEN` guard).
-    pub max_instances: usize,
-    /// Maximum function-component call nesting.
-    pub max_call_depth: usize,
-    /// Maximum nesting depth of resolved types.
-    pub max_type_depth: usize,
-}
-
-impl Default for ElabOptions {
-    fn default() -> Self {
-        ElabOptions {
-            max_instances: 1_000_000,
-            // Recursive function components halve their parameter per
-            // level (§4.2 style), so 64 suffices for any 64-bit size
-            // while staying within default thread stacks.
-            max_call_depth: 64,
-            max_type_depth: 64,
-        }
-    }
-}
+/// Tunable limits for elaboration — the historical name for [`Limits`],
+/// kept as an alias now that the same struct governs the whole pipeline.
+pub type ElabOptions = Limits;
 
 /// Elaborates component type `top` of `program`, with actual numeric type
 /// parameters `args`.
@@ -88,7 +68,20 @@ pub fn elaborate_with(
 ///
 /// See [`elaborate`]; additionally errors when no such signal exists.
 pub fn elaborate_signal(program: &ast::Program, signal: &str) -> Result<Design, Diagnostics> {
-    let mut e = Elab::new(ElabOptions::default());
+    elaborate_signal_with(program, signal, &ElabOptions::default())
+}
+
+/// [`elaborate_signal`] with explicit limits.
+///
+/// # Errors
+///
+/// See [`elaborate`].
+pub fn elaborate_signal_with(
+    program: &ast::Program,
+    signal: &str,
+    opts: &ElabOptions,
+) -> Result<Design, Diagnostics> {
+    let mut e = Elab::new(opts.clone());
     e.run(program, TopSpec::Signal(signal))
 }
 
@@ -295,6 +288,7 @@ struct Elab<'a> {
     connected: HashSet<String>,
     replacements: HashMap<String, Rc<Slot>>,
     replaced_once: HashSet<String>,
+    gov: Governor,
     call_depth: usize,
     instance_count: usize,
     clk: Option<NetId>,
@@ -315,6 +309,7 @@ impl<'a> Elab<'a> {
             nl: Netlist::new(),
             errs: Diagnostics::new(),
             warns: Diagnostics::new(),
+            gov: opts.governor(),
             opts,
             touched: Vec::new(),
             drivers: Vec::new(),
@@ -335,11 +330,19 @@ impl<'a> Elab<'a> {
         }
     }
 
+    /// Takes the accumulated errors, classifying untagged ones as `Z201`
+    /// (so Z9xx limit codes set deeper in survive).
+    fn take_errs(&mut self) -> Diagnostics {
+        let mut ds = std::mem::take(&mut self.errs);
+        ds.tag_default_code(codes::ELAB);
+        ds
+    }
+
     fn run(&mut self, program: &'a ast::Program, top: TopSpec<'_>) -> Result<Design, Diagnostics> {
         let root = Env::root();
         if let Err(d) = self.load_decls(&program.decls, &root, "") {
             self.errs.push(d);
-            return Err(std::mem::take(&mut self.errs));
+            return Err(self.take_errs());
         }
 
         let (closure, args, top_name) = match top {
@@ -350,27 +353,25 @@ impl<'a> Elab<'a> {
                         Span::dummy(),
                         format!("top component type '{name}' is not declared"),
                     ));
-                    return Err(std::mem::take(&mut self.errs));
+                    return Err(self.take_errs());
                 }
             },
-            TopSpec::Signal(name) => {
-                match self.find_top_signal(program, &root, name) {
-                    Ok(x) => x,
-                    Err(d) => {
-                        self.errs.push(d);
-                        return Err(std::mem::take(&mut self.errs));
-                    }
+            TopSpec::Signal(name) => match self.find_top_signal(program, &root, name) {
+                Ok(x) => x,
+                Err(d) => {
+                    self.errs.push(d);
+                    return Err(self.take_errs());
                 }
-            }
+            },
         };
 
         let design = self.elaborate_top(closure, &args, &top_name);
         match design {
             Ok(d) if !self.errs.has_errors() => Ok(d),
-            Ok(_) => Err(std::mem::take(&mut self.errs)),
+            Ok(_) => Err(self.take_errs()),
             Err(d) => {
                 self.errs.push(d);
-                Err(std::mem::take(&mut self.errs))
+                Err(self.take_errs())
             }
         }
     }
@@ -456,7 +457,8 @@ impl<'a> Elab<'a> {
             return Err(Diagnostic::error(
                 ty.span(),
                 "type nesting too deep (unbounded recursive type?)",
-            ));
+            )
+            .with_code(codes::LIMIT_TYPE_DEPTH));
         }
         match ty {
             ast::Type::Array { lo, hi, elem, .. } => {
@@ -552,8 +554,7 @@ impl<'a> Elab<'a> {
             // paper's own `bus` example uses an INOUT boolean.
             if c.body.is_some() {
                 if let Shape::Basic(kind) = fs {
-                    if let RuleVerdict::Illegal(msg) = rules::formal_param_basic(group.mode, kind)
-                    {
+                    if let RuleVerdict::Illegal(msg) = rules::formal_param_basic(group.mode, kind) {
                         return Err(Diagnostic::error(group.ty.span(), msg));
                     }
                 }
@@ -598,6 +599,38 @@ impl<'a> Elab<'a> {
 
     fn is_touched(&self, net: NetId) -> bool {
         self.touched.get(net.index()).copied().unwrap_or(0) != 0
+    }
+
+    /// One unit of elaboration work: charges fuel, checks the deadline
+    /// (amortized) and the netlist-size budgets. Called per instance and
+    /// per statement, so unrolled `FOR` replication and runaway recursion
+    /// both hit it promptly.
+    fn check_budgets(&mut self, span: Span) -> R<()> {
+        self.gov.charge(1, span)?;
+        if self.nl.nets.len() > self.opts.max_nets {
+            return Err(Diagnostic::error(
+                span,
+                format!(
+                    "design exceeds the net budget (limit {}): recursive type \
+                     instantiation does not terminate (missing WHEN guard?) or the \
+                     design is larger than the configured limit",
+                    self.opts.max_nets
+                ),
+            )
+            .with_code(codes::LIMIT_NETS));
+        }
+        if self.nl.nodes.len() > self.opts.max_nodes {
+            return Err(Diagnostic::error(
+                span,
+                format!(
+                    "design exceeds the node budget (limit {}): the design is larger \
+                     than the configured limit",
+                    self.opts.max_nodes
+                ),
+            )
+            .with_code(codes::LIMIT_NODES));
+        }
+        Ok(())
     }
 
     fn make_nets(&mut self, shape: &Shape, path: &str, span: Span) -> Vec<NetId> {
@@ -654,12 +687,20 @@ impl<'a> Elab<'a> {
                             span,
                             "too many component instances: recursive type instantiation \
                              does not terminate (missing WHEN guard?)",
-                        ));
+                        )
+                        .with_code(codes::LIMIT_INSTANCES));
                     }
                     let kind = match (binding, r.builtin) {
                         (_, Some(b)) => Some(PendKind::Builtin(b)),
                         (Binding::Builtin(b), _) => Some(PendKind::Builtin(*b)),
-                        (Binding::Comp { comp, env, type_name }, _) => Some(PendKind::Comp {
+                        (
+                            Binding::Comp {
+                                comp,
+                                env,
+                                type_name,
+                            },
+                            _,
+                        ) => Some(PendKind::Comp {
                             comp,
                             env: Rc::clone(env),
                             type_name: type_name.clone(),
@@ -801,7 +842,10 @@ impl<'a> Elab<'a> {
         }
         let (shape, _bind) = self.resolve_component(comp, &tenv, Some(top_name.to_string()), 0)?;
         let Shape::Record(rec) = &shape else {
-            unreachable!("component resolves to record")
+            return Err(Diagnostic::internal(
+                comp.span,
+                "component type did not resolve to a record shape",
+            ));
         };
         let rec = Arc::clone(rec);
         let nets = self.make_nets(&shape, top_name, comp.span);
@@ -850,6 +894,7 @@ impl<'a> Elab<'a> {
                 // body has not — so the touch flags reflect exactly the
                 // parent-side usage the rule is about.
                 self.check_ports(&p);
+                self.check_budgets(p.span)?;
                 self.elab_instance(p)?;
             }
             let mut progressed = false;
@@ -867,7 +912,6 @@ impl<'a> Elab<'a> {
                 break;
             }
         }
-
 
         // Finish: canonicalize aliases, check cycles.
         if let Err(ds) = self.nl.finish() {
@@ -970,7 +1014,12 @@ impl<'a> Elab<'a> {
                         .or_default()
                         .push((p.key.clone(), p.path.clone(), type_name.clone()));
                 }
-                let body = comp.body.as_ref().expect("pending implies body");
+                let Some(body) = comp.body.as_ref() else {
+                    return Err(Diagnostic::internal(
+                        p.span,
+                        "pending instance has a component type without a body",
+                    ));
+                };
                 let benv = Env::child(&env);
                 let mut ctx = Ctx {
                     env: Rc::clone(&benv),
@@ -1073,6 +1122,7 @@ impl<'a> Elab<'a> {
     // -- statements -------------------------------------------------------------
 
     fn elab_stmt(&mut self, ctx: &mut Ctx<'a>, s: &'a ast::Stmt) -> R<()> {
+        self.check_budgets(s.span())?;
         match s {
             ast::Stmt::Empty(_) => Ok(()),
             ast::Stmt::Assign { lhs, op, rhs, span } => match op {
@@ -1150,9 +1200,10 @@ impl<'a> Elab<'a> {
                 for st in body {
                     let g = self.alloc_group(outer_group);
                     if let Some(pg) = prev {
-                        self.nl
-                            .group_constraints
-                            .push(GroupConstraint { before: pg, after: g });
+                        self.nl.group_constraints.push(GroupConstraint {
+                            before: pg,
+                            after: g,
+                        });
                     }
                     prev = Some(g);
                     ctx.group = Some(g);
@@ -1251,7 +1302,7 @@ impl<'a> Elab<'a> {
             let cnet = self.expect_one_net(&cbits, cond.span())?;
             let this_guard = self.and_opt(ctx, neg_acc, cnet, cond.span());
             let saved = ctx.guard;
-            ctx.guard = Some(self.combine(ctx, saved, Some(this_guard), cond.span()));
+            ctx.guard = self.combine(ctx, saved, Some(this_guard), cond.span());
             let r: R<()> = stmts.iter().try_for_each(|st| self.elab_stmt(ctx, st));
             ctx.guard = saved;
             r?;
@@ -1259,9 +1310,14 @@ impl<'a> Elab<'a> {
             neg_acc = Some(self.and_opt(ctx, neg_acc, ncond, cond.span()));
         }
         if let Some(stmts) = els {
-            let g = neg_acc.expect("ELSE implies at least one arm");
+            let Some(g) = neg_acc else {
+                return Err(Diagnostic::internal(
+                    Span::dummy(),
+                    "IF statement with an ELSE branch but no THEN arms",
+                ));
+            };
             let saved = ctx.guard;
-            ctx.guard = Some(self.combine(ctx, saved, Some(g), Span::dummy()));
+            ctx.guard = self.combine(ctx, saved, Some(g), Span::dummy());
             let r: R<()> = stmts.iter().try_for_each(|st| self.elab_stmt(ctx, st));
             ctx.guard = saved;
             r?;
@@ -1294,22 +1350,22 @@ impl<'a> Elab<'a> {
         }
     }
 
+    /// Conjunction of two optional guards; `None` means "always active".
     fn combine(
         &mut self,
         ctx: &Ctx<'a>,
         a: Option<NetId>,
         b: Option<NetId>,
         span: Span,
-    ) -> NetId {
+    ) -> Option<NetId> {
         match (a, b) {
             (Some(a), Some(b)) => {
                 let out = self.nl.add_net(BasicKind::Boolean, "<guard>", span);
                 self.nl
                     .add_node(NodeOp::And, vec![a, b], out, ctx.group, span);
-                out
+                Some(out)
             }
-            (Some(x), None) | (None, Some(x)) => x,
-            (None, None) => unreachable!("combine called with a guard"),
+            (x, None) | (None, x) => x,
         }
     }
 
@@ -1394,10 +1450,8 @@ impl<'a> Elab<'a> {
         extra_guard: Option<NetId>,
         span: Span,
     ) -> R<()> {
-        let guard = match (ctx.guard, extra_guard) {
-            (None, None) => None,
-            (a, b) => Some(self.combine(ctx, a, b, span)),
-        };
+        let cur = ctx.guard;
+        let guard = self.combine(ctx, cur, extra_guard, span);
         let role = ctx.roles.get(&dst.0).copied();
         match role {
             Some(Role::Formal(Mode::In)) => {
@@ -1437,7 +1491,11 @@ impl<'a> Elab<'a> {
             RuleVerdict::Illegal(msg) => {
                 return Err(Diagnostic::error(
                     span,
-                    format!("{} '{}': {msg}", "illegal assignment to", self.nl.nets[dst.index()].name),
+                    format!(
+                        "{} '{}': {msg}",
+                        "illegal assignment to",
+                        self.nl.nets[dst.index()].name
+                    ),
                 ))
             }
             RuleVerdict::Warn(msg) => self.warns.push(Diagnostic::warning(span, msg)),
@@ -1463,7 +1521,8 @@ impl<'a> Elab<'a> {
                     .add_node(NodeOp::If, vec![g, src], dst, ctx.group, span);
             }
             None => {
-                self.nl.add_node(NodeOp::Buf, vec![src], dst, ctx.group, span);
+                self.nl
+                    .add_node(NodeOp::Buf, vec![src], dst, ctx.group, span);
             }
         }
         self.touch(dst, F_ASSIGNED);
@@ -1503,7 +1562,10 @@ impl<'a> Elab<'a> {
                 }
                 arm.nets
                     .iter()
-                    .map(|&n| RBit::Net { id: n, lvalue: true })
+                    .map(|&n| RBit::Net {
+                        id: n,
+                        lvalue: true,
+                    })
                     .collect()
             }
         };
@@ -1588,35 +1650,38 @@ impl<'a> Elab<'a> {
             return Ok(());
         };
         // Determine the element interface and count.
-        let (rec, count) = match &arm.shape {
-            Shape::Record(r) if r.has_body => (Arc::clone(r), 1usize),
-            Shape::Array { lo, hi, elem } => match &**elem {
-                Shape::Record(r) if r.has_body => (Arc::clone(r), Shape::array_len(*lo, *hi)),
-                _ => {
-                    return Err(Diagnostic::error(
-                        target.span,
-                        "a connection statement requires an instantiated component (or an \
+        let (rec, count) =
+            match &arm.shape {
+                Shape::Record(r) if r.has_body => (Arc::clone(r), 1usize),
+                Shape::Array { lo, hi, elem } => match &**elem {
+                    Shape::Record(r) if r.has_body => (Arc::clone(r), Shape::array_len(*lo, *hi)),
+                    _ => {
+                        return Err(Diagnostic::error(
+                            target.span,
+                            "a connection statement requires an instantiated component (or an \
                          array of equal components) with a body (§4.3)",
-                    ))
-                }
-            },
-            _ => {
-                return Err(Diagnostic::error(
+                        ))
+                    }
+                },
+                _ => return Err(Diagnostic::error(
                     target.span,
                     "a connection statement requires an instantiated component with a body (§4.3)",
-                ))
-            }
-        };
+                )),
+            };
         if let Some(p) = &arm.path {
             if !self.connected.insert(p.clone()) {
                 return Err(Diagnostic::error(
                     span,
-                    format!("at most one connection statement is allowed for component '{p}' (§4.3)"),
+                    format!(
+                        "at most one connection statement is allowed for component '{p}' (§4.3)"
+                    ),
                 ));
             }
         }
         let offsets = rec.field_offsets();
-        let elem_width = *offsets.last().expect("offsets nonempty");
+        // field_offsets returns `fields + 1` entries, so `last` exists even
+        // for an empty record (the total width, 0).
+        let elem_width = *offsets.last().unwrap_or(&0);
         let total = elem_width * count;
         let bits = self.flatten_expr(ctx, args, Some(total))?;
         if bits.len() != total {
@@ -1886,9 +1951,14 @@ impl<'a> Elab<'a> {
                 for &i in &inputs {
                     self.touch(i, F_READ);
                 }
-                let o = self.nl.add_net(BasicKind::Boolean, format!("<{}>", name.name), span);
+                let o = self
+                    .nl
+                    .add_net(BasicKind::Boolean, format!("<{}>", name.name), span);
                 self.nl.add_node(op.clone(), inputs, o, ctx.group, span);
-                out.push(RBit::Net { id: o, lvalue: false });
+                out.push(RBit::Net {
+                    id: o,
+                    lvalue: false,
+                });
             }
             return Ok(out);
         }
@@ -1935,7 +2005,10 @@ impl<'a> Elab<'a> {
                 let o = self.nl.add_net(BasicKind::Boolean, "<EQUAL>", span);
                 self.nl
                     .add_node(NodeOp::Equal { width }, inputs, o, ctx.group, span);
-                Ok(vec![RBit::Net { id: o, lvalue: false }])
+                Ok(vec![RBit::Net {
+                    id: o,
+                    lvalue: false,
+                }])
             }
             "RANDOM" => {
                 if !args.is_empty() {
@@ -1944,7 +2017,10 @@ impl<'a> Elab<'a> {
                 let o = self.nl.add_net(BasicKind::Boolean, "<RANDOM>", span);
                 self.nl
                     .add_node(NodeOp::Random, Vec::new(), o, ctx.group, span);
-                Ok(vec![RBit::Net { id: o, lvalue: false }])
+                Ok(vec![RBit::Net {
+                    id: o,
+                    lvalue: false,
+                }])
             }
             other => self.eval_user_call(ctx, name, other, type_args, args, span),
         }
@@ -1969,7 +2045,8 @@ impl<'a> Elab<'a> {
             return Err(Diagnostic::error(
                 span,
                 "function component recursion too deep (missing WHEN guard?)",
-            ));
+            )
+            .with_code(codes::LIMIT_CALL_DEPTH));
         }
         if closure.params.len() != type_args.len() {
             return Err(Diagnostic::error(
@@ -2001,9 +2078,7 @@ impl<'a> Elab<'a> {
         let (Some(result_ty), Some(body)) = (&comp.result, &comp.body) else {
             return Err(Diagnostic::error(
                 name.span,
-                format!(
-                    "'{type_name}' is not a function component type (it has no RESULT type)"
-                ),
+                format!("'{type_name}' is not a function component type (it has no RESULT type)"),
             ));
         };
         // Bind formals.
@@ -2068,8 +2143,7 @@ impl<'a> Elab<'a> {
                         .collect::<R<_>>()?
                 }
                 Mode::Out | Mode::InOut => {
-                    let fresh =
-                        self.make_nets(fshape, &format!("{call_path}.{fname}"), span);
+                    let fresh = self.make_nets(fshape, &format!("{call_path}.{fname}"), span);
                     for (f, a) in fresh.iter().zip(actual) {
                         match a {
                             RBit::Net { id, lvalue: true } => {
@@ -2105,7 +2179,12 @@ impl<'a> Elab<'a> {
         // RESULT makes the function "of type multiplex", §3.2).
         let (result_shape, _) = self.resolve_type(result_ty, &tenv, 0)?;
         let result_nets = self.make_nets(&result_shape, &format!("{call_path}.RESULT"), span);
-        Self::mark_roles(&mut roles, &result_shape, RoleCtx::Formal(Mode::Out), &result_nets);
+        Self::mark_roles(
+            &mut roles,
+            &result_shape,
+            RoleCtx::Formal(Mode::Out),
+            &result_nets,
+        );
 
         let mut fctx = Ctx {
             env: benv,
@@ -2160,16 +2239,22 @@ impl<'a> Elab<'a> {
         let width = res.arms.first().map(|a| a.nets.len()).unwrap_or(0);
         let mut out = Vec::with_capacity(width);
         for b in 0..width {
-            let o = self
-                .nl
-                .add_net(BasicKind::Multiplex, "<num-mux>", r.span);
+            let o = self.nl.add_net(BasicKind::Multiplex, "<num-mux>", r.span);
             for arm in &res.arms {
-                let g = arm.guard.expect("dynamic arms are guarded");
+                let Some(g) = arm.guard else {
+                    return Err(Diagnostic::internal(
+                        r.span,
+                        "dynamically indexed signal alternative has no guard",
+                    ));
+                };
                 self.touch(arm.nets[b], F_READ);
                 self.nl
                     .add_node(NodeOp::If, vec![g, arm.nets[b]], o, ctx.group, r.span);
             }
-            out.push(RBit::Net { id: o, lvalue: false });
+            out.push(RBit::Net {
+                id: o,
+                lvalue: false,
+            });
         }
         Ok(out)
     }
@@ -2185,7 +2270,9 @@ impl<'a> Elab<'a> {
             let net = match existing {
                 Some(n) => n,
                 None => {
-                    let id = self.nl.add_net(BasicKind::Boolean, &r.base.name, r.base.span);
+                    let id = self
+                        .nl
+                        .add_net(BasicKind::Boolean, &r.base.name, r.base.span);
                     self.names.insert(r.base.name.clone(), id);
                     if is_clk {
                         self.clk = Some(id);
@@ -2292,7 +2379,12 @@ impl<'a> Elab<'a> {
                 ast::Selector::Range(lo, hi) => {
                     let lo_v = eval_const_expr(lo, &*ctx.env)?;
                     let hi_v = eval_const_expr(hi, &*ctx.env)?;
-                    let Shape::Array { lo: alo, hi: ahi, elem } = &arm.shape else {
+                    let Shape::Array {
+                        lo: alo,
+                        hi: ahi,
+                        elem,
+                    } = &arm.shape
+                    else {
                         return Err(Diagnostic::error(span, "range selection needs an array"));
                     };
                     if lo_v < *alo || hi_v > *ahi {
@@ -2372,9 +2464,7 @@ impl<'a> Elab<'a> {
                         .iter()
                         .map(|b| match b {
                             RBit::Net { id, .. } => Ok(*id),
-                            RBit::Star => {
-                                Err(Diagnostic::error(*nspan, "'*' cannot address NUM"))
-                            }
+                            RBit::Star => Err(Diagnostic::error(*nspan, "'*' cannot address NUM")),
                         })
                         .collect::<R<_>>()?;
                     let w = anets.len();
@@ -2402,25 +2492,14 @@ impl<'a> Elab<'a> {
                         let mut inputs = anets.clone();
                         inputs.extend(cbits);
                         let g = self.nl.add_net(BasicKind::Boolean, "<num-eq>", *nspan);
-                        self.nl.add_node(
-                            NodeOp::Equal { width: w },
-                            inputs,
-                            g,
-                            ctx.group,
-                            *nspan,
-                        );
+                        self.nl
+                            .add_node(NodeOp::Equal { width: w }, inputs, g, ctx.group, *nspan);
                         let g = match arm.guard {
                             None => g,
                             Some(outer) => {
-                                let o =
-                                    self.nl.add_net(BasicKind::Boolean, "<num-guard>", *nspan);
-                                self.nl.add_node(
-                                    NodeOp::And,
-                                    vec![outer, g],
-                                    o,
-                                    ctx.group,
-                                    *nspan,
-                                );
+                                let o = self.nl.add_net(BasicKind::Boolean, "<num-guard>", *nspan);
+                                self.nl
+                                    .add_node(NodeOp::And, vec![outer, g], o, ctx.group, *nspan);
                                 o
                             }
                         };
@@ -2456,7 +2535,10 @@ impl<'a> Elab<'a> {
                 // An element of a virtual array: resolve its replacement.
                 if matches!(**elem, Shape::Virtual) {
                     let Some(p) = &path else {
-                        return Err(Diagnostic::error(span, "virtual signal needs a direct path"));
+                        return Err(Diagnostic::error(
+                            span,
+                            "virtual signal needs a direct path",
+                        ));
                     };
                     return self.virtual_arm(ctx, p, arm.guard, arm.lvalue, span);
                 }
@@ -2470,7 +2552,10 @@ impl<'a> Elab<'a> {
             }
             Shape::Virtual => {
                 let Some(p) = &arm.path else {
-                    return Err(Diagnostic::error(span, "virtual signal needs a direct path"));
+                    return Err(Diagnostic::error(
+                        span,
+                        "virtual signal needs a direct path",
+                    ));
                 };
                 let rep = self.virtual_arm(ctx, p, arm.guard, arm.lvalue, span)?;
                 self.index_arm(ctx, rep, i, span)
@@ -2587,7 +2672,10 @@ impl<'a> Elab<'a> {
             } => {
                 let orient = match orientation {
                     Some(o) => Orientation::from_name(&o.name).ok_or_else(|| {
-                        Diagnostic::error(o.span, format!("'{}' is not an orientation change", o.name))
+                        Diagnostic::error(
+                            o.span,
+                            format!("'{}' is not an orientation change", o.name),
+                        )
                     })?,
                     None => Orientation::Identity,
                 };
@@ -2607,14 +2695,8 @@ impl<'a> Elab<'a> {
                     Self::mark_roles(&mut ctx.roles, &shape, RoleCtx::Local, &nets);
                     self.register_pendings(ctx, &shape, &bindt, &nets, &path, &parent, *span)?;
                     let key = self.key_of(ctx, &path);
-                    self.replacements.insert(
-                        path.clone(),
-                        Rc::new(Slot {
-                            path,
-                            shape,
-                            nets,
-                        }),
-                    );
+                    self.replacements
+                        .insert(path.clone(), Rc::new(Slot { path, shape, nets }));
                     out.push(LayoutItem::Place {
                         key,
                         orientation: orient,
@@ -2674,7 +2756,9 @@ impl<'a> Elab<'a> {
                         .borrow_mut()
                         .insert(var.name.clone(), ConstVal::Num(i));
                     ctx.env = ienv;
-                    let r: R<()> = body.iter().try_for_each(|s| self.interp_layout(ctx, s, out));
+                    let r: R<()> = body
+                        .iter()
+                        .try_for_each(|s| self.interp_layout(ctx, s, out));
                     ctx.env = Rc::clone(&outer);
                     r?;
                 }
@@ -2718,7 +2802,10 @@ impl<'a> Elab<'a> {
                     ));
                 };
                 let Some(base_path) = &arm.path else {
-                    return Err(Diagnostic::error(signal.span, "WITH requires a direct signal"));
+                    return Err(Diagnostic::error(
+                        signal.span,
+                        "WITH requires a direct signal",
+                    ));
                 };
                 let wenv = Env::child(&ctx.env);
                 let offsets = rec.field_offsets();
@@ -2733,7 +2820,9 @@ impl<'a> Elab<'a> {
                     );
                 }
                 let outer = std::mem::replace(&mut ctx.env, wenv);
-                let r: R<()> = body.iter().try_for_each(|s| self.interp_layout(ctx, s, out));
+                let r: R<()> = body
+                    .iter()
+                    .try_for_each(|s| self.interp_layout(ctx, s, out));
                 ctx.env = outer;
                 r
             }
@@ -2854,7 +2943,11 @@ impl<'a> Elab<'a> {
             if port_nets.contains(&rep.0) {
                 continue;
             }
-            let read = self.touched.get(i).map(|f| f & F_READ != 0).unwrap_or(false);
+            let read = self
+                .touched
+                .get(i)
+                .map(|f| f & F_READ != 0)
+                .unwrap_or(false);
             if read
                 && drivers[i].is_empty()
                 && net.kind == BasicKind::Boolean

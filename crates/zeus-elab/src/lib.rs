@@ -36,10 +36,12 @@
 mod elab;
 
 pub mod design;
+pub mod limits;
 pub mod netlist;
 pub mod shape;
 
 pub use design::{Design, Direction, InstanceNode, LayoutItem, Orientation, Port};
-pub use elab::{elaborate, elaborate_signal, elaborate_with, ElabOptions};
+pub use elab::{elaborate, elaborate_signal, elaborate_signal_with, elaborate_with, ElabOptions};
+pub use limits::{Governor, Limits};
 pub use netlist::{to_dot, GroupConstraint, Net, NetId, Netlist, Node, NodeId, NodeOp};
 pub use shape::{BuiltinComponent, FieldShape, RecordShape, Shape};

@@ -329,11 +329,7 @@ impl Netlist {
                 }
             }
         }
-        let comb_count = self
-            .nodes
-            .iter()
-            .filter(|n| !n.op.is_sequential())
-            .count();
+        let comb_count = self.nodes.iter().filter(|n| !n.op.is_sequential()).count();
         if order.len() != comb_count {
             // Find a net on the cycle for the message.
             let witness = self
@@ -564,11 +560,17 @@ mod tests {
         nl.add_node(NodeOp::Not, vec![a], b, Some(0), Span::dummy());
         nl.add_node(NodeOp::Not, vec![b], c, Some(1), Span::dummy());
         nl.finish().unwrap();
-        nl.group_constraints.push(GroupConstraint { before: 0, after: 1 });
+        nl.group_constraints.push(GroupConstraint {
+            before: 0,
+            after: 1,
+        });
         assert!(nl.check_group_compatibility().is_ok());
         // Reversed constraint contradicts dataflow.
         nl.group_constraints.clear();
-        nl.group_constraints.push(GroupConstraint { before: 1, after: 0 });
+        nl.group_constraints.push(GroupConstraint {
+            before: 1,
+            after: 0,
+        });
         assert!(nl.check_group_compatibility().is_err());
     }
 

@@ -216,10 +216,7 @@ fn warnings_are_collected_not_fatal() {
          BEGIN x := a; y := x; s := y END;";
     let d = elab(src, "t", &[]);
     assert!(!d.warnings.is_empty());
-    assert!(d
-        .warnings
-        .iter()
-        .any(|w| w.message.contains("multiplex")));
+    assert!(d.warnings.iter().any(|w| w.message.contains("multiplex")));
 }
 
 #[test]

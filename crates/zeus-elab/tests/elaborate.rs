@@ -60,11 +60,19 @@ fn fulladder_instantiates_two_halfadders() {
     assert!(d.instances.child("h2").is_some());
     // Two XOR and two AND gates from the two half adders, one OR.
     assert_eq!(
-        d.netlist.nodes.iter().filter(|n| n.op == NodeOp::Xor).count(),
+        d.netlist
+            .nodes
+            .iter()
+            .filter(|n| n.op == NodeOp::Xor)
+            .count(),
         2
     );
     assert_eq!(
-        d.netlist.nodes.iter().filter(|n| n.op == NodeOp::Or).count(),
+        d.netlist
+            .nodes
+            .iter()
+            .filter(|n| n.op == NodeOp::Or)
+            .count(),
         1
     );
 }
@@ -93,7 +101,10 @@ fn conditional_assign_to_plain_boolean_rejected() {
         "t",
         &[],
     );
-    assert!(e.contains("type rules (1)") || e.contains("conditional assignment"), "{e}");
+    assert!(
+        e.contains("type rules (1)") || e.contains("conditional assignment"),
+        "{e}"
+    );
 }
 
 #[test]
@@ -150,7 +161,10 @@ fn alias_boolean_boolean_rejected() {
         "t",
         &[],
     );
-    assert!(e.contains("type rules (2)") || e.contains("aliasing"), "{e}");
+    assert!(
+        e.contains("type rules (2)") || e.contains("aliasing"),
+        "{e}"
+    );
 }
 
 #[test]
@@ -320,7 +334,11 @@ fn recursive_tree_elaborates() {
     find(&d.instances, "tree", &mut trees);
     // left/right at n=2 unused: tree nodes are tree(8)=top + 2× tree(4)
     // + 4× tree(2) (the root itself is of type "tree" and is counted).
-    assert_eq!(trees.len(), 7, "tree(8) expands to 7 tree instances in total");
+    assert_eq!(
+        trees.len(),
+        7,
+        "tree(8) expands to 7 tree instances in total"
+    );
 }
 
 #[test]
@@ -424,7 +442,10 @@ fn chessboard_virtual_replacement() {
     fn count(n: &zeus_elab::InstanceNode, ty: &str) -> usize {
         (n.type_name == ty) as usize + n.children.iter().map(|c| count(c, ty)).sum::<usize>()
     }
-    assert_eq!(count(&d.instances, "black") + count(&d.instances, "white"), 16);
+    assert_eq!(
+        count(&d.instances, "black") + count(&d.instances, "white"),
+        16
+    );
     assert_eq!(count(&d.instances, "black"), 8);
     // Layout carries the 4 rows × 4 columns order structure.
     assert!(!d.instances.layout.is_empty());
@@ -486,7 +507,8 @@ fn function_component_call_inlines() {
 
 #[test]
 fn function_with_type_args() {
-    let src = "TYPE ident(n) = COMPONENT (IN x: ARRAY[1..n] OF boolean): ARRAY[1..n] OF boolean IS \
+    let src =
+        "TYPE ident(n) = COMPONENT (IN x: ARRAY[1..n] OF boolean): ARRAY[1..n] OF boolean IS \
          BEGIN RESULT x END; \
          top = COMPONENT (IN a: ARRAY[1..3] OF boolean; OUT y: ARRAY[1..3] OF boolean) IS \
          BEGIN y := ident[3](a) END;";

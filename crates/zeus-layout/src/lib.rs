@@ -110,10 +110,8 @@ impl Floorplan {
         let leaves: Vec<&PlacedRect> = self.rects.iter().filter(|r| r.leaf).collect();
         for (i, a) in leaves.iter().enumerate() {
             for b in &leaves[i + 1..] {
-                let sep = a.x + a.w <= b.x
-                    || b.x + b.w <= a.x
-                    || a.y + a.h <= b.y
-                    || b.y + b.h <= a.y;
+                let sep =
+                    a.x + a.w <= b.x || b.x + b.w <= a.x || a.y + a.h <= b.y || b.y + b.h <= a.y;
                 if !sep {
                     return false;
                 }
@@ -275,11 +273,8 @@ fn map_side(side: Side, o: Orientation) -> Side {
 }
 
 fn layout_node(node: &InstanceNode) -> Frame {
-    let by_key: HashMap<&str, &InstanceNode> = node
-        .children
-        .iter()
-        .map(|c| (c.key.as_str(), c))
-        .collect();
+    let by_key: HashMap<&str, &InstanceNode> =
+        node.children.iter().map(|c| (c.key.as_str(), c)).collect();
     let mut placed: Vec<String> = Vec::new();
 
     let mut boundary: Vec<(Side, Vec<String>)> = Vec::new();
@@ -341,11 +336,8 @@ fn resolve_key<'a>(
     for (&ckey, &child) in by_key {
         if let Some(rest) = key.strip_prefix(ckey) {
             if let Some(rest) = rest.strip_prefix('.') {
-                let inner: HashMap<&str, &InstanceNode> = child
-                    .children
-                    .iter()
-                    .map(|c| (c.key.as_str(), c))
-                    .collect();
+                let inner: HashMap<&str, &InstanceNode> =
+                    child.children.iter().map(|c| (c.key.as_str(), c)).collect();
                 if let Some((_, node)) = resolve_key(&inner, rest) {
                     return Some((ckey.to_string(), node));
                 }

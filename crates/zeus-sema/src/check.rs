@@ -30,6 +30,7 @@ pub fn check_program(program: &Program) -> Result<(), Diagnostics> {
     ck.decls(&program.decls);
     ck.pop_frame();
     if ck.diags.has_errors() {
+        ck.diags.tag_default_code(zeus_syntax::codes::SEMA);
         Err(ck.diags)
     } else {
         Ok(())
@@ -216,7 +217,10 @@ impl Checker {
                     Resolved::Found => {}
                     Resolved::FilteredOut => self.diags.error(
                         name.span,
-                        format!("type '{}' is not in the USES list of this component", name.name),
+                        format!(
+                            "type '{}' is not in the USES list of this component",
+                            name.name
+                        ),
                     ),
                     Resolved::NotFound => self
                         .diags
@@ -293,7 +297,10 @@ impl Checker {
             Resolved::Found => {}
             Resolved::FilteredOut => self.diags.error(
                 id.span,
-                format!("constant '{}' is not in the USES list of this component", id.name),
+                format!(
+                    "constant '{}' is not in the USES list of this component",
+                    id.name
+                ),
             ),
             Resolved::NotFound => self
                 .diags
@@ -500,10 +507,8 @@ impl Checker {
             } => {
                 if let Some(o) = orientation {
                     if !ORIENTATIONS.contains(&o.name.as_str()) {
-                        self.diags.error(
-                            o.span,
-                            format!("'{}' is not an orientation change", o.name),
-                        );
+                        self.diags
+                            .error(o.span, format!("'{}' is not an orientation change", o.name));
                     }
                 }
                 self.signal_ref(signal);
@@ -578,13 +583,17 @@ mod tests {
 
     fn err(src: &str) -> String {
         let p = parse_program(src).expect("parse");
-        check_program(&p).expect_err("expected check error").to_string()
+        check_program(&p)
+            .expect_err("expected check error")
+            .to_string()
     }
 
     #[test]
     fn halfadder_checks() {
-        ok("TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
-            BEGIN s := XOR(a,b); cout := AND(a,b) END;");
+        ok(
+            "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+            BEGIN s := XOR(a,b); cout := AND(a,b) END;",
+        );
     }
 
     #[test]
@@ -634,24 +643,32 @@ mod tests {
 
     #[test]
     fn pervasive_names_always_visible() {
-        ok("TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES ; \
+        ok(
+            "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES ; \
             SIGNAL r: REG; \
-            BEGIN r(a, s) END;");
+            BEGIN r(a, s) END;",
+        );
     }
 
     #[test]
     fn recursive_type_sees_itself() {
-        ok("TYPE tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY[1..n] OF boolean) IS \
+        ok(
+            "TYPE tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY[1..n] OF boolean) IS \
             SIGNAL left, right: tree(n DIV 2); \
-            BEGIN WHEN n > 2 THEN left.in := in OTHERWISE leaf[1] := in END END;");
+            BEGIN WHEN n > 2 THEN left.in := in OTHERWISE leaf[1] := in END END;",
+        );
     }
 
     #[test]
     fn replication_variable_scoped() {
-        ok("TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; OUT s: ARRAY[1..4] OF boolean) IS \
-            BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END END;");
-        let e = err("TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; OUT s: ARRAY[1..4] OF boolean) IS \
-             BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END; s[1] := a[i] END;");
+        ok(
+            "TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; OUT s: ARRAY[1..4] OF boolean) IS \
+            BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END END;",
+        );
+        let e = err(
+            "TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean; OUT s: ARRAY[1..4] OF boolean) IS \
+             BEGIN FOR i := 1 TO 4 DO s[i] := a[i] END; s[1] := a[i] END;",
+        );
         assert!(e.contains("unknown"), "{e}");
     }
 

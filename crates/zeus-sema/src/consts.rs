@@ -88,10 +88,7 @@ impl SigVal {
                 } else {
                     Err(Diagnostic::error(
                         span,
-                        format!(
-                            "constant index {i} is out of range 1..{}",
-                            items.len()
-                        ),
+                        format!("constant index {i} is out of range 1..{}", items.len()),
                     ))
                 }
             }
@@ -202,9 +199,8 @@ impl ConstEnv {
 }
 
 fn arith(op: ConstBinOp, l: i64, r: i64, span: Span) -> Result<i64, Diagnostic> {
-    let ov = |v: Option<i64>| {
-        v.ok_or_else(|| Diagnostic::error(span, "constant arithmetic overflow"))
-    };
+    let ov =
+        |v: Option<i64>| v.ok_or_else(|| Diagnostic::error(span, "constant arithmetic overflow"));
     match op {
         ConstBinOp::Add => ov(l.checked_add(r)),
         ConstBinOp::Sub => ov(l.checked_sub(r)),
@@ -337,7 +333,9 @@ pub fn eval_sig_const<S: ConstScope + ?Sized>(c: &SigConst, env: &S) -> Result<S
                     Some(ConstVal::Num(1)) => Ok(SigVal::Val(Value::One)),
                     Some(ConstVal::Num(_)) => Err(Diagnostic::error(
                         id.span,
-                        format!("numeric constant '{name}' is not a signal value (only 0 and 1 are)"),
+                        format!(
+                            "numeric constant '{name}' is not a signal value (only 0 and 1 are)"
+                        ),
                     )),
                     None => Err(Diagnostic::error(
                         id.span,
@@ -354,7 +352,10 @@ pub fn eval_sig_const<S: ConstScope + ?Sized>(c: &SigConst, env: &S) -> Result<S
 /// # Errors
 ///
 /// Propagates the errors of [`eval_const_expr`] / [`eval_sig_const`].
-pub fn eval_constant<S: ConstScope + ?Sized>(c: &Constant, env: &S) -> Result<ConstVal, Diagnostic> {
+pub fn eval_constant<S: ConstScope + ?Sized>(
+    c: &Constant,
+    env: &S,
+) -> Result<ConstVal, Diagnostic> {
     match c {
         Constant::Num(e) => Ok(ConstVal::Num(eval_const_expr(e, env)?)),
         Constant::Sig(sc) => Ok(ConstVal::Sig(eval_sig_const(sc, env)?)),
@@ -441,7 +442,13 @@ mod tests {
         let v = bin(10, 5, Span::dummy()).unwrap();
         assert_eq!(
             v.flatten(),
-            vec![Value::Zero, Value::One, Value::Zero, Value::One, Value::Zero]
+            vec![
+                Value::Zero,
+                Value::One,
+                Value::Zero,
+                Value::One,
+                Value::Zero
+            ]
         );
     }
 
@@ -466,8 +473,8 @@ mod tests {
     #[test]
     fn sig_const_eval() {
         let mut env = ConstEnv::new();
-        let c = zeus_syntax::parser::parse_program("CONST a = ((0,1),(1,0),UNDEF);")
-            .expect("parse");
+        let c =
+            zeus_syntax::parser::parse_program("CONST a = ((0,1),(1,0),UNDEF);").expect("parse");
         let zeus_syntax::ast::Decl::Const(defs) = &c.decls[0] else {
             panic!()
         };
@@ -476,7 +483,13 @@ mod tests {
         assert_eq!(sv.bit_len(), 5);
         assert_eq!(
             sv.flatten(),
-            vec![Value::Zero, Value::One, Value::One, Value::Zero, Value::Undef]
+            vec![
+                Value::Zero,
+                Value::One,
+                Value::One,
+                Value::Zero,
+                Value::Undef
+            ]
         );
         env.bind("a", v);
         // Index 1-based.
@@ -501,10 +514,7 @@ mod tests {
         let ConstVal::Sig(sv) = eval_constant(&defs[0].value, &env).unwrap() else {
             panic!()
         };
-        assert_eq!(
-            sv.flatten(),
-            vec![Value::One, Value::Zero, Value::NoInfl]
-        );
+        assert_eq!(sv.flatten(), vec![Value::One, Value::Zero, Value::NoInfl]);
     }
 
     #[test]

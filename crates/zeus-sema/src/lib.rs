@@ -31,8 +31,8 @@ pub mod value;
 
 pub use check::check_program;
 pub use consts::{
-    ConstScope,
-    bin, eval_const_expr, eval_constant, eval_sig_const, num, ConstEnv, ConstVal, SigVal,
+    bin, eval_const_expr, eval_constant, eval_sig_const, num, ConstEnv, ConstScope, ConstVal,
+    SigVal,
 };
 pub use rules::{BasicKind, Exception1, RuleVerdict};
 pub use value::{Resolution, Value};

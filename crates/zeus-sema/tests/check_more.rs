@@ -64,12 +64,10 @@ fn uses_admits_types_in_parameter_lists() {
 #[test]
 fn with_scope_is_limited_to_its_body() {
     // Unqualified field names only resolve inside the WITH body.
-    let e = err(
-        "TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean); \
+    let e = err("TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean); \
          t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
          SIGNAL g: inner; \
-         BEGIN WITH g DO x := a END; s := y END;",
-    );
+         BEGIN WITH g DO x := a END; s := y END;");
     assert!(e.contains("unknown signal 'y'"), "{e}");
 }
 
@@ -96,24 +94,26 @@ fn function_calls_resolve_through_uses() {
          BEGIN s := inv(a) END;",
     );
     assert!(e.contains("USES"), "{e}");
-    ok("TYPE inv = COMPONENT (IN x: boolean): boolean IS BEGIN RESULT NOT x END; \
+    ok(
+        "TYPE inv = COMPONENT (IN x: boolean): boolean IS BEGIN RESULT NOT x END; \
         t = COMPONENT (IN a: boolean; OUT s: boolean) IS USES inv; \
-        BEGIN s := inv(a) END;");
+        BEGIN s := inv(a) END;",
+    );
 }
 
 #[test]
 fn predefined_gates_need_no_uses_entry() {
-    ok("TYPE t = COMPONENT (IN a,b: boolean; OUT s: boolean) IS USES ; \
-        BEGIN s := NAND(a, XOR(a, b)) END;");
+    ok(
+        "TYPE t = COMPONENT (IN a,b: boolean; OUT s: boolean) IS USES ; \
+        BEGIN s := NAND(a, XOR(a, b)) END;",
+    );
 }
 
 #[test]
 fn num_selector_address_is_resolved() {
-    let e = err(
-        "TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+    let e = err("TYPE t = COMPONENT (IN a: boolean; OUT s: boolean) IS \
          SIGNAL mem: ARRAY[0..3] OF multiplex; \
-         BEGIN mem[0] := a; s := mem[NUM(addr)] END;",
-    );
+         BEGIN mem[0] := a; s := mem[NUM(addr)] END;");
     assert!(e.contains("unknown signal 'addr'"), "{e}");
 }
 

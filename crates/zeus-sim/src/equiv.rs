@@ -6,9 +6,9 @@
 //! combinational designs by exhausting the input space.
 
 use crate::Simulator;
-use zeus_elab::Design;
+use zeus_elab::{Design, Limits};
 use zeus_sema::value::Value;
-use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::diag::{codes, Diagnostic};
 use zeus_syntax::span::Span;
 
 /// A disproof of equivalence: the input assignment and the first output
@@ -62,6 +62,28 @@ pub fn check_equivalent(
     b: &Design,
     max_input_bits: u32,
 ) -> Result<Option<CounterExample>, Diagnostic> {
+    let limits = Limits {
+        max_input_bits,
+        ..Limits::default()
+    };
+    check_equivalent_with(a, b, &limits)
+}
+
+/// Like [`check_equivalent`], but governed by a full [`Limits`] budget:
+/// the input cap comes from `limits.max_input_bits` (violations are tagged
+/// `Z909`), and each simulated input vector charges fuel and checks the
+/// deadline, so a large exhaustive sweep can be cancelled mid-flight.
+///
+/// # Errors
+///
+/// See [`check_equivalent`]; additionally `Z904`/`Z905` when the fuel or
+/// deadline budget runs out during the sweep.
+pub fn check_equivalent_with(
+    a: &Design,
+    b: &Design,
+    limits: &Limits,
+) -> Result<Option<CounterExample>, Diagnostic> {
+    let max_input_bits = limits.max_input_bits;
     let err = |msg: String| Diagnostic::error(Span::dummy(), msg);
     if a.netlist.registers().count() != 0 || b.netlist.registers().count() != 0 {
         return Err(err(
@@ -90,17 +112,18 @@ pub fn check_equivalent(
     if total_bits as u32 > max_input_bits {
         return Err(err(format!(
             "{total_bits} input bits exceed the exhaustive cap of {max_input_bits}"
-        )));
+        ))
+        .with_code(codes::LIMIT_INPUT_BITS));
     }
-    let in_names: Vec<(String, usize)> = ins_a
-        .iter()
-        .map(|p| (p.name.clone(), p.width()))
-        .collect();
+    let in_names: Vec<(String, usize)> =
+        ins_a.iter().map(|p| (p.name.clone(), p.width())).collect();
     let out_names: Vec<String> = outs_a.iter().map(|p| p.name.clone()).collect();
 
     let mut sa = Simulator::new(a.clone()).map_err(|e| err(e.to_string()))?;
     let mut sb = Simulator::new(b.clone()).map_err(|e| err(e.to_string()))?;
+    let mut gov = limits.governor();
     for vector in 0u64..(1u64 << total_bits) {
+        gov.charge(1, Span::dummy())?;
         let mut offset = 0usize;
         let mut assignment = Vec::with_capacity(in_names.len());
         for (name, width) in &in_names {
@@ -159,10 +182,7 @@ mod tests {
         let ce = check_equivalent(&a, &b, 20).unwrap().expect("differs");
         assert_eq!(ce.port, "s");
         // OR differs from XOR exactly on a=b=1.
-        assert!(ce
-            .inputs
-            .iter()
-            .all(|(_, bits)| bits == &vec![Value::One]));
+        assert!(ce.inputs.iter().all(|(_, bits)| bits == &vec![Value::One]));
         assert!(!ce.to_string().is_empty());
     }
 
@@ -229,7 +249,10 @@ pub fn check_equivalent_sequential(
     }
     for (pa, pb) in ins_a.iter().zip(&ins_b) {
         if pa.name != pb.name || pa.width() != pb.width() {
-            return Err(err(format!("input port mismatch: {} vs {}", pa.name, pb.name)));
+            return Err(err(format!(
+                "input port mismatch: {} vs {}",
+                pa.name, pb.name
+            )));
         }
     }
     let in_names: Vec<(String, usize)> =
@@ -253,9 +276,7 @@ pub fn check_equivalent_sequential(
         for _ in 0..cycles {
             let mut assignment = Vec::with_capacity(in_names.len());
             for (name, width) in &in_names {
-                let bits: Vec<Value> = (0..*width)
-                    .map(|_| Value::from_bool(rng.gen()))
-                    .collect();
+                let bits: Vec<Value> = (0..*width).map(|_| Value::from_bool(rng.gen())).collect();
                 sa.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
                 sb.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
                 assignment.push((name.clone(), bits));
@@ -302,10 +323,7 @@ mod seq_tests {
     fn equivalent_togglers_pass() {
         let a = design(TOGGLERS, "t1");
         let b = design(TOGGLERS, "t2");
-        assert_eq!(
-            check_equivalent_sequential(&a, &b, 4, 64, 1).unwrap(),
-            None
-        );
+        assert_eq!(check_equivalent_sequential(&a, &b, 4, 64, 1).unwrap(), None);
     }
 
     #[test]

@@ -16,11 +16,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use zeus_elab::{Design, NetId, NodeId, NodeOp};
+use zeus_elab::{Design, Limits, NetId, NodeId, NodeOp};
 use zeus_sema::value::{self, Value};
 use zeus_syntax::diag::Diagnostic;
 
-use crate::sim::{Conflict, CycleReport};
+use crate::sim::{Conflict, CycleReport, StepBudget};
 
 type EventHeap = std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>;
 
@@ -51,6 +51,7 @@ pub struct EventSimulator {
     conflicts_total: u64,
     /// Nodes evaluated in the last cycle (the selective-trace metric).
     pub evals_last_cycle: u64,
+    budget: StepBudget,
 }
 
 impl EventSimulator {
@@ -60,6 +61,19 @@ impl EventSimulator {
     ///
     /// Returns a diagnostic if the netlist has a combinational cycle.
     pub fn new(design: Design) -> Result<EventSimulator, Diagnostic> {
+        EventSimulator::with_limits(design, &Limits::default())
+    }
+
+    /// Like [`EventSimulator::new`], but with an explicit resource budget.
+    ///
+    /// The budget is consumed by [`EventSimulator::try_step`] and
+    /// [`EventSimulator::try_run`]; the infallible [`EventSimulator::step`]
+    /// ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the netlist has a combinational cycle.
+    pub fn with_limits(design: Design, limits: &Limits) -> Result<EventSimulator, Diagnostic> {
         let order = design.netlist.topo_order()?;
         let mut rank = vec![0u32; design.netlist.node_count()];
         for (i, n) in order.iter().enumerate() {
@@ -98,6 +112,7 @@ impl EventSimulator {
             rng: StdRng::seed_from_u64(0x2E05_1983),
             conflicts_total: 0,
             evals_last_cycle: 0,
+            budget: StepBudget::new(limits),
         };
         if let Some(clk) = sim.design.clk {
             sim.forced.insert(clk, Value::One);
@@ -125,7 +140,10 @@ impl EventSimulator {
     /// Returns a diagnostic if the port is unknown or widths mismatch.
     pub fn set_port(&mut self, name: &str, bits: &[Value]) -> Result<(), Diagnostic> {
         let port = self.design.port(name).ok_or_else(|| {
-            Diagnostic::error(zeus_syntax::span::Span::dummy(), format!("no port '{name}'"))
+            Diagnostic::error(
+                zeus_syntax::span::Span::dummy(),
+                format!("no port '{name}'"),
+            )
         })?;
         if port.nets.len() != bits.len() {
             return Err(Diagnostic::error(
@@ -247,12 +265,11 @@ impl EventSimulator {
         // Constants and RANDOM sources fire every cycle.
         for i in 0..self.design.netlist.node_count() {
             match self.design.netlist.nodes[i].op {
-                NodeOp::Const(v)
-                    if self.contribs[i] != v => {
-                        self.contribs[i] = v;
-                        let out = self.design.netlist.nodes[i].output;
-                        self.touch_net(&mut heap, out);
-                    }
+                NodeOp::Const(v) if self.contribs[i] != v => {
+                    self.contribs[i] = v;
+                    let out = self.design.netlist.nodes[i].output;
+                    self.touch_net(&mut heap, out);
+                }
                 NodeOp::Random => {
                     let v = Value::from_bool(self.rng.gen());
                     self.contribs[i] = v;
@@ -343,6 +360,35 @@ impl EventSimulator {
         }
         last
     }
+
+    /// Like [`EventSimulator::step`], but charged against the configured
+    /// resource budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `Z908` diagnostic once the step budget is exhausted, `Z904`
+    /// when the fuel budget runs out (fuel is charged per node evaluation,
+    /// so a busy design burns fuel faster than an idle one), or `Z905` past
+    /// the deadline.
+    pub fn try_step(&mut self) -> Result<CycleReport, Diagnostic> {
+        self.budget.begin_cycle()?;
+        let report = self.step();
+        self.budget.charge_work(self.evals_last_cycle)?;
+        Ok(report)
+    }
+
+    /// Runs `n` cycles under the resource budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventSimulator::try_step`].
+    pub fn try_run(&mut self, n: usize) -> Result<CycleReport, Diagnostic> {
+        let mut last = CycleReport::default();
+        for _ in 0..n {
+            last = self.try_step()?;
+        }
+        Ok(last)
+    }
 }
 
 #[cfg(test)]
@@ -357,8 +403,7 @@ mod tests {
         elaborate(&p, top, &[]).expect("elaborate")
     }
 
-    const FULLADDER: &str =
-        "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+    const FULLADDER: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
          BEGIN s := XOR(a,b); cout := AND(a,b) END; \
          fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
          SIGNAL h1,h2:halfadder; \

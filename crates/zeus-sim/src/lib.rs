@@ -44,7 +44,9 @@ mod event;
 mod sim;
 mod trace;
 
-pub use equiv::{check_equivalent, check_equivalent_sequential, CounterExample};
+pub use equiv::{
+    check_equivalent, check_equivalent_sequential, check_equivalent_with, CounterExample,
+};
 pub use event::EventSimulator;
 pub use sim::{Conflict, CycleReport, Simulator};
 pub use trace::Recorder;

@@ -14,10 +14,53 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use zeus_elab::{Design, NetId, NodeId, NodeOp};
+use zeus_elab::{Design, Governor, Limits, NetId, NodeId, NodeOp};
 use zeus_sema::value::{self, Value};
-use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::diag::{codes, Diagnostic};
 use zeus_syntax::span::Span;
+
+/// Shared budget bookkeeping for the budgeted (`try_*`) stepping APIs of
+/// both simulators: a step counter against `Limits::max_steps` plus the
+/// fuel/deadline governor.
+#[derive(Debug, Clone)]
+pub(crate) struct StepBudget {
+    max_steps: Option<u64>,
+    steps: u64,
+    gov: Governor,
+}
+
+impl StepBudget {
+    pub(crate) fn new(limits: &Limits) -> StepBudget {
+        StepBudget {
+            max_steps: limits.max_steps,
+            steps: 0,
+            gov: limits.governor(),
+        }
+    }
+
+    /// Pre-cycle check: step budget and deadline.
+    pub(crate) fn begin_cycle(&mut self) -> Result<(), Diagnostic> {
+        if let Some(max) = self.max_steps {
+            if self.steps >= max {
+                return Err(Diagnostic::error(
+                    Span::dummy(),
+                    format!(
+                        "simulation step budget exhausted (limit {max} cycles); raise \
+                         the step limit to continue"
+                    ),
+                )
+                .with_code(codes::LIMIT_STEPS));
+            }
+        }
+        self.steps += 1;
+        self.gov.check_deadline(Span::dummy())
+    }
+
+    /// Post-cycle accounting: one fuel unit per node evaluation.
+    pub(crate) fn charge_work(&mut self, evals: u64) -> Result<(), Diagnostic> {
+        self.gov.charge(evals + 1, Span::dummy())
+    }
+}
 
 /// A runtime violation of the single-active-assignment rule (§8).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,16 +109,27 @@ pub struct Simulator {
     rng: StdRng,
     check_conflicts: bool,
     conflicts_total: u64,
+    budget: StepBudget,
 }
 
 impl Simulator {
-    /// Builds a simulator for a finished design.
+    /// Builds a simulator for a finished design with unlimited budgets.
     ///
     /// # Errors
     ///
     /// Returns a diagnostic if the design's netlist has a combinational
     /// cycle (cannot happen for designs produced by `zeus-elab`).
     pub fn new(design: Design) -> Result<Simulator, Diagnostic> {
+        Simulator::with_limits(design, &Limits::default())
+    }
+
+    /// [`Simulator::new`] with explicit resource limits; the budgets are
+    /// enforced by [`Simulator::try_step`] / [`Simulator::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::new`].
+    pub fn with_limits(design: Design, limits: &Limits) -> Result<Simulator, Diagnostic> {
         let order = design.netlist.topo_order()?;
         let regs = design
             .netlist
@@ -94,6 +148,7 @@ impl Simulator {
             rng: StdRng::seed_from_u64(0x2E05_1983),
             check_conflicts: true,
             conflicts_total: 0,
+            budget: StepBudget::new(limits),
         };
         // The clock reads 1 and reset 0 unless the testbench drives them.
         if let Some(clk) = sim.design.clk {
@@ -153,9 +208,10 @@ impl Simulator {
     /// Returns a diagnostic if the port does not exist or the width does
     /// not match.
     pub fn set_port(&mut self, name: &str, bits: &[Value]) -> Result<(), Diagnostic> {
-        let port = self.design.port(name).ok_or_else(|| {
-            Diagnostic::error(Span::dummy(), format!("no port named '{name}'"))
-        })?;
+        let port = self
+            .design
+            .port(name)
+            .ok_or_else(|| Diagnostic::error(Span::dummy(), format!("no port named '{name}'")))?;
         if port.nets.len() != bits.len() {
             return Err(Diagnostic::error(
                 Span::dummy(),
@@ -233,7 +289,10 @@ impl Simulator {
 
     /// Resolved value of a named signal bit (boolean view).
     pub fn value_by_name(&self, name: &str) -> Option<Value> {
-        self.design.names.get(name).map(|&n| self.value(n).to_boolean())
+        self.design
+            .names
+            .get(name)
+            .map(|&n| self.value(n).to_boolean())
     }
 
     /// The *stored* value of the register whose output bit has the given
@@ -366,6 +425,32 @@ impl Simulator {
         last
     }
 
+    /// Budget-checked [`Simulator::step`]: enforces the step budget, fuel
+    /// and deadline of the [`Limits`] the simulator was built with.
+    ///
+    /// # Errors
+    ///
+    /// `Z908` when the step budget is exhausted, `Z904`/`Z905` for fuel
+    /// and deadline.
+    pub fn try_step(&mut self) -> Result<CycleReport, Diagnostic> {
+        self.budget.begin_cycle()?;
+        self.budget.charge_work(self.order.len() as u64)?;
+        Ok(self.step())
+    }
+
+    /// Budget-checked [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::try_step`].
+    pub fn try_run(&mut self, n: usize) -> Result<CycleReport, Diagnostic> {
+        let mut last = CycleReport::default();
+        for _ in 0..n {
+            last = self.try_step()?;
+        }
+        Ok(last)
+    }
+
     #[inline]
     fn drive(&mut self, net: NetId, v: Value) {
         if v == Value::NoInfl {
@@ -406,8 +491,7 @@ mod tests {
         Simulator::new(d).expect("simulator")
     }
 
-    const HALFADDER: &str =
-        "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+    const HALFADDER: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
          BEGIN s := XOR(a,b); cout := AND(a,b) END;";
 
     #[test]
@@ -503,10 +587,7 @@ mod tests {
             s.step();
             seen.push(s.port("q")[0]);
         }
-        assert_eq!(
-            seen,
-            vec![Value::Zero, Value::One, Value::Zero, Value::One]
-        );
+        assert_eq!(seen, vec![Value::Zero, Value::One, Value::Zero, Value::One]);
     }
 
     #[test]
@@ -601,12 +682,27 @@ mod tests {
              BEGIN q := RANDOM() END;";
         let mut s1 = sim(src, "t", &[]);
         let mut s2 = sim(src, "t", &[]);
-        let a: Vec<Value> = (0..16).map(|_| { s1.step(); s1.port("q")[0] }).collect();
-        let b: Vec<Value> = (0..16).map(|_| { s2.step(); s2.port("q")[0] }).collect();
+        let a: Vec<Value> = (0..16)
+            .map(|_| {
+                s1.step();
+                s1.port("q")[0]
+            })
+            .collect();
+        let b: Vec<Value> = (0..16)
+            .map(|_| {
+                s2.step();
+                s2.port("q")[0]
+            })
+            .collect();
         assert_eq!(a, b);
         let mut s3 = sim(src, "t", &[]);
         s3.reseed(42);
-        let c: Vec<Value> = (0..16).map(|_| { s3.step(); s3.port("q")[0] }).collect();
+        let c: Vec<Value> = (0..16)
+            .map(|_| {
+                s3.step();
+                s3.port("q")[0]
+            })
+            .collect();
         assert_ne!(a, c, "different seed should give a different stream");
     }
 

@@ -79,12 +79,7 @@ impl Recorder {
     /// Renders an ASCII waveform: one row per signal, one column per
     /// cycle (`0`, `1`, `U` for undefined, `Z` for no influence).
     pub fn render(&self) -> String {
-        let name_w = self
-            .signals
-            .iter()
-            .map(|(n, _)| n.len())
-            .max()
-            .unwrap_or(0);
+        let name_w = self.signals.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
         for (i, (name, _)) in self.signals.iter().enumerate() {
             let _ = write!(out, "{name:<name_w$} ");
@@ -179,7 +174,13 @@ mod tests {
         let h = rec.history("q[1]").unwrap();
         assert_eq!(
             h,
-            vec![Value::Undef, Value::Zero, Value::One, Value::Zero, Value::One]
+            vec![
+                Value::Undef,
+                Value::Zero,
+                Value::One,
+                Value::Zero,
+                Value::One
+            ]
         );
         let text = rec.render();
         assert!(text.contains("q[1]"));

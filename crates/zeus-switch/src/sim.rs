@@ -15,9 +15,9 @@ use crate::synth::{synthesize, Synth};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use zeus_elab::Design;
+use zeus_elab::{Design, Governor, Limits};
 use zeus_sema::Value;
-use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::diag::{codes, Diagnostic};
 use zeus_syntax::span::Span;
 
 /// A switch-level simulator for an elaborated Zeus design.
@@ -38,11 +38,28 @@ pub struct SwitchSim {
     /// Power-to-ground shorts observed in the last cycle (the hazard
     /// Zeus's type rules are designed to prevent).
     pub shorts_last_cycle: u32,
+    /// True when the last cycle hit the relaxation cap without converging
+    /// (non-forced nodes were X-filled). [`SwitchSim::try_step`] turns
+    /// this into a `Z310` diagnostic.
+    pub oscillated_last_cycle: bool,
+    relax_cap: Option<u32>,
+    max_steps: Option<u64>,
+    steps: u64,
+    gov: Governor,
 }
 
 impl SwitchSim {
     /// Synthesizes and wraps a design.
     pub fn new(design: &Design) -> SwitchSim {
+        SwitchSim::with_limits(design, &Limits::default())
+    }
+
+    /// Like [`SwitchSim::new`], but with an explicit resource budget.
+    ///
+    /// `limits.relax_iter_cap` overrides the default per-cycle relaxation
+    /// cap of `2 * nodes + 16` sweeps; the step/fuel/deadline budgets are
+    /// consumed by [`SwitchSim::try_step`].
+    pub fn with_limits(design: &Design, limits: &Limits) -> SwitchSim {
         let synth = synthesize(design);
         let mut ports = HashMap::new();
         for p in &design.ports {
@@ -75,6 +92,11 @@ impl SwitchSim {
             rng: StdRng::seed_from_u64(0x2E05_1983),
             iterations_last_cycle: 0,
             shorts_last_cycle: 0,
+            oscillated_last_cycle: false,
+            relax_cap: limits.relax_iter_cap,
+            max_steps: limits.max_steps,
+            steps: 0,
+            gov: limits.governor(),
         }
     }
 
@@ -131,8 +153,7 @@ impl SwitchSim {
     /// Drives the predefined RSET signal (when the design uses it).
     pub fn set_rset(&mut self, v: bool) {
         if let Some(r) = self.rset {
-            self.forced
-                .insert(r, SV::from_value(Value::from_bool(v)));
+            self.forced.insert(r, SV::from_value(Value::from_bool(v)));
         }
     }
 
@@ -189,9 +210,10 @@ impl SwitchSim {
 
         // Relax to a fixpoint.
         let n = self.synth.network.node_count();
-        let limit = (2 * n + 16) as u32;
+        let limit = self.relax_cap.unwrap_or((2 * n + 16) as u32);
         let mut iters = 0u32;
         self.shorts_last_cycle = 0;
+        self.oscillated_last_cycle = false;
         loop {
             iters += 1;
             let (next, shorts) = self.relax_once(&forced);
@@ -203,6 +225,7 @@ impl SwitchSim {
             }
             if iters >= limit {
                 // Oscillation: non-converging nodes are unknown.
+                self.oscillated_last_cycle = true;
                 for (i, v) in self.state.iter_mut().enumerate() {
                     if !forced.contains_key(&crate::network::SNode(i as u32)) {
                         *v = SV::X;
@@ -226,6 +249,60 @@ impl SwitchSim {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Like [`SwitchSim::step`], but charged against the configured
+    /// resource budget, and with non-convergence reported as an error
+    /// instead of silent X-filling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `Z908` diagnostic once the step budget is exhausted,
+    /// `Z904`/`Z905` when fuel or deadline run out (fuel is charged per
+    /// relaxation sweep), or `Z310` when the network oscillated this
+    /// cycle (its state is left X-filled, as after [`SwitchSim::step`]).
+    pub fn try_step(&mut self) -> Result<(), Diagnostic> {
+        if let Some(max) = self.max_steps {
+            if self.steps >= max {
+                return Err(Diagnostic::error(
+                    Span::dummy(),
+                    format!(
+                        "simulation step budget exhausted (limit {max} cycles); \
+                         raise the step limit to continue"
+                    ),
+                )
+                .with_code(codes::LIMIT_STEPS));
+            }
+        }
+        self.steps += 1;
+        self.gov.check_deadline(Span::dummy())?;
+        self.step();
+        self.gov
+            .charge(self.iterations_last_cycle as u64 + 1, Span::dummy())?;
+        if self.oscillated_last_cycle {
+            return Err(Diagnostic::error(
+                Span::dummy(),
+                format!(
+                    "switch-level relaxation did not converge within {} sweeps \
+                     (oscillating network); non-forced nodes were set to X",
+                    self.iterations_last_cycle
+                ),
+            )
+            .with_code(codes::OSCILLATION));
+        }
+        Ok(())
+    }
+
+    /// Runs `n` cycles under the resource budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`SwitchSim::try_step`].
+    pub fn try_run(&mut self, n: usize) -> Result<(), Diagnostic> {
+        for _ in 0..n {
+            self.try_step()?;
+        }
+        Ok(())
     }
 
     /// One relaxation sweep: recomputes every node value from supply /
@@ -336,8 +413,7 @@ mod tests {
         elaborate(&p, top, &[]).expect("elaborate")
     }
 
-    const FULLADDER: &str =
-        "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+    const FULLADDER: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
          BEGIN s := XOR(a,b); cout := AND(a,b) END; \
          fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
          SIGNAL h1,h2:halfadder; \

@@ -29,6 +29,75 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A machine-readable diagnostic code, rendered as `error[Z201]: ...`.
+///
+/// The taxonomy partitions the pipeline by leading digit:
+///
+/// | range | phase                                  |
+/// |-------|----------------------------------------|
+/// | Z0xx  | lexing / parsing                       |
+/// | Z1xx  | semantic analysis                      |
+/// | Z2xx  | elaboration                            |
+/// | Z3xx  | simulation                             |
+/// | Z9xx  | resource limits (Z999: internal error) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(pub &'static str);
+
+impl Code {
+    /// The code text, e.g. `"Z201"`.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// True for the Z9xx resource-limit family (Z999 internal errors are
+    /// *not* limits: they indicate a compiler bug, not an exhausted budget).
+    pub fn is_resource_limit(self) -> bool {
+        self.0.starts_with("Z9") && self != codes::INTERNAL
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Well-known diagnostic codes for the Zeus pipeline.
+pub mod codes {
+    use super::Code;
+
+    /// Generic lexing/parsing error.
+    pub const SYNTAX: Code = Code("Z001");
+    /// Generic semantic (type/name/const) error.
+    pub const SEMA: Code = Code("Z101");
+    /// Generic elaboration error.
+    pub const ELAB: Code = Code("Z201");
+    /// Generic simulation error.
+    pub const SIM: Code = Code("Z301");
+    /// A simulator relaxation/delta loop failed to converge (oscillation).
+    pub const OSCILLATION: Code = Code("Z310");
+    /// Instance budget (`Limits::max_instances`) exhausted.
+    pub const LIMIT_INSTANCES: Code = Code("Z901");
+    /// Net budget (`Limits::max_nets`) exhausted.
+    pub const LIMIT_NETS: Code = Code("Z902");
+    /// Node budget (`Limits::max_nodes`) exhausted.
+    pub const LIMIT_NODES: Code = Code("Z903");
+    /// Cooperative fuel budget (`Limits::fuel`) exhausted.
+    pub const LIMIT_FUEL: Code = Code("Z904");
+    /// Wall-clock deadline (`Limits::deadline`) exceeded.
+    pub const LIMIT_DEADLINE: Code = Code("Z905");
+    /// Function-component call depth (`Limits::max_call_depth`) exceeded.
+    pub const LIMIT_CALL_DEPTH: Code = Code("Z906");
+    /// Type-expansion depth (`Limits::max_type_depth`) exceeded.
+    pub const LIMIT_TYPE_DEPTH: Code = Code("Z907");
+    /// Simulation step budget (`Limits::max_steps`) exhausted.
+    pub const LIMIT_STEPS: Code = Code("Z908");
+    /// Equivalence-check input width (`Limits::max_input_bits`) exceeded.
+    pub const LIMIT_INPUT_BITS: Code = Code("Z909");
+    /// Internal compiler error (a bug — caught panic or broken invariant).
+    pub const INTERNAL: Code = Code("Z999");
+}
+
 /// A single problem report with source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -38,6 +107,8 @@ pub struct Diagnostic {
     pub span: Span,
     /// Human-readable message, lowercase, no trailing punctuation.
     pub message: String,
+    /// Machine-readable code (`error[Z201]`), if classified.
+    pub code: Option<Code>,
 }
 
 impl Diagnostic {
@@ -47,6 +118,7 @@ impl Diagnostic {
             severity: Severity::Error,
             span,
             message: message.into(),
+            code: None,
         }
     }
 
@@ -56,6 +128,7 @@ impl Diagnostic {
             severity: Severity::Warning,
             span,
             message: message.into(),
+            code: None,
         }
     }
 
@@ -65,6 +138,42 @@ impl Diagnostic {
             severity: Severity::Note,
             span,
             message: message.into(),
+            code: None,
+        }
+    }
+
+    /// Creates a `Z999` internal-error diagnostic: a broken compiler
+    /// invariant surfaced as a report instead of a panic.
+    pub fn internal(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: format!(
+                "internal error: {} (this is a bug in the Zeus toolchain, not in \
+                 your program; please report it)",
+                message.into()
+            ),
+            code: Some(codes::INTERNAL),
+        }
+    }
+
+    /// Attaches a diagnostic code (builder style).
+    pub fn with_code(mut self, code: Code) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// True when this diagnostic reports an exhausted resource budget
+    /// (Z9xx except Z999).
+    pub fn is_resource_limit(&self) -> bool {
+        self.code.is_some_and(Code::is_resource_limit)
+    }
+
+    /// `error[Z201]` or plain `error` when no code is attached.
+    fn severity_tag(&self) -> String {
+        match self.code {
+            Some(c) => format!("{}[{}]", self.severity, c),
+            None => self.severity.to_string(),
         }
     }
 
@@ -73,7 +182,7 @@ impl Diagnostic {
         format!(
             "{}: {}: {}",
             map.line_col(self.span.start),
-            self.severity,
+            self.severity_tag(),
             self.message
         )
     }
@@ -81,7 +190,11 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} (at {})", self.severity, self.message, self.span)
+        write!(f, "{}: {}", self.severity_tag(), self.message)?;
+        if self.span != Span::dummy() {
+            write!(f, " (at {})", self.span)?;
+        }
+        Ok(())
     }
 }
 
@@ -140,6 +253,22 @@ impl Diagnostics {
     /// Merges another collection into this one.
     pub fn extend(&mut self, other: Diagnostics) {
         self.diags.extend(other.diags);
+    }
+
+    /// Gives every untagged diagnostic the phase's default code.
+    ///
+    /// Phases call this at their boundary so that specific codes set deeper
+    /// in the pipeline (e.g. Z9xx limits) survive, while everything else is
+    /// classified by the phase that emitted it.
+    pub fn tag_default_code(&mut self, code: Code) {
+        for d in &mut self.diags {
+            d.code.get_or_insert(code);
+        }
+    }
+
+    /// True if any diagnostic reports an exhausted resource budget (Z9xx).
+    pub fn has_resource_limit(&self) -> bool {
+        self.diags.iter().any(Diagnostic::is_resource_limit)
     }
 
     /// Renders all diagnostics, one per line, against `map`.
@@ -222,6 +351,30 @@ mod tests {
         let map = SourceMap::new("abc\ndef");
         let d = Diagnostic::error(Span::new(5, 6), "bad token");
         assert_eq!(d.render(&map), "2:2: error: bad token");
+    }
+
+    #[test]
+    fn codes_render_and_classify() {
+        let map = SourceMap::new("abc");
+        let d = Diagnostic::error(Span::new(0, 1), "too many nets").with_code(codes::LIMIT_NETS);
+        assert_eq!(d.render(&map), "1:1: error[Z902]: too many nets");
+        assert!(format!("{d}").starts_with("error[Z902]:"));
+        assert!(d.is_resource_limit());
+        assert!(!Diagnostic::error(Span::new(0, 1), "bug")
+            .with_code(codes::INTERNAL)
+            .is_resource_limit());
+        assert!(!Diagnostic::error(Span::new(0, 1), "plain").is_resource_limit());
+    }
+
+    #[test]
+    fn tag_default_code_preserves_existing() {
+        let mut ds = Diagnostics::new();
+        ds.error(Span::new(0, 1), "untagged");
+        ds.push(Diagnostic::error(Span::new(1, 2), "out of fuel").with_code(codes::LIMIT_FUEL));
+        ds.tag_default_code(codes::ELAB);
+        let codes: Vec<_> = ds.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Some(codes::ELAB), Some(codes::LIMIT_FUEL)]);
+        assert!(ds.has_resource_limit());
     }
 
     #[test]

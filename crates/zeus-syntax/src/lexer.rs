@@ -332,8 +332,8 @@ mod tests {
         assert_eq!(
             kinds("+ - ( ) [ ] . , ; : < <= > >= := == .. * = <> { }"),
             vec![
-                Plus, Minus, LParen, RParen, LBracket, RBracket, Dot, Comma, Semicolon, Colon,
-                Lt, Le, Gt, Ge, Assign, Alias, DotDot, Star, Eq, Ne, LBrace, RBrace, Eof
+                Plus, Minus, LParen, RParen, LBracket, RBracket, Dot, Comma, Semicolon, Colon, Lt,
+                Le, Gt, Ge, Assign, Alias, DotDot, Star, Eq, Ne, LBrace, RBrace, Eof
             ]
         );
     }
@@ -342,10 +342,7 @@ mod tests {
     fn compound_symbols_without_spaces() {
         assert_eq!(kinds("a:=b"), vec![ident("a"), Assign, ident("b"), Eof]);
         assert_eq!(kinds("a==b"), vec![ident("a"), Alias, ident("b"), Eof]);
-        assert_eq!(
-            kinds("1..4"),
-            vec![Number(1), DotDot, Number(4), Eof]
-        );
+        assert_eq!(kinds("1..4"), vec![Number(1), DotDot, Number(4), Eof]);
     }
 
     fn ident(s: &str) -> TokenKind {
@@ -366,12 +363,18 @@ mod tests {
 
     #[test]
     fn identifiers_with_digits() {
-        assert_eq!(kinds("h1 bo5 x2y"), vec![ident("h1"), ident("bo5"), ident("x2y"), Eof]);
+        assert_eq!(
+            kinds("h1 bo5 x2y"),
+            vec![ident("h1"), ident("bo5"), ident("x2y"), Eof]
+        );
     }
 
     #[test]
     fn decimal_and_octal_numbers() {
-        assert_eq!(kinds("0 7 22 1023"), vec![Number(0), Number(7), Number(22), Number(1023), Eof]);
+        assert_eq!(
+            kinds("0 7 22 1023"),
+            vec![Number(0), Number(7), Number(22), Number(1023), Eof]
+        );
         assert_eq!(kinds("10B"), vec![Number(8), Eof]);
         assert_eq!(kinds("17b"), vec![Number(15), Eof]);
         assert_eq!(kinds("777B"), vec![Number(511), Eof]);
@@ -389,7 +392,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("a <* hi there *> b"), vec![ident("a"), ident("b"), Eof]);
+        assert_eq!(
+            kinds("a <* hi there *> b"),
+            vec![ident("a"), ident("b"), Eof]
+        );
         assert_eq!(kinds("<* leading *> x"), vec![ident("x"), Eof]);
     }
 

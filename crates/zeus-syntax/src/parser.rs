@@ -13,10 +13,16 @@
 //! * A `BOUNDARY` layout list contains only basic items (pins).
 
 use crate::ast::*;
-use crate::diag::{Diagnostic, Diagnostics};
+use crate::diag::{codes, Diagnostic, Diagnostics};
 use crate::lexer::lex;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
+
+/// Classifies untagged lexer/parser diagnostics as `Z001` (syntax).
+fn tag_syntax(mut ds: Diagnostics) -> Diagnostics {
+    ds.tag_default_code(codes::SYNTAX);
+    ds
+}
 
 /// Parses a complete Zeus program.
 ///
@@ -26,15 +32,15 @@ use crate::token::{Token, TokenKind};
 /// at the first syntax error (recovery in a `;`-separated, keyword-rich
 /// grammar adds little value for a compiler used programmatically).
 pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
-    let tokens = lex(src)?;
+    let tokens = lex(src).map_err(tag_syntax)?;
     let mut p = Parser::new(tokens);
     let prog = p.program();
     match prog {
         Ok(prog) if !p.diags.has_errors() => Ok(prog),
-        Ok(_) => Err(p.diags),
+        Ok(_) => Err(tag_syntax(p.diags)),
         Err(d) => {
             p.diags.push(d);
-            Err(p.diags)
+            Err(tag_syntax(p.diags))
         }
     }
 }
@@ -45,7 +51,7 @@ pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
 ///
 /// Returns diagnostics when the text is not exactly one expression.
 pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
-    let tokens = lex(src)?;
+    let tokens = lex(src).map_err(tag_syntax)?;
     let mut p = Parser::new(tokens);
     match p.expression().and_then(|e| {
         p.expect(&TokenKind::Eof)?;
@@ -54,7 +60,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
         Ok(e) => Ok(e),
         Err(d) => {
             p.diags.push(d);
-            Err(p.diags)
+            Err(tag_syntax(p.diags))
         }
     }
 }
@@ -65,7 +71,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
 ///
 /// Returns diagnostics when the text is not exactly one constant expression.
 pub fn parse_const_expr(src: &str) -> Result<ConstExpr, Diagnostics> {
-    let tokens = lex(src)?;
+    let tokens = lex(src).map_err(tag_syntax)?;
     let mut p = Parser::new(tokens);
     match p.const_expr().and_then(|e| {
         p.expect(&TokenKind::Eof)?;
@@ -74,7 +80,7 @@ pub fn parse_const_expr(src: &str) -> Result<ConstExpr, Diagnostics> {
         Ok(e) => Ok(e),
         Err(d) => {
             p.diags.push(d);
-            Err(p.diags)
+            Err(tag_syntax(p.diags))
         }
     }
 }
@@ -139,7 +145,11 @@ impl Parser {
         } else {
             Err(Diagnostic::error(
                 self.span(),
-                format!("expected '{}' but found '{}'", kind.text(), self.peek().text()),
+                format!(
+                    "expected '{}' but found '{}'",
+                    kind.text(),
+                    self.peek().text()
+                ),
             ))
         }
     }
@@ -1165,15 +1175,23 @@ mod tests {
             panic!("expected const")
         };
         assert_eq!(defs.len(), 4);
-        assert!(matches!(defs[0].value, Constant::Sig(SigConst::Tuple(_, _))));
+        assert!(matches!(
+            defs[0].value,
+            Constant::Sig(SigConst::Tuple(_, _))
+        ));
         assert!(matches!(defs[1].value, Constant::Num(ConstExpr::Num(7, _))));
-        assert!(matches!(defs[3].value, Constant::Sig(SigConst::Bin(_, _, _))));
+        assert!(matches!(
+            defs[3].value,
+            Constant::Sig(SigConst::Bin(_, _, _))
+        ));
     }
 
     #[test]
     fn halfadder_parses() {
-        let p = ok("TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
-                    BEGIN s := XOR(a,b); cout := AND(a,b) END;");
+        let p = ok(
+            "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+                    BEGIN s := XOR(a,b); cout := AND(a,b) END;",
+        );
         let Decl::Type(defs) = &p.decls[0] else {
             panic!()
         };
@@ -1189,9 +1207,11 @@ mod tests {
 
     #[test]
     fn fulladder_with_connections() {
-        let p = ok("TYPE fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
+        let p = ok(
+            "TYPE fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
                     SIGNAL h1,h2:halfadder; \
-                    BEGIN h1(a,b,*,h2.a); h2(h1.s,cin,*,s); cout := OR(h1.cout,h2.cout) END;");
+                    BEGIN h1(a,b,*,h2.a); h2(h1.s,cin,*,s); cout := OR(h1.cout,h2.cout) END;",
+        );
         let Decl::Type(defs) = &p.decls[0] else {
             panic!()
         };
@@ -1199,8 +1219,17 @@ mod tests {
             panic!()
         };
         let body = c.body.as_ref().unwrap();
-        assert!(matches!(&body.stmts[0], Stmt::Connection { args: Some(_), .. }));
-        assert!(matches!(&body.stmts[2], Stmt::Assign { op: AssignOp::Define, .. }));
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Connection { args: Some(_), .. }
+        ));
+        assert!(matches!(
+            &body.stmts[2],
+            Stmt::Assign {
+                op: AssignOp::Define,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1240,13 +1269,15 @@ mod tests {
 
     #[test]
     fn function_component_with_result() {
-        let p = ok("TYPE mux4 = COMPONENT (IN d:bo(4); IN a:bo(2); IN g: boolean):boolean IS \
+        let p = ok(
+            "TYPE mux4 = COMPONENT (IN d:bo(4); IN a:bo(2); IN g: boolean):boolean IS \
                     CONST bit2 = ((0,0),(0,1),(1,0),(1,1)); \
                     SIGNAL h: multiplex; \
                     BEGIN \
                       FOR i:=1 TO 4 DO IF EQUAL(a,bit2[i]) THEN h :=d[i] END END; \
                       RESULT AND(NOT g,h) \
-                    END;");
+                    END;",
+        );
         let Decl::Type(defs) = &p.decls[0] else {
             panic!()
         };
@@ -1306,7 +1337,10 @@ mod tests {
     fn call_with_type_args_in_brackets() {
         let e = parse_expr("plus[n](a,b)").unwrap();
         let Expr::Call {
-            name, type_args, args, ..
+            name,
+            type_args,
+            args,
+            ..
         } = e
         else {
             panic!()
@@ -1359,13 +1393,15 @@ mod tests {
 
     #[test]
     fn layout_order_and_boundary() {
-        let p = ok("TYPE htree = COMPONENT(IN in:boolean; out: multiplex) { BOTTOM in; out } IS \
+        let p = ok(
+            "TYPE htree = COMPONENT(IN in:boolean; out: multiplex) { BOTTOM in; out } IS \
              SIGNAL s: ARRAY[1..4] OF h; \
              { ORDER lefttoright \
                  ORDER toptobottom s[1]; flip90 s[3] END; \
                  ORDER toptobottom s[2]; flip90 s[4] END; \
                END } \
-             BEGIN x := in END;");
+             BEGIN x := in END;",
+        );
         let Decl::Type(defs) = &p.decls[0] else {
             panic!()
         };
@@ -1379,7 +1415,10 @@ mod tests {
         assert_eq!(*side, Side::Bottom);
         assert_eq!(body.len(), 2);
         let body_layout = &c.body.as_ref().unwrap().layout;
-        let LayoutStmt::Order { direction, body, .. } = &body_layout[0] else {
+        let LayoutStmt::Order {
+            direction, body, ..
+        } = &body_layout[0]
+        else {
             panic!()
         };
         assert_eq!(direction.name, "lefttoright");
@@ -1459,8 +1498,10 @@ mod tests {
 
     #[test]
     fn uses_list() {
-        let p = ok("TYPE t = COMPONENT(IN a: boolean) IS USES bo, fulladder; BEGIN x := a END; \
-                    u = COMPONENT(IN a: boolean) IS USES ; BEGIN x := a END;");
+        let p = ok(
+            "TYPE t = COMPONENT(IN a: boolean) IS USES bo, fulladder; BEGIN x := a END; \
+                    u = COMPONENT(IN a: boolean) IS USES ; BEGIN x := a END;",
+        );
         let Decl::Type(defs) = &p.decls[0] else {
             panic!()
         };

@@ -638,8 +638,8 @@ mod tests {
     fn round_trip_program(src: &str) {
         let p1 = parse_program(src).expect("first parse");
         let printed = print_program(&p1);
-        let p2 = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed:\n{printed}\n{e}"));
+        let p2 =
+            parse_program(&printed).unwrap_or_else(|e| panic!("re-parse failed:\n{printed}\n{e}"));
         let printed2 = print_program(&p2);
         assert_eq!(printed, printed2, "printer not a fixpoint");
     }

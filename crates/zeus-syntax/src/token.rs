@@ -312,11 +312,48 @@ mod tests {
     #[test]
     fn keyword_table_round_trips() {
         for w in [
-            "AND", "ARRAY", "BEGIN", "BIN", "BOTTOM", "CLK", "COMPONENT", "CONST", "DIV", "DO",
-            "DOWNTO", "ELSE", "ELSIF", "END", "FOR", "IF", "IN", "IS", "LEFT", "MOD", "NOT",
-            "NUM", "OF", "OR", "ORDER", "OTHERWISE", "OTHERWISEWHEN", "OUT", "PARALLEL", "RSET",
-            "RESULT", "RIGHT", "SEQUENTIAL", "SEQUENTIALLY", "SIGNAL", "THEN", "TO", "TOP",
-            "TYPE", "USES", "WHEN", "WITH",
+            "AND",
+            "ARRAY",
+            "BEGIN",
+            "BIN",
+            "BOTTOM",
+            "CLK",
+            "COMPONENT",
+            "CONST",
+            "DIV",
+            "DO",
+            "DOWNTO",
+            "ELSE",
+            "ELSIF",
+            "END",
+            "FOR",
+            "IF",
+            "IN",
+            "IS",
+            "LEFT",
+            "MOD",
+            "NOT",
+            "NUM",
+            "OF",
+            "OR",
+            "ORDER",
+            "OTHERWISE",
+            "OTHERWISEWHEN",
+            "OUT",
+            "PARALLEL",
+            "RSET",
+            "RESULT",
+            "RIGHT",
+            "SEQUENTIAL",
+            "SEQUENTIALLY",
+            "SIGNAL",
+            "THEN",
+            "TO",
+            "TOP",
+            "TYPE",
+            "USES",
+            "WHEN",
+            "WITH",
         ] {
             let kind = TokenKind::keyword(w).unwrap_or_else(|| panic!("{w} not a keyword"));
             assert_eq!(kind.text(), w);

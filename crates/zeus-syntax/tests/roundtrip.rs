@@ -16,7 +16,10 @@ fn ident_strategy() -> impl Strategy<Value = Ident> {
     // keywords are upper case) or predefined names used specially.
     "[a-z][a-z0-9]{0,5}"
         .prop_filter("avoid predefined basic types", |s| {
-            !matches!(s.as_str(), "boolean" | "multiplex" | "virtual" | "min" | "max" | "odd")
+            !matches!(
+                s.as_str(),
+                "boolean" | "multiplex" | "virtual" | "min" | "max" | "odd"
+            )
         })
         .prop_map(|s| Ident::new(s, Span::dummy()))
 }
@@ -67,20 +70,21 @@ fn const_expr_strategy() -> impl Strategy<Value = ConstExpr> {
 fn selector_strategy() -> impl Strategy<Value = Selector> {
     prop_oneof![
         const_expr_strategy().prop_map(Selector::Index),
-        (const_expr_strategy(), const_expr_strategy())
-            .prop_map(|(a, b)| Selector::Range(a, b)),
+        (const_expr_strategy(), const_expr_strategy()).prop_map(|(a, b)| Selector::Range(a, b)),
         ident_strategy().prop_map(Selector::Field),
     ]
 }
 
 fn signal_ref_strategy() -> impl Strategy<Value = SignalRef> {
-    (ident_strategy(), proptest::collection::vec(selector_strategy(), 0..3)).prop_map(
-        |(base, sels)| SignalRef {
+    (
+        ident_strategy(),
+        proptest::collection::vec(selector_strategy(), 0..3),
+    )
+        .prop_map(|(base, sels)| SignalRef {
             base,
             sels,
             span: Span::dummy(),
-        },
-    )
+        })
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
@@ -92,8 +96,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             count: None,
             span: Span::dummy()
         }),
-        (const_expr_strategy(), const_expr_strategy())
-            .prop_map(|(a, b)| Expr::Bin(a, b, Span::dummy())),
+        (const_expr_strategy(), const_expr_strategy()).prop_map(|(a, b)| Expr::Bin(
+            a,
+            b,
+            Span::dummy()
+        )),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
@@ -124,14 +131,13 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
         rhs,
         span: Span::dummy(),
     });
-    let alias = (signal_ref_strategy(), signal_ref_strategy()).prop_map(|(lhs, rhs)| {
-        Stmt::Assign {
+    let alias =
+        (signal_ref_strategy(), signal_ref_strategy()).prop_map(|(lhs, rhs)| Stmt::Assign {
             lhs: Signal::Ref(lhs),
             op: AssignOp::Alias,
             rhs: Expr::Sig(rhs),
             span: Span::dummy(),
-        }
-    });
+        });
     let connection =
         (signal_ref_strategy(), expr_strategy()).prop_map(|(target, args)| Stmt::Connection {
             target,

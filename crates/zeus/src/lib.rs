@@ -32,17 +32,43 @@
 #![warn(missing_docs)]
 
 pub use zeus_elab::{
-    to_dot, Design, Direction, ElabOptions, InstanceNode, LayoutItem, Net, NetId, Netlist, Node,
-    NodeId, NodeOp, Orientation, Port, Shape,
+    to_dot, Design, Direction, ElabOptions, InstanceNode, LayoutItem, Limits, Net, NetId, Netlist,
+    Node, NodeId, NodeOp, Orientation, Port, Shape,
 };
 pub use zeus_layout::{floorplan, floorplan_of, Floorplan, PlacedPin, PlacedRect};
 pub use zeus_sema::{BasicKind, ConstEnv, ConstVal, Resolution, Value};
 pub use zeus_sim::{
-    check_equivalent, check_equivalent_sequential, Conflict, CounterExample, CycleReport,
-    EventSimulator, Recorder, Simulator,
+    check_equivalent, check_equivalent_sequential, check_equivalent_with, Conflict, CounterExample,
+    CycleReport, EventSimulator, Recorder, Simulator,
 };
 pub use zeus_switch::{SwitchSim, Synth};
-pub use zeus_syntax::{Diagnostic, Diagnostics, Program, SourceMap, Span};
+pub use zeus_syntax::{codes, Code, Diagnostic, Diagnostics, Program, SourceMap, Span};
+
+/// Runs `f` behind a panic firewall: any residual panic (a bug — the
+/// library aims to be panic-free on all release paths) is downgraded to a
+/// `Z999` internal-error diagnostic instead of unwinding into the caller.
+///
+/// All [`Zeus`] entry points and [`compile`] route through this, so
+/// embedders (REPLs, servers, fuzzers) never have to `catch_unwind`
+/// themselves.
+fn firewall<T>(f: impl FnOnce() -> Result<T, Diagnostics>) -> Result<T, Diagnostics> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "unknown panic payload".to_string()
+            };
+            Err(Diagnostics::from(Diagnostic::internal(
+                Span::dummy(),
+                format!("caught panic: {msg}"),
+            )))
+        }
+    }
+}
 
 /// A parsed and checked Zeus program, ready for elaboration.
 #[derive(Debug, Clone)]
@@ -59,11 +85,13 @@ impl Zeus {
     /// Returns all lexical, syntactic, and well-formedness diagnostics
     /// (declaration order, name resolution, `USES` visibility).
     pub fn parse(src: &str) -> Result<Zeus, Diagnostics> {
-        let program = zeus_syntax::parse_program(src)?;
-        zeus_sema::check_program(&program)?;
-        Ok(Zeus {
-            program,
-            source: src.to_string(),
+        firewall(|| {
+            let program = zeus_syntax::parse_program(src)?;
+            zeus_sema::check_program(&program)?;
+            Ok(Zeus {
+                program,
+                source: src.to_string(),
+            })
         })
     }
 
@@ -94,7 +122,22 @@ impl Zeus {
     /// Returns the §4.7 static-rule, cycle-legality and termination
     /// diagnostics.
     pub fn elaborate(&self, top: &str, args: &[i64]) -> Result<Design, Diagnostics> {
-        zeus_elab::elaborate(&self.program, top, args)
+        firewall(|| zeus_elab::elaborate(&self.program, top, args))
+    }
+
+    /// [`Zeus::elaborate`] under an explicit resource budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Zeus::elaborate`]; additionally `Z9xx` resource-limit
+    /// diagnostics when a budget in `limits` is exceeded.
+    pub fn elaborate_limited(
+        &self,
+        top: &str,
+        args: &[i64],
+        limits: &Limits,
+    ) -> Result<Design, Diagnostics> {
+        firewall(|| zeus_elab::elaborate_with(&self.program, top, args, limits))
     }
 
     /// Elaborates the design instantiated by a top-level `SIGNAL`.
@@ -103,7 +146,20 @@ impl Zeus {
     ///
     /// See [`Zeus::elaborate`].
     pub fn elaborate_signal(&self, name: &str) -> Result<Design, Diagnostics> {
-        zeus_elab::elaborate_signal(&self.program, name)
+        firewall(|| zeus_elab::elaborate_signal(&self.program, name))
+    }
+
+    /// [`Zeus::elaborate_signal`] under an explicit resource budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Zeus::elaborate_limited`].
+    pub fn elaborate_signal_limited(
+        &self,
+        name: &str,
+        limits: &Limits,
+    ) -> Result<Design, Diagnostics> {
+        firewall(|| zeus_elab::elaborate_signal_with(&self.program, name, limits))
     }
 
     /// Builds a [`Simulator`] for `top`.
@@ -112,8 +168,23 @@ impl Zeus {
     ///
     /// See [`Zeus::elaborate`].
     pub fn simulator(&self, top: &str, args: &[i64]) -> Result<Simulator, Diagnostics> {
-        let design = self.elaborate(top, args)?;
-        Simulator::new(design).map_err(Diagnostics::from)
+        self.simulator_limited(top, args, &Limits::default())
+    }
+
+    /// Builds a [`Simulator`] whose elaboration and budgeted stepping
+    /// (`try_step`/`try_run`) obey `limits`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Zeus::elaborate_limited`].
+    pub fn simulator_limited(
+        &self,
+        top: &str,
+        args: &[i64],
+        limits: &Limits,
+    ) -> Result<Simulator, Diagnostics> {
+        let design = self.elaborate_limited(top, args, limits)?;
+        firewall(|| Simulator::with_limits(design, limits).map_err(Diagnostics::from))
     }
 
     /// Builds an [`EventSimulator`] for `top`.
@@ -122,8 +193,23 @@ impl Zeus {
     ///
     /// See [`Zeus::elaborate`].
     pub fn event_simulator(&self, top: &str, args: &[i64]) -> Result<EventSimulator, Diagnostics> {
-        let design = self.elaborate(top, args)?;
-        EventSimulator::new(design).map_err(Diagnostics::from)
+        self.event_simulator_limited(top, args, &Limits::default())
+    }
+
+    /// Builds an [`EventSimulator`] whose elaboration and budgeted
+    /// stepping obey `limits`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Zeus::elaborate_limited`].
+    pub fn event_simulator_limited(
+        &self,
+        top: &str,
+        args: &[i64],
+        limits: &Limits,
+    ) -> Result<EventSimulator, Diagnostics> {
+        let design = self.elaborate_limited(top, args, limits)?;
+        firewall(|| EventSimulator::with_limits(design, limits).map_err(Diagnostics::from))
     }
 
     /// Builds a switch-level simulator (the Bryant-style baseline) for
@@ -133,8 +219,23 @@ impl Zeus {
     ///
     /// See [`Zeus::elaborate`].
     pub fn switch_simulator(&self, top: &str, args: &[i64]) -> Result<SwitchSim, Diagnostics> {
-        let design = self.elaborate(top, args)?;
-        Ok(SwitchSim::new(&design))
+        self.switch_simulator_limited(top, args, &Limits::default())
+    }
+
+    /// Builds a switch-level simulator whose elaboration and budgeted
+    /// stepping obey `limits`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Zeus::elaborate_limited`].
+    pub fn switch_simulator_limited(
+        &self,
+        top: &str,
+        args: &[i64],
+        limits: &Limits,
+    ) -> Result<SwitchSim, Diagnostics> {
+        let design = self.elaborate_limited(top, args, limits)?;
+        firewall(|| Ok(SwitchSim::with_limits(&design, limits)))
     }
 
     /// Computes the floorplan of `top`.
@@ -144,7 +245,7 @@ impl Zeus {
     /// See [`Zeus::elaborate`].
     pub fn floorplan(&self, top: &str, args: &[i64]) -> Result<Floorplan, Diagnostics> {
         let design = self.elaborate(top, args)?;
-        Ok(zeus_layout::floorplan(&design))
+        firewall(|| Ok(zeus_layout::floorplan(&design)))
     }
 }
 
@@ -155,6 +256,21 @@ impl Zeus {
 /// See [`Zeus::parse`] and [`Zeus::elaborate`].
 pub fn compile(src: &str, top: &str, args: &[i64]) -> Result<Design, Diagnostics> {
     Zeus::parse(src)?.elaborate(top, args)
+}
+
+/// [`compile`] under an explicit resource budget.
+///
+/// # Errors
+///
+/// See [`compile`]; additionally `Z9xx` resource-limit diagnostics when a
+/// budget in `limits` is exceeded.
+pub fn compile_limited(
+    src: &str,
+    top: &str,
+    args: &[i64],
+    limits: &Limits,
+) -> Result<Design, Diagnostics> {
+    Zeus::parse(src)?.elaborate_limited(top, args, limits)
 }
 
 /// The example programs of the paper (§10 and §4.2), as Zeus source text.
@@ -278,7 +394,11 @@ mod tests {
             let text = z.to_canonical_text();
             let z2 = Zeus::parse(&text)
                 .unwrap_or_else(|e| panic!("canonical text of '{name}' re-parses:\n{text}\n{e}"));
-            assert_eq!(z2.to_canonical_text(), text, "printer fixpoint for '{name}'");
+            assert_eq!(
+                z2.to_canonical_text(),
+                text,
+                "printer fixpoint for '{name}'"
+            );
         }
     }
 
@@ -286,6 +406,34 @@ mod tests {
     fn compile_one_shot() {
         let d = compile(examples::ADDERS, "rippleCarry4", &[]).expect("compile");
         assert_eq!(d.ports.len(), 5);
+    }
+
+    #[test]
+    fn firewall_downgrades_panics_to_internal_diagnostics() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let err = firewall::<()>(|| panic!("boom {}", 42)).expect_err("panic is caught");
+        std::panic::set_hook(prev);
+        let text = err.to_string();
+        assert!(text.contains("Z999"), "{text}");
+        assert!(text.contains("boom 42"), "{text}");
+    }
+
+    #[test]
+    fn limited_elaboration_reports_resource_codes() {
+        let z = Zeus::parse(examples::ADDERS).expect("parse");
+        let limits = Limits {
+            max_instances: 1,
+            ..Limits::default()
+        };
+        let err = z
+            .elaborate_limited("rippleCarry4", &[], &limits)
+            .expect_err("instance budget trips");
+        assert!(err.to_string().contains("Z901"), "{err}");
+        let err = z
+            .elaborate_limited("rippleCarry4", &[], &Limits::default().with_fuel(2))
+            .expect_err("fuel budget trips");
+        assert!(err.to_string().contains("Z904"), "{err}");
     }
 
     #[test]

@@ -33,31 +33,78 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut sim = z.simulator("am2901", &[])?;
-    let mut exec = |label: &str, src: u64, func: u64, dst: u64, a: u64, b: u64, d: u64, cin: u64| {
-        sim.set_port_num("i", src | (func << 3) | (dst << 6)).unwrap();
-        sim.set_port_num("aaddr", a).unwrap();
-        sim.set_port_num("baddr", b).unwrap();
-        sim.set_port_num("d", d).unwrap();
-        sim.set_port_num("cin", cin).unwrap();
-        let r = sim.step();
-        assert!(r.is_clean());
-        println!(
-            "{label:<28} y={:>2?} cout={:?} zero={:?} f3={:?}",
-            sim.port_num("y").unwrap_or(-1),
-            sim.port_num("cout").unwrap_or(-1),
-            sim.port_num("zero").unwrap_or(-1),
-            sim.port_num("f3").unwrap_or(-1),
-        );
-    };
+    let mut exec =
+        |label: &str, src: u64, func: u64, dst: u64, a: u64, b: u64, d: u64, cin: u64| {
+            sim.set_port_num("i", src | (func << 3) | (dst << 6))
+                .unwrap();
+            sim.set_port_num("aaddr", a).unwrap();
+            sim.set_port_num("baddr", b).unwrap();
+            sim.set_port_num("d", d).unwrap();
+            sim.set_port_num("cin", cin).unwrap();
+            let r = sim.step();
+            assert!(r.is_clean());
+            println!(
+                "{label:<28} y={:>2?} cout={:?} zero={:?} f3={:?}",
+                sim.port_num("y").unwrap_or(-1),
+                sim.port_num("cout").unwrap_or(-1),
+                sim.port_num("zero").unwrap_or(-1),
+                sim.port_num("f3").unwrap_or(-1),
+            );
+        };
 
     println!("microprogram:");
     exec("r1 <- D (6)", SRC_DZ, FN_ADD, DST_RAMF, 0, 1, 6, 0);
     exec("r2 <- D (9)", SRC_DZ, FN_ADD, DST_RAMF, 0, 2, 9, 0);
     exec("r2 <- A(r1) + B(r2)", SRC_AB, FN_ADD, DST_RAMF, 1, 2, 0, 0);
-    exec("read B(r2) (expect 15)", SRC_ZB, FN_ADD, DST_NOP, 0, 2, 0, 0);
-    exec("B(r2) - A(r1) (expect 9)", SRC_AB, FN_SUBR, DST_NOP, 1, 2, 0, 1);
-    exec("r2 <- 2*r2 (up shift)", SRC_ZB, FN_ADD, DST_RAMU, 0, 2, 0, 0);
-    exec("read B(r2) (expect 14)", SRC_ZB, FN_ADD, DST_NOP, 0, 2, 0, 0);
-    exec("r2 XOR r2 = 0, zero flag", SRC_AB, FN_XOR, DST_NOP, 2, 2, 0, 0);
+    exec(
+        "read B(r2) (expect 15)",
+        SRC_ZB,
+        FN_ADD,
+        DST_NOP,
+        0,
+        2,
+        0,
+        0,
+    );
+    exec(
+        "B(r2) - A(r1) (expect 9)",
+        SRC_AB,
+        FN_SUBR,
+        DST_NOP,
+        1,
+        2,
+        0,
+        1,
+    );
+    exec(
+        "r2 <- 2*r2 (up shift)",
+        SRC_ZB,
+        FN_ADD,
+        DST_RAMU,
+        0,
+        2,
+        0,
+        0,
+    );
+    exec(
+        "read B(r2) (expect 14)",
+        SRC_ZB,
+        FN_ADD,
+        DST_NOP,
+        0,
+        2,
+        0,
+        0,
+    );
+    exec(
+        "r2 XOR r2 = 0, zero flag",
+        SRC_AB,
+        FN_XOR,
+        DST_NOP,
+        2,
+        2,
+        0,
+        0,
+    );
     Ok(())
 }

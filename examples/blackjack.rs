@@ -32,9 +32,7 @@ fn state_name(sim: &Simulator) -> &'static str {
 
 fn score(sim: &Simulator) -> i64 {
     (1..=5)
-        .filter(|i| {
-            sim.register_by_name(&format!("blackjack.score[{i}].out")) == Some(Value::One)
-        })
+        .filter(|i| sim.register_by_name(&format!("blackjack.score[{i}].out")) == Some(Value::One))
         .map(|i| 1 << (i - 1))
         .sum()
 }

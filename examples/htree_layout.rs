@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let z = Zeus::parse(examples::TREES)?;
 
     println!("H-tree area scaling (claim: linear in the number of leaves)\n");
-    println!("{:>8} {:>8} {:>8} {:>10} {:>10}", "leaves", "width", "height", "area", "area/leaf");
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>10}",
+        "leaves", "width", "height", "area", "area/leaf"
+    );
     for k in 1..=4u32 {
         let n = 4i64.pow(k);
         let plan = z.floorplan("htree", &[n])?;
@@ -47,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aliases = design
         .names
         .iter()
-        .filter(|(name, &net)| {
-            name.ends_with(".out") && design.netlist.find_ref(net) == top_out
-        })
+        .filter(|(name, &net)| name.ends_with(".out") && design.netlist.find_ref(net) == top_out)
         .count();
     println!("\nhtree(64): {aliases} names alias the shared multiplex 'out' wire");
     Ok(())

@@ -9,7 +9,11 @@ use zeus::{examples, Value, Zeus};
 
 fn count_type(node: &zeus::InstanceNode, ty: &str) -> usize {
     (node.type_name == ty) as usize
-        + node.children.iter().map(|c| count_type(c, ty)).sum::<usize>()
+        + node
+            .children
+            .iter()
+            .map(|c| count_type(c, ty))
+            .sum::<usize>()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -226,7 +226,8 @@ fn two_slices_cascade_to_eight_bits() {
     let z = Zeus::parse(&src).unwrap();
     let mut sim = z.simulator("alu8", &[]).unwrap();
     let mut exec = |src_c: u64, func: u64, dst: u64, a: u64, b: u64, d: u64, cin: u64| -> i64 {
-        sim.set_port_num("i", instruction(src_c, func, dst)).unwrap();
+        sim.set_port_num("i", instruction(src_c, func, dst))
+            .unwrap();
         sim.set_port_num("aaddr", a).unwrap();
         sim.set_port_num("baddr", b).unwrap();
         sim.set_port_num("d", d).unwrap();

@@ -130,5 +130,8 @@ fn e12_transistor_counts_reported() {
         assert!(sw.transistor_count() > last);
         last = sw.transistor_count();
     }
-    assert!(last > 500, "16-bit adder should be >500 transistors: {last}");
+    assert!(
+        last > 500,
+        "16-bit adder should be >500 transistors: {last}"
+    );
 }

@@ -10,8 +10,7 @@ fn e6_htree_structure() {
     let z = Zeus::parse(examples::TREES).unwrap();
     let d = z.elaborate("htree", &[16]).unwrap();
     fn count(node: &zeus::InstanceNode, ty: &str) -> usize {
-        (node.type_name == ty) as usize
-            + node.children.iter().map(|c| count(c, ty)).sum::<usize>()
+        (node.type_name == ty) as usize + node.children.iter().map(|c| count(c, ty)).sum::<usize>()
     }
     // htree(16) → 4 htree(4) → 16 htree(1) → 16 leaves.
     assert_eq!(count(&d.instances, "htree"), 21);

@@ -126,10 +126,7 @@ fn nary_gates() {
 fn top_level_signal_instantiation() {
     // The paper's programs end with e.g. `SIGNAL adder: rippleCarry(4);`
     // — the signal declaration is the instantiation.
-    let src = format!(
-        "{} SIGNAL adder8: rippleCarry(8);",
-        zeus::examples::ADDERS
-    );
+    let src = format!("{} SIGNAL adder8: rippleCarry(8);", zeus::examples::ADDERS);
     let z = Zeus::parse(&src).unwrap();
     let d = z.elaborate_signal("adder8").unwrap();
     assert_eq!(d.top_type, "rippleCarry");
@@ -198,10 +195,7 @@ fn undef_constant_in_signal_constants() {
     let z = Zeus::parse(src).unwrap();
     let mut sim = z.simulator("t", &[]).unwrap();
     sim.step();
-    assert_eq!(
-        sim.port("s"),
-        vec![Value::One, Value::Undef, Value::Zero]
-    );
+    assert_eq!(sim.port("s"), vec![Value::One, Value::Undef, Value::Zero]);
 }
 
 #[test]
@@ -269,7 +263,9 @@ fn paper_trailing_signal_declarations_instantiate() {
         (zeus::examples::PATTERNMATCH, "match", "patternmatch"),
     ] {
         let z = Zeus::parse(src).unwrap();
-        let d = z.elaborate_signal(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let d = z
+            .elaborate_signal(name)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(d.top_type, top, "{name}");
     }
 }

@@ -1,0 +1,152 @@
+//! Full-pipeline panic-freedom: arbitrary input must produce diagnostics
+//! or a design — never a panic.
+//!
+//! These tests deliberately call the per-crate entry points (not the
+//! `Zeus` facade) so the facade's `catch_unwind` firewall cannot mask a
+//! panic in the library itself.
+
+use proptest::prelude::*;
+use zeus_elab::Limits;
+
+/// Token pool for the soup generator: every keyword and operator of the
+/// language, plus identifiers and numbers that collide with the
+/// structured skeletons below.
+const TOKENS: &[&str] = &[
+    "TYPE",
+    "COMPONENT",
+    "IS",
+    "BEGIN",
+    "END",
+    "IF",
+    "THEN",
+    "ELSE",
+    "ELSIF",
+    "SIGNAL",
+    "IN",
+    "OUT",
+    "WHEN",
+    "OTHERWISE",
+    "FOR",
+    "TO",
+    "DO",
+    "OF",
+    "ARRAY",
+    "RECORD",
+    "CASE",
+    "USES",
+    "CONST",
+    "FUNCTION",
+    "NOT",
+    "AND",
+    "OR",
+    "XOR",
+    "NAND",
+    "NOR",
+    "DIV",
+    "MOD",
+    "boolean",
+    "multiplex",
+    "REG",
+    "NUM",
+    "RANDOM",
+    "RSET",
+    ":=",
+    "==",
+    "=",
+    ";",
+    ":",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "..",
+    "*",
+    "+",
+    "-",
+    "<",
+    ">",
+    "a",
+    "b",
+    "s",
+    "t",
+    "x",
+    "h",
+    "top",
+    "n",
+    "i",
+    "0",
+    "1",
+    "2",
+    "7",
+    "10",
+    "4095",
+    "<*",
+    "*>",
+];
+
+/// Runs the whole unfirewalled pipeline on `src`: parse → check →
+/// elaborate (tiny budgets) → a few budgeted simulation steps. Any
+/// outcome except a panic is a pass.
+fn drive_pipeline(src: &str) {
+    let Ok(program) = zeus_syntax::parse_program(src) else {
+        return;
+    };
+    if zeus_sema::check_program(&program).is_err() {
+        return;
+    }
+    // Every declared type is a candidate top; tiny budgets keep each
+    // case fast even when the soup happens to describe a big design.
+    let limits = Limits::tiny();
+    for name in ["t", "x", "top", "h", "a", "b", "s"] {
+        let Ok(design) = zeus_elab::elaborate_with(&program, name, &[], &limits) else {
+            continue;
+        };
+        if let Ok(mut sim) = zeus_sim::Simulator::with_limits(design.clone(), &limits) {
+            let _ = sim.try_run(4);
+        }
+        if let Ok(mut ev) = zeus_sim::EventSimulator::with_limits(design.clone(), &limits) {
+            let _ = ev.try_run(4);
+        }
+        let mut sw = zeus_switch::SwitchSim::with_limits(&design, &limits);
+        let _ = sw.try_run(4);
+        let _ = zeus_layout::floorplan(&design);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Pure token soup: mostly parse errors, occasionally deeper.
+    #[test]
+    fn token_soup_never_panics(idx in prop::collection::vec(0usize..TOKENS.len(), 0..90)) {
+        let src = idx.iter().map(|&i| TOKENS[i]).collect::<Vec<_>>().join(" ");
+        drive_pipeline(&src);
+    }
+
+    /// Statement soup inside a syntactically valid component skeleton:
+    /// biased to reach the checker, elaborator and simulators.
+    #[test]
+    fn statement_soup_never_panics(idx in prop::collection::vec(0usize..TOKENS.len(), 0..40)) {
+        let soup = idx.iter().map(|&i| TOKENS[i]).collect::<Vec<_>>().join(" ");
+        let src = format!(
+            "TYPE t = COMPONENT (IN a,b: boolean; OUT s: boolean) IS \
+             SIGNAL x: boolean; h: REG; \
+             BEGIN {soup} END;"
+        );
+        drive_pipeline(&src);
+    }
+
+    /// Declaration soup after a valid component: exercises the type
+    /// resolver and recursive-shape paths.
+    #[test]
+    fn declaration_soup_never_panics(idx in prop::collection::vec(0usize..TOKENS.len(), 0..40)) {
+        let soup = idx.iter().map(|&i| TOKENS[i]).collect::<Vec<_>>().join(" ");
+        let src = format!(
+            "TYPE top = COMPONENT (IN a: boolean; OUT s: boolean) IS \
+             BEGIN s := NOT a END; {soup}"
+        );
+        drive_pipeline(&src);
+    }
+}

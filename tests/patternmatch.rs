@@ -178,5 +178,9 @@ fn e7_pass_through_lanes_delay_correctly() {
         outs.push(if po == Value::One { 1u8 } else { 0u8 });
     }
     // patternout equals the input delayed by 3 cycles.
-    assert_eq!(&outs[3..], &ins[..ins.len() - 3], "ins={ins:?} outs={outs:?}");
+    assert_eq!(
+        &outs[3..],
+        &ins[..ins.len() - 3],
+        "ins={ins:?} outs={outs:?}"
+    );
 }

@@ -34,9 +34,7 @@ fn accepts(sim: &mut Simulator, word: &[u64]) -> bool {
 fn model(word: &[u64]) -> bool {
     match word {
         [] => false,
-        [first, rest @ ..] => {
-            (*first == A || *first == B) && rest.iter().all(|&s| s == C)
-        }
+        [first, rest @ ..] => (*first == A || *first == B) && rest.iter().all(|&s| s == C),
     }
 }
 
@@ -51,11 +49,7 @@ fn agreed_verdicts_on_small_words() {
                 word.push(code % 4);
                 code /= 4;
             }
-            assert_eq!(
-                accepts(&mut sim, &word),
-                model(&word),
-                "word {word:?}"
-            );
+            assert_eq!(accepts(&mut sim, &word), model(&word), "word {word:?}");
         }
     }
 }

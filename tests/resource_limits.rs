@@ -1,0 +1,194 @@
+//! Resource-governor regression tests: runaway programs must be cut off
+//! with `Z9xx` diagnostics — never a hang, OOM, or panic.
+
+use std::time::{Duration, Instant};
+use zeus::{Limits, Zeus};
+
+/// The §4.2 routing network with the recursion accident the paper's
+/// `WHEN` guard exists to prevent: the sub-networks are instantiated at
+/// the *same* size `n`, so elaboration of the used `top`/`bottom`
+/// signals never reaches a base case.
+const UNGUARDED_ROUTING: &str = "TYPE
+  bit10 = ARRAY[1..10] OF boolean;
+  channel(n) = ARRAY[0..n] OF bit10;
+
+  router = COMPONENT (IN inport0,inport1: bit10;
+                      OUT outport0,outport1: bit10) IS
+  BEGIN
+    IF inport0[10] THEN
+      outport0 := inport1;
+      outport1 := inport0
+    ELSE
+      outport0 := inport0;
+      outport1 := inport1
+    END
+  END;
+
+  routingnetwork(n) =
+    COMPONENT (IN input: channel(n-1); OUT output: channel(n-1)) IS
+    SIGNAL top,bottom: routingnetwork(n);
+           c: ARRAY[0..n DIV 2-1] OF router;
+  BEGIN
+    WHEN n=2 THEN
+      c[0](input[0],input[1],output[0],output[1])
+    OTHERWISE
+      FOR i := 0 TO n DIV 2 - 1 DO
+        c[i](input[2*i],input[2*i+1],top.input[i],bottom.input[i]);
+        output[i] := top.output[i];
+        output[i + n DIV 2] := bottom.output[i]
+      END
+    END
+  END;";
+
+#[test]
+fn unguarded_recursion_is_cut_off_by_default_limits() {
+    let z = Zeus::parse(UNGUARDED_ROUTING).expect("parses fine; the bug is semantic");
+    let start = Instant::now();
+    let err = z
+        .elaborate("routingnetwork", &[8])
+        .expect_err("same-size recursion must not elaborate");
+    assert!(
+        err.has_resource_limit(),
+        "expected a Z9xx resource-limit diagnostic, got: {err}"
+    );
+    assert!(err.to_string().contains("error[Z9"), "{err}");
+    // "Bounded time" for CI purposes: the default budgets must trip long
+    // before anything pathological happens (observed ~20s in debug
+    // builds; the margin absorbs loaded CI machines).
+    assert!(
+        start.elapsed() < Duration::from_secs(120),
+        "took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn unguarded_recursion_with_small_fuel_trips_fast() {
+    let z = Zeus::parse(UNGUARDED_ROUTING).unwrap();
+    let err = z
+        .elaborate_limited("routingnetwork", &[8], &Limits::default().with_fuel(10_000))
+        .expect_err("fuel runs out");
+    assert!(err.has_resource_limit(), "{err}");
+}
+
+#[test]
+fn expired_deadline_cancels_elaboration() {
+    let z = Zeus::parse(UNGUARDED_ROUTING).unwrap();
+    let err = z
+        .elaborate_limited(
+            "routingnetwork",
+            &[8],
+            &Limits::default().with_deadline(Duration::ZERO),
+        )
+        .expect_err("deadline already passed");
+    assert!(err.to_string().contains("Z905"), "{err}");
+}
+
+#[test]
+fn guarded_recursion_still_elaborates_under_default_limits() {
+    let z = Zeus::parse(zeus::examples::ROUTING).unwrap();
+    let d = z
+        .elaborate("routingnetwork", &[8])
+        .expect("guarded version is fine");
+    assert!(d.netlist.net_count() > 0);
+}
+
+const FULLADDER: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+     BEGIN s := XOR(a,b); cout := AND(a,b) END; \
+     fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS \
+     SIGNAL h1,h2:halfadder; \
+     BEGIN h1(a,b,*,h2.a); h2(h1.s,cin,*,s); cout := OR(h1.cout,h2.cout) END;";
+
+#[test]
+fn step_budget_stops_the_levelized_simulator() {
+    let z = Zeus::parse(FULLADDER).unwrap();
+    let limits = Limits::default().with_max_steps(2);
+    let mut sim = z.simulator_limited("fulladder", &[], &limits).unwrap();
+    sim.try_step().expect("cycle 1 within budget");
+    sim.try_step().expect("cycle 2 within budget");
+    let err = sim.try_step().expect_err("cycle 3 exceeds the budget");
+    assert!(err.to_string().contains("Z908"), "{err}");
+    assert!(err.is_resource_limit());
+}
+
+#[test]
+fn step_budget_stops_the_event_simulator() {
+    let z = Zeus::parse(FULLADDER).unwrap();
+    let limits = Limits::default().with_max_steps(1);
+    let mut sim = z
+        .event_simulator_limited("fulladder", &[], &limits)
+        .unwrap();
+    sim.try_step().expect("cycle 1 within budget");
+    let err = sim.try_run(4).expect_err("budget exceeded");
+    assert!(err.to_string().contains("Z908"), "{err}");
+}
+
+#[test]
+fn fuel_budget_stops_simulation_mid_run() {
+    let z = Zeus::parse(FULLADDER).unwrap();
+    // Enough fuel to elaborate, not enough to simulate for long: each
+    // cycle charges one unit per evaluated node.
+    let limits = Limits::default().with_fuel(500);
+    let mut sim = z.simulator_limited("fulladder", &[], &limits).unwrap();
+    let err = sim.try_run(10_000).expect_err("fuel runs out");
+    assert!(err.to_string().contains("Z904"), "{err}");
+}
+
+#[test]
+fn relaxation_cap_reports_oscillation_as_z310() {
+    let z = Zeus::parse(FULLADDER).unwrap();
+    // A one-sweep cap cannot reach a fixpoint on a real network, so the
+    // budgeted step must surface the non-convergence as a diagnostic
+    // (the infallible `step` silently X-fills instead).
+    let strangled = Limits {
+        relax_iter_cap: Some(1),
+        ..Limits::default()
+    };
+    let mut sw = z
+        .switch_simulator_limited("fulladder", &[], &strangled)
+        .unwrap();
+    sw.set_port_num("a", 1).unwrap();
+    let err = sw.try_step().expect_err("cannot converge in one sweep");
+    assert!(err.to_string().contains("Z310"), "{err}");
+    assert!(
+        !err.is_resource_limit(),
+        "oscillation is a sim finding, not a budget"
+    );
+
+    // With the default cap the same design settles.
+    let mut sw = z.switch_simulator("fulladder", &[]).unwrap();
+    sw.set_port_num("a", 1).unwrap();
+    sw.try_step().expect("default cap converges");
+    assert!(!sw.oscillated_last_cycle);
+}
+
+#[test]
+fn switch_sim_step_budget_trips() {
+    let z = Zeus::parse(FULLADDER).unwrap();
+    let limits = Limits::default().with_max_steps(3);
+    let mut sw = z
+        .switch_simulator_limited("fulladder", &[], &limits)
+        .unwrap();
+    sw.try_run(3).expect("three cycles within budget");
+    let err = sw.try_run(1).expect_err("fourth exceeds");
+    assert!(err.to_string().contains("Z908"), "{err}");
+}
+
+#[test]
+fn equivalence_checker_charges_the_governor() {
+    let z = Zeus::parse(FULLADDER).unwrap();
+    let a = z.elaborate("fulladder", &[]).unwrap();
+    // 3 input bits → 8 vectors; 4 units of fuel cannot cover them.
+    let limits = Limits::default().with_fuel(4);
+    let err = zeus::check_equivalent_with(&a, &a, &limits).expect_err("fuel runs out");
+    assert!(err.to_string().contains("Z904"), "{err}");
+
+    // The input-width cap is tagged Z909.
+    let tiny = Limits {
+        max_input_bits: 2,
+        ..Limits::default()
+    };
+    let err = zeus::check_equivalent_with(&a, &a, &tiny).expect_err("3 bits > cap of 2");
+    assert!(err.to_string().contains("Z909"), "{err}");
+    assert!(err.is_resource_limit());
+}
