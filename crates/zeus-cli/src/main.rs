@@ -11,8 +11,15 @@
 //! zeusc synth <file.zeus> <top> [args...]      CMOS transistor budget
 //! zeusc equiv <file.zeus> <topA> [args] --vs <topB> [args]
 //!                                              exhaustive equivalence check
+//! zeusc fault <file.zeus> <top> [args...] [--vectors N] [--seed S]
+//!             [--engine graph|switch] [--bridges] [--transients C] [--json]
+//!                                              differential fault campaign
 //! zeusc examples                               list the bundled examples
 //! ```
+//!
+//! Commands taking a top component also accept it as `--top <name>`
+//! (`zeusc fault file.zeus --top adder`). `sim` and `fault` print the
+//! random seed actually used on stderr when `--seed` is omitted.
 //!
 //! Resource-limit flags accepted by every compiling command:
 //!
@@ -163,6 +170,20 @@ fn flag_value(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
         .map_err(|_| format!("bad value '{val}' for {flag}"))
 }
 
+fn flag_str(rest: &[String], flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = rest.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    rest.get(pos + 1)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+        .map(Some)
+}
+
+fn has_flag(rest: &[String], flag: &str) -> bool {
+    rest.iter().any(|a| a == flag)
+}
+
 /// Builds the resource budget from the `--max-instances`, `--max-nets`,
 /// `--fuel` and `--timeout` flags (defaults from [`Limits::default`]).
 fn parse_limits(args: &[String]) -> Result<Limits, String> {
@@ -183,7 +204,8 @@ fn parse_limits(args: &[String]) -> Result<Limits, String> {
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: zeusc <check|print|elab|sim|layout|svg|graph|synth|equiv|examples> [...]";
+    let usage =
+        "usage: zeusc <check|print|elab|sim|layout|svg|graph|synth|equiv|fault|examples> [...]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "examples" => {
@@ -236,12 +258,18 @@ fn run(args: &[String]) -> Result<(), Failure> {
             out!("{}", z.to_canonical_text());
             Ok(())
         }
-        "elab" | "sim" | "layout" | "svg" | "graph" | "synth" => {
+        "elab" | "sim" | "layout" | "svg" | "graph" | "synth" | "fault" => {
             let file = args
                 .get(1)
                 .ok_or("usage: zeusc <cmd> <file> <top> [args]")?;
-            let top = args.get(2).ok_or("missing top component type")?;
-            let targs = top_args(&args[3..])?;
+            // The top component is positional, or named via `--top`.
+            let (top, rest_start) = if args.get(2).map(String::as_str) == Some("--top") {
+                (args.get(3).ok_or("missing top component type")?, 4)
+            } else {
+                (args.get(2).ok_or("missing top component type")?, 3)
+            };
+            let rest = &args[rest_start..];
+            let targs = top_args(rest)?;
             let src = load_source(file)?;
             let z = parse(&src)?;
             let limits = parse_limits(args)?;
@@ -266,11 +294,21 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     Ok(())
                 }
                 "sim" => {
-                    let cycles = flag_value(&args[3..], "--cycles")?.unwrap_or(8);
+                    let cycles = flag_value(rest, "--cycles")?.unwrap_or(8);
                     let mut sim = zeus::Simulator::with_limits(design, &limits)
                         .map_err(|e| diag_failure(&e))?;
+                    match flag_value(rest, "--seed")? {
+                        Some(seed) => sim.reseed(seed),
+                        // The fixed default seed keeps runs reproducible;
+                        // say which one was used (satisfying scripted
+                        // reproduction) without polluting stdout.
+                        None => eprintln!(
+                            "seed      : {} (default; pass --seed to vary)",
+                            0x2E05_1983u64
+                        ),
+                    }
                     // Apply --set port=value forcings.
-                    let mut iter = args[3..].iter();
+                    let mut iter = rest.iter();
                     while let Some(a) = iter.next() {
                         if a == "--set" {
                             let kv = iter.next().ok_or("--set needs port=value")?;
@@ -319,6 +357,45 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     let art = plan.render_ascii();
                     if !art.is_empty() {
                         outln!("{art}");
+                    }
+                    Ok(())
+                }
+                "fault" => {
+                    let vectors = flag_value(rest, "--vectors")?.unwrap_or(64) as u32;
+                    let seed = match flag_value(rest, "--seed")? {
+                        Some(s) => s,
+                        None => {
+                            let s = std::time::SystemTime::now()
+                                .duration_since(std::time::UNIX_EPOCH)
+                                .map(|d| d.as_nanos() as u64)
+                                .unwrap_or(0);
+                            eprintln!("seed      : {s} (pass --seed {s} to reproduce)");
+                            s
+                        }
+                    };
+                    let engine = match flag_str(rest, "--engine")?.as_deref() {
+                        None | Some("graph") => zeus::Engine::Graph,
+                        Some("switch") => zeus::Engine::Switch,
+                        Some(e) => {
+                            return Err(Failure::Usage(format!(
+                                "unknown engine '{e}' (expected graph or switch)"
+                            )))
+                        }
+                    };
+                    let opts = zeus::FaultListOptions {
+                        bridges: has_flag(rest, "--bridges"),
+                        transients: flag_value(rest, "--transients")?,
+                        ..zeus::FaultListOptions::default()
+                    };
+                    let list = zeus::enumerate_faults(&design, &opts);
+                    let mut cfg = zeus::CampaignConfig::new(engine, vectors, seed);
+                    cfg.limits = limits.clone();
+                    let report =
+                        zeus::run_campaign(&design, &list, &cfg).map_err(|e| diag_failure(&e))?;
+                    if has_flag(rest, "--json") {
+                        outln!("{}", report.to_json());
+                    } else {
+                        out!("{}", report.to_text());
                     }
                     Ok(())
                 }

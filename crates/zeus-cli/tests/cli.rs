@@ -245,6 +245,133 @@ fn exit_code_3_when_deadline_passes() {
 }
 
 #[test]
+fn fault_campaign_exact_coverage() {
+    // Pinned numbers: the CI fault-smoke job relies on this exact
+    // coverage for @adders/rippleCarry4 with seed 1 and 64 vectors.
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "64",
+        "--seed",
+        "1",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stdout.contains("universe: 182 faults enumerated, 114 collapsed, 68 simulated"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("coverage: 68/68 detected (100.0%), 0 undetected, 0 hyperactive"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("per-fault classification:"), "{stdout}");
+    assert!(stdout.contains("detected at cycle"), "{stdout}");
+}
+
+#[test]
+fn fault_json_is_deterministic_across_runs() {
+    let args = &[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "16",
+        "--seed",
+        "7",
+        "--json",
+    ];
+    let (c1, out1, _) = zeusc_code(args);
+    let (c2, out2, _) = zeusc_code(args);
+    assert_eq!((c1, c2), (0, 0));
+    assert_eq!(out1, out2, "same seed+vectors must be byte-identical");
+    assert!(out1.starts_with("{\"top\":\"rippleCarry4\""), "{out1}");
+}
+
+#[test]
+fn fault_prints_seed_on_stderr_when_omitted() {
+    let (code, _, stderr) =
+        zeusc_code(&["fault", "@adders", "--top", "halfadder", "--vectors", "4"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("--seed"), "{stderr}");
+    assert!(stderr.contains("reproduce"), "{stderr}");
+}
+
+#[test]
+fn sim_prints_default_seed_on_stderr() {
+    let (code, _, stderr) = zeusc_code(&["sim", "@adders", "halfadder", "--cycles", "1"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("seed"), "{stderr}");
+    // With an explicit seed there is nothing to announce.
+    let (code, _, stderr) = zeusc_code(&[
+        "sim",
+        "@adders",
+        "halfadder",
+        "--cycles",
+        "1",
+        "--seed",
+        "5",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(!stderr.contains("seed"), "{stderr}");
+}
+
+#[test]
+fn fault_switch_engine_runs() {
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "halfadder",
+        "--vectors",
+        "16",
+        "--seed",
+        "3",
+        "--engine",
+        "switch",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("(switch engine"), "{stdout}");
+}
+
+#[test]
+fn fault_rejects_unknown_engine() {
+    let (code, _, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "halfadder",
+        "--engine",
+        "quantum",
+    ]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+}
+
+#[test]
+fn fault_budget_exhaustion_is_reported_not_fatal() {
+    // A tiny fuel budget classifies faults as budget-exhausted but the
+    // campaign itself succeeds (it is a report, not a failure).
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "64",
+        "--seed",
+        "1",
+        "--fuel",
+        "300",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("budget-exhausted"), "{stdout}");
+}
+
+#[test]
 fn generous_limits_do_not_interfere() {
     let (code, stdout, stderr) = zeusc_code(&[
         "sim",

@@ -1,0 +1,134 @@
+//! The structural fault model over elaborated netlists.
+//!
+//! Zeus's type rules exist to stop hardware from physically failing
+//! ("burning transistors", §4.7), and the simulator evaluates over the
+//! four-valued domain {0, 1, UNDEF, NOINFL} (§8) precisely so that
+//! partial and faulty information propagates soundly. A [`Fault`] names a
+//! physical defect on one elaborated net (the *site*): the classic
+//! stuck-at faults, a resistive bridge between two nets, and a transient
+//! single-event upset. The model lives here, next to [`NetId`], so both
+//! simulation engines (`zeus-sim` and `zeus-switch`) can accept the same
+//! fault values; enumeration, collapsing and campaigns live in
+//! `zeus-fault`.
+
+use crate::netlist::NetId;
+use std::fmt;
+
+/// What kind of defect is injected at a fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// The net is permanently tied to logic 0 (e.g. shorted to GND).
+    StuckAt0,
+    /// The net is permanently tied to logic 1 (e.g. shorted to VDD).
+    StuckAt1,
+    /// The net is resistively shorted to another net: when both carry a
+    /// value the pair resolves to the common value, or UNDEF when they
+    /// disagree (the "burning transistors" hazard made permanent).
+    BridgeWith(NetId),
+    /// A single-event upset: the net's settled value is inverted for
+    /// exactly one clock cycle, then the defect disappears.
+    TransientFlip {
+        /// The zero-based cycle in which the flip occurs.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAt0 => write!(f, "stuck-at-0"),
+            FaultKind::StuckAt1 => write!(f, "stuck-at-1"),
+            FaultKind::BridgeWith(n) => write!(f, "bridged-with-{n}"),
+            FaultKind::TransientFlip { cycle } => write!(f, "transient-flip@{cycle}"),
+        }
+    }
+}
+
+/// One injectable defect: a [`FaultKind`] at a net site.
+///
+/// Sites refer to *canonical* nets (alias-class representatives); the
+/// simulators canonicalize on injection so callers may pass any alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// The net the defect sits on.
+    pub site: NetId,
+    /// The defect.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// A stuck-at-0 fault on `site`.
+    pub fn stuck_at_0(site: NetId) -> Fault {
+        Fault {
+            site,
+            kind: FaultKind::StuckAt0,
+        }
+    }
+
+    /// A stuck-at-1 fault on `site`.
+    pub fn stuck_at_1(site: NetId) -> Fault {
+        Fault {
+            site,
+            kind: FaultKind::StuckAt1,
+        }
+    }
+
+    /// A bridging fault between `site` and `other`.
+    pub fn bridge(site: NetId, other: NetId) -> Fault {
+        Fault {
+            site,
+            kind: FaultKind::BridgeWith(other),
+        }
+    }
+
+    /// A transient bit-flip on `site` in clock cycle `cycle`.
+    pub fn transient_flip(site: NetId, cycle: u64) -> Fault {
+        Fault {
+            site,
+            kind: FaultKind::TransientFlip { cycle },
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.site, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Fault::stuck_at_0(NetId(3)).to_string(), "n3 stuck-at-0");
+        assert_eq!(Fault::stuck_at_1(NetId(0)).to_string(), "n0 stuck-at-1");
+        assert_eq!(
+            Fault::bridge(NetId(1), NetId(2)).to_string(),
+            "n1 bridged-with-n2"
+        );
+        assert_eq!(
+            Fault::transient_flip(NetId(7), 12).to_string(),
+            "n7 transient-flip@12"
+        );
+    }
+
+    #[test]
+    fn faults_order_deterministically() {
+        let mut v = vec![
+            Fault::stuck_at_1(NetId(2)),
+            Fault::stuck_at_0(NetId(2)),
+            Fault::stuck_at_0(NetId(1)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Fault::stuck_at_0(NetId(1)),
+                Fault::stuck_at_0(NetId(2)),
+                Fault::stuck_at_1(NetId(2)),
+            ]
+        );
+    }
+}

@@ -36,12 +36,14 @@
 mod elab;
 
 pub mod design;
+pub mod fault;
 pub mod limits;
 pub mod netlist;
 pub mod shape;
 
 pub use design::{Design, Direction, InstanceNode, LayoutItem, Orientation, Port};
 pub use elab::{elaborate, elaborate_signal, elaborate_signal_with, elaborate_with, ElabOptions};
+pub use fault::{Fault, FaultKind};
 pub use limits::{Governor, Limits};
 pub use netlist::{to_dot, GroupConstraint, Net, NetId, Netlist, Node, NodeId, NodeOp};
 pub use shape::{BuiltinComponent, FieldShape, RecordShape, Shape};

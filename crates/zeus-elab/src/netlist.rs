@@ -453,6 +453,37 @@ impl Netlist {
         self.nets.len()
     }
 
+    /// True when `n` is the representative of its alias class (after
+    /// [`Netlist::finish`] all node references point at representatives).
+    pub fn is_representative(&self, n: NetId) -> bool {
+        self.find_ref(n) == n
+    }
+
+    /// Iterates over the canonical nets: the alias-class representatives,
+    /// in ascending id order. These are the fault sites of the design —
+    /// every physically distinct signal appears exactly once.
+    pub fn representatives(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32)
+            .map(NetId)
+            .filter(|&n| self.is_representative(n))
+    }
+
+    /// Combinational fanout per net: how many non-sequential nodes read
+    /// each net, indexed by net. Register data inputs are excluded, like
+    /// in [`Netlist::readers_by_net`].
+    pub fn fanout(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.nets.len()];
+        for n in &self.nodes {
+            if n.op.is_sequential() {
+                continue;
+            }
+            for inp in &n.inputs {
+                out[inp.index()] += 1;
+            }
+        }
+        out
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

@@ -1,0 +1,353 @@
+//! Deterministic differential fault campaigns.
+//!
+//! For every fault in the list, a *golden* (fault-free) and a *faulty*
+//! simulator are built from the same design, reseeded identically, reset
+//! (when the design uses RSET), and then driven with the same seeded
+//! pseudo-random vector stream. The first cycle in which any OUT port
+//! disagrees detects the fault; a fault whose injected circuit
+//! oscillates is *hyperactive*; a fault that survives the whole budget
+//! unobserved is *undetected*. Every faulty run is bounded by a
+//! [`Limits`] budget, so a pathological fault exhausts its budget and is
+//! classified — it never hangs or aborts the campaign.
+
+use crate::list::FaultList;
+use crate::report::CoverageReport;
+use zeus_elab::{Design, Fault, Limits};
+use zeus_sim::{run_differential, Simulator, VectorStream};
+use zeus_switch::SwitchSim;
+use zeus_syntax::diag::{codes, Diagnostic};
+
+/// Which simulation engine executes the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The levelized semantics-graph simulator (`zeus-sim`), the default.
+    Graph,
+    /// The switch-level simulator (`zeus-switch`).
+    Switch,
+}
+
+impl Engine {
+    /// Stable lowercase name (used in reports and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Graph => "graph",
+            Engine::Switch => "switch",
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The engine to run on.
+    pub engine: Engine,
+    /// Random input vectors applied per fault (after the reset cycle).
+    pub vectors: u32,
+    /// Seed for the input stream and both simulators' RANDOM nodes.
+    pub seed: u64,
+    /// Per-fault resource budget. When `max_steps` is `None` it defaults
+    /// to `vectors + 2` (the vectors plus the reset cycle and slack).
+    pub limits: Limits,
+}
+
+impl CampaignConfig {
+    /// A config with default limits for the given workload.
+    pub fn new(engine: Engine, vectors: u32, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            engine,
+            vectors,
+            seed,
+            limits: Limits::default(),
+        }
+    }
+
+    fn effective_limits(&self) -> Limits {
+        let mut l = self.limits.clone();
+        if l.max_steps.is_none() {
+            l.max_steps = Some(self.vectors as u64 + 2);
+        }
+        l
+    }
+}
+
+/// Why an undetected fault went unobserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UndetectedReason {
+    /// The full vector budget ran with no output difference.
+    NotObserved,
+    /// The per-fault resource budget (fuel, deadline or steps) ran out
+    /// before the vectors did.
+    BudgetExhausted,
+}
+
+/// The classification of one fault after its differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The faulty outputs diverged from the golden outputs.
+    Detected {
+        /// Zero-based vector cycle of first divergence (reset excluded).
+        cycle: u64,
+        /// The OUT port on which the divergence was observed.
+        port: String,
+    },
+    /// No divergence was observed.
+    Undetected(UndetectedReason),
+    /// The fault made the circuit oscillate (a bridge that never
+    /// settles, or a switch-level relaxation that hit its cap).
+    Hyperactive,
+}
+
+/// One fault with its campaign outcome and debug site name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultResult {
+    /// The injected fault.
+    pub fault: Fault,
+    /// The site's hierarchical debug name.
+    pub site_name: String,
+    /// The classification.
+    pub outcome: Outcome,
+}
+
+/// Runs the campaign: one golden-vs-faulty differential run per fault.
+///
+/// # Errors
+///
+/// Propagates non-budget simulator construction or stepping errors (a
+/// budget error or oscillation inside a *faulty* run is classified, not
+/// propagated).
+pub fn run_campaign(
+    design: &Design,
+    list: &FaultList,
+    cfg: &CampaignConfig,
+) -> Result<CoverageReport, Diagnostic> {
+    let limits = cfg.effective_limits();
+    let mut results = Vec::with_capacity(list.faults.len());
+    for &fault in &list.faults {
+        let outcome = match cfg.engine {
+            Engine::Graph => run_one_graph(design, fault, cfg, &limits)?,
+            Engine::Switch => run_one_switch(design, fault, cfg, &limits)?,
+        };
+        let site = design.netlist.find_ref(fault.site);
+        results.push(FaultResult {
+            fault,
+            site_name: design.netlist.nets[site.index()].name.clone(),
+            outcome,
+        });
+    }
+    Ok(CoverageReport::new(design, list, cfg, results))
+}
+
+/// Rewrites a fault's site (and bridge peer) to the canonical alias
+/// representatives.
+fn canonicalize(design: &Design, mut fault: Fault) -> Fault {
+    fault.site = design.netlist.find_ref(fault.site);
+    if let zeus_elab::FaultKind::BridgeWith(peer) = fault.kind {
+        fault.kind = zeus_elab::FaultKind::BridgeWith(design.netlist.find_ref(peer));
+    }
+    fault
+}
+
+/// Classifies a diagnostic raised while stepping the pair: budget
+/// exhaustion and oscillation classify the fault; anything else is a
+/// real error.
+fn classify_error(diag: Diagnostic) -> Result<Outcome, Diagnostic> {
+    if diag.code == Some(codes::OSCILLATION) {
+        Ok(Outcome::Hyperactive)
+    } else if diag.is_resource_limit() {
+        Ok(Outcome::Undetected(UndetectedReason::BudgetExhausted))
+    } else {
+        Err(diag)
+    }
+}
+
+fn run_one_graph(
+    design: &Design,
+    fault: Fault,
+    cfg: &CampaignConfig,
+    limits: &Limits,
+) -> Result<Outcome, Diagnostic> {
+    let mut golden = Simulator::with_limits(design.clone(), limits)?;
+    let mut faulty = Simulator::with_limits(design.clone(), limits)?;
+    faulty.inject(fault)?;
+    golden.reseed(cfg.seed);
+    faulty.reseed(cfg.seed);
+    let mut stream = VectorStream::new(design, cfg.seed);
+
+    // Reset pulse (quiescent inputs) when the design uses RSET.
+    if design.rset.is_some() {
+        golden.set_rset(true);
+        faulty.set_rset(true);
+        for (name, bits) in stream.zero_vector() {
+            golden.set_port(&name, &bits)?;
+            faulty.set_port(&name, &bits)?;
+        }
+        if let Err(e) = golden.try_step() {
+            return classify_error(e);
+        }
+        if let Err(e) = faulty.try_step() {
+            return classify_error(e);
+        }
+        golden.set_rset(false);
+        faulty.set_rset(false);
+    }
+
+    match run_differential(&mut golden, &mut faulty, &mut stream, cfg.vectors) {
+        Err(e) => classify_error(e),
+        Ok(Some(div)) => {
+            // A divergence caused by a non-settling bridge is the
+            // fault being hyperactive, not cleanly detected.
+            match faulty.first_unstable_cycle() {
+                Some(_) => Ok(Outcome::Hyperactive),
+                None => Ok(Outcome::Detected {
+                    cycle: div.cycle,
+                    port: div.port,
+                }),
+            }
+        }
+        Ok(None) => {
+            if faulty.first_unstable_cycle().is_some() {
+                Ok(Outcome::Hyperactive)
+            } else {
+                Ok(Outcome::Undetected(UndetectedReason::NotObserved))
+            }
+        }
+    }
+}
+
+fn run_one_switch(
+    design: &Design,
+    fault: Fault,
+    cfg: &CampaignConfig,
+    limits: &Limits,
+) -> Result<Outcome, Diagnostic> {
+    let mut golden = SwitchSim::with_limits(design, limits);
+    let mut faulty = SwitchSim::with_limits(design, limits);
+    // The switch engine resolves sites through the synthesis net map,
+    // which is keyed by canonical nets.
+    let fault = canonicalize(design, fault);
+    faulty.inject(fault)?;
+    golden.reseed(cfg.seed);
+    faulty.reseed(cfg.seed);
+    let mut stream = VectorStream::new(design, cfg.seed);
+    let out_names: Vec<String> = design.outputs().map(|p| p.name.clone()).collect();
+
+    if design.rset.is_some() {
+        golden.set_rset(true);
+        faulty.set_rset(true);
+        for (name, bits) in stream.zero_vector() {
+            golden.set_port(&name, &bits)?;
+            faulty.set_port(&name, &bits)?;
+        }
+        if let Err(e) = golden.try_step() {
+            return classify_error(e);
+        }
+        if let Err(e) = faulty.try_step() {
+            return classify_error(e);
+        }
+        golden.set_rset(false);
+        faulty.set_rset(false);
+    }
+
+    for cycle in 0..cfg.vectors {
+        let assignment = stream.next_vector();
+        for (name, bits) in &assignment {
+            golden.set_port(name, bits)?;
+            faulty.set_port(name, bits)?;
+        }
+        if let Err(e) = golden.try_step() {
+            return classify_error(e);
+        }
+        if let Err(e) = faulty.try_step() {
+            return classify_error(e);
+        }
+        for name in &out_names {
+            if golden.port(name) != faulty.port(name) {
+                return Ok(Outcome::Detected {
+                    cycle: cycle as u64,
+                    port: name.clone(),
+                });
+            }
+        }
+    }
+    Ok(Outcome::Undetected(UndetectedReason::NotObserved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{enumerate_faults, FaultListOptions};
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse_program(src).unwrap(), top, &[]).unwrap()
+    }
+
+    const HALFADDER: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+         BEGIN s := XOR(a,b); cout := AND(a,b) END;";
+
+    #[test]
+    fn graph_campaign_detects_most_halfadder_faults() {
+        let d = design(HALFADDER, "halfadder");
+        let list = enumerate_faults(&d, &FaultListOptions::default());
+        let report = run_campaign(&d, &list, &CampaignConfig::new(Engine::Graph, 32, 1)).unwrap();
+        assert_eq!(report.total(), list.faults.len());
+        // 32 random vectors exhaust a 2-input truth table with
+        // overwhelming probability: every stuck-at is observable.
+        assert_eq!(report.detected(), report.total());
+        assert!(report.coverage() > 0.99);
+    }
+
+    #[test]
+    fn switch_campaign_agrees_on_combinational_design() {
+        let d = design(HALFADDER, "halfadder");
+        let list = enumerate_faults(&d, &FaultListOptions::default());
+        let graph = run_campaign(&d, &list, &CampaignConfig::new(Engine::Graph, 32, 7)).unwrap();
+        let switch = run_campaign(&d, &list, &CampaignConfig::new(Engine::Switch, 32, 7)).unwrap();
+        assert_eq!(graph.detected(), switch.detected());
+    }
+
+    #[test]
+    fn detected_outcomes_carry_cycle_and_port() {
+        let d = design(HALFADDER, "halfadder");
+        let cout = d.netlist.find_ref(d.names["halfadder.cout"]);
+        let list = crate::list::FaultList {
+            faults: vec![Fault::stuck_at_1(cout)],
+            total_enumerated: 1,
+            collapsed: 0,
+        };
+        let report = run_campaign(&d, &list, &CampaignConfig::new(Engine::Graph, 32, 1)).unwrap();
+        match &report.results[0].outcome {
+            Outcome::Detected { port, .. } => assert_eq!(port, "cout"),
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_classified_not_fatal() {
+        let d = design(HALFADDER, "halfadder");
+        let a = d.netlist.find_ref(d.names["halfadder.a"]);
+        let list = crate::list::FaultList {
+            faults: vec![Fault::stuck_at_0(a)],
+            total_enumerated: 1,
+            collapsed: 0,
+        };
+        let mut cfg = CampaignConfig::new(Engine::Graph, 64, 1);
+        cfg.limits.fuel = Some(1); // starve the run immediately
+        let report = run_campaign(&d, &list, &cfg).unwrap();
+        assert_eq!(
+            report.results[0].outcome,
+            Outcome::Undetected(UndetectedReason::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn json_report_is_deterministic() {
+        let d = design(HALFADDER, "halfadder");
+        let list = enumerate_faults(&d, &FaultListOptions::default());
+        let cfg = CampaignConfig::new(Engine::Graph, 16, 99);
+        let a = run_campaign(&d, &list, &cfg).unwrap().to_json();
+        let b = run_campaign(&d, &list, &cfg).unwrap().to_json();
+        assert_eq!(a, b, "same design+seed+vectors must be byte-identical");
+    }
+}

@@ -5,6 +5,7 @@
 //! recursive binary trees). This module mechanizes such claims for
 //! combinational designs by exhausting the input space.
 
+use crate::vectors::VectorStream;
 use crate::Simulator;
 use zeus_elab::{Design, Limits};
 use zeus_sema::value::Value;
@@ -220,6 +221,68 @@ mod tests {
     }
 }
 
+/// The first observed disagreement between two simulators driven with the
+/// same input stream: which cycle, which OUT port, under which inputs.
+///
+/// This is the sequential analogue of [`CounterExample`]; fault campaigns
+/// use it to pin a fault's detection cycle and observation point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Zero-based cycle (of the differential run) in which the outputs
+    /// first differed.
+    pub cycle: u64,
+    /// The output port that differs.
+    pub port: String,
+    /// `(port name, forced bits LSB-first)` driven in that cycle.
+    pub inputs: Vec<(String, Vec<Value>)>,
+    /// The two observed values (simulator a, simulator b).
+    pub got: (Vec<Value>, Vec<Value>),
+}
+
+/// Runs two simulators in lock-step on the same [`VectorStream`] for up
+/// to `cycles` cycles, comparing every OUT port of `sa`'s design after
+/// each cycle. Returns the first [`Divergence`], or `None` when the pair
+/// agreed throughout.
+///
+/// Both simulators advance via [`Simulator::try_step`], so each one's
+/// [`Limits`] budget is honored — a hyperactive faulty circuit runs out
+/// of fuel instead of hanging the campaign.
+///
+/// # Errors
+///
+/// Propagates budget diagnostics (`Z904`/`Z905`/`Z908`) and port-shape
+/// mismatches between the stream and the designs.
+pub fn run_differential(
+    sa: &mut Simulator,
+    sb: &mut Simulator,
+    stream: &mut VectorStream,
+    cycles: u32,
+) -> Result<Option<Divergence>, Diagnostic> {
+    let err = |msg: String| Diagnostic::error(Span::dummy(), msg);
+    let out_names: Vec<String> = sa.design().outputs().map(|p| p.name.clone()).collect();
+    for cycle in 0..cycles {
+        let assignment = stream.next_vector();
+        for (name, bits) in &assignment {
+            sa.set_port(name, bits).map_err(|e| err(e.to_string()))?;
+            sb.set_port(name, bits).map_err(|e| err(e.to_string()))?;
+        }
+        sa.try_step()?;
+        sb.try_step()?;
+        for name in &out_names {
+            let (va, vb) = (sa.port(name), sb.port(name));
+            if va != vb {
+                return Ok(Some(Divergence {
+                    cycle: cycle as u64,
+                    port: name.clone(),
+                    inputs: assignment,
+                    got: (va, vb),
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// Sequential equivalence by random bounded simulation: both designs are
 /// reset (RSET high for `reset_cycles`), then driven with the same
 /// pseudo-random input streams for `cycles` cycles per trial; all OUT
@@ -240,7 +303,6 @@ pub fn check_equivalent_sequential(
     cycles: u32,
     seed: u64,
 ) -> Result<Option<CounterExample>, Diagnostic> {
-    use rand::{Rng, SeedableRng};
     let err = |msg: String| Diagnostic::error(Span::dummy(), msg);
     let ins_a: Vec<_> = a.inputs().collect();
     let ins_b: Vec<_> = b.inputs().collect();
@@ -255,44 +317,29 @@ pub fn check_equivalent_sequential(
             )));
         }
     }
-    let in_names: Vec<(String, usize)> =
-        ins_a.iter().map(|p| (p.name.clone(), p.width())).collect();
-    let out_names: Vec<String> = a.outputs().map(|p| p.name.clone()).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // One stream across all trials: each trial resets the circuits but
+    // continues the pseudo-random input sequence, so trials explore
+    // different behavior.
+    let mut stream = VectorStream::new(a, seed);
     for _ in 0..trials {
         let mut sa = Simulator::new(a.clone()).map_err(|e| err(e.to_string()))?;
         let mut sb = Simulator::new(b.clone()).map_err(|e| err(e.to_string()))?;
         sa.set_rset(true);
         sb.set_rset(true);
-        for (name, width) in &in_names {
-            let zeros = vec![Value::Zero; *width];
-            let _ = sa.set_port(name, &zeros);
-            let _ = sb.set_port(name, &zeros);
+        for (name, bits) in stream.zero_vector() {
+            let _ = sa.set_port(&name, &bits);
+            let _ = sb.set_port(&name, &bits);
         }
         sa.step();
         sb.step();
         sa.set_rset(false);
         sb.set_rset(false);
-        for _ in 0..cycles {
-            let mut assignment = Vec::with_capacity(in_names.len());
-            for (name, width) in &in_names {
-                let bits: Vec<Value> = (0..*width).map(|_| Value::from_bool(rng.gen())).collect();
-                sa.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
-                sb.set_port(name, &bits).map_err(|e| err(e.to_string()))?;
-                assignment.push((name.clone(), bits));
-            }
-            sa.step();
-            sb.step();
-            for name in &out_names {
-                let (va, vb) = (sa.port(name), sb.port(name));
-                if va != vb {
-                    return Ok(Some(CounterExample {
-                        inputs: assignment,
-                        port: name.clone(),
-                        got: (va, vb),
-                    }));
-                }
-            }
+        if let Some(d) = run_differential(&mut sa, &mut sb, &mut stream, cycles)? {
+            return Ok(Some(CounterExample {
+                inputs: d.inputs,
+                port: d.port,
+                got: d.got,
+            }));
         }
     }
     Ok(None)

@@ -43,10 +43,13 @@ mod equiv;
 mod event;
 mod sim;
 mod trace;
+mod vectors;
 
 pub use equiv::{
-    check_equivalent, check_equivalent_sequential, check_equivalent_with, CounterExample,
+    check_equivalent, check_equivalent_sequential, check_equivalent_with, run_differential,
+    CounterExample, Divergence,
 };
 pub use event::EventSimulator;
 pub use sim::{Conflict, CycleReport, Simulator};
 pub use trace::Recorder;
+pub use vectors::VectorStream;

@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use zeus_elab::{Design, Governor, Limits, NetId, NodeId, NodeOp};
+use zeus_elab::{Design, Fault, FaultKind, Governor, Limits, NetId, NodeId, NodeOp};
 use zeus_sema::value::{self, Value};
 use zeus_syntax::diag::{codes, Diagnostic};
 use zeus_syntax::span::Span;
@@ -110,6 +110,25 @@ pub struct Simulator {
     check_conflicts: bool,
     conflicts_total: u64,
     budget: StepBudget,
+    /// Injected faults (canonicalized), in injection order.
+    faults: Vec<Fault>,
+    /// Stuck-at clamp per net index.
+    stuck: HashMap<usize, Value>,
+    /// Transient-flip cycle per net index.
+    flips: HashMap<usize, u64>,
+    /// Injected bridges as canonical net-index pairs.
+    bridges: Vec<(usize, usize)>,
+    /// Resolved bridge value per bridged net index (this cycle).
+    bridge_clamp: HashMap<usize, Value>,
+    /// Natural (pre-clamp) value per bridged net index (this cycle).
+    bridge_natural: HashMap<usize, Value>,
+    /// Evaluation sweeps used by the last cycle (1 unless bridges forced
+    /// a fixpoint iteration).
+    sweeps_last_cycle: u32,
+    /// True when the last cycle's bridge resolution failed to converge.
+    fault_unstable: bool,
+    /// First cycle in which bridge resolution failed to converge.
+    first_unstable_cycle: Option<u64>,
 }
 
 impl Simulator {
@@ -149,6 +168,15 @@ impl Simulator {
             check_conflicts: true,
             conflicts_total: 0,
             budget: StepBudget::new(limits),
+            faults: Vec::new(),
+            stuck: HashMap::new(),
+            flips: HashMap::new(),
+            bridges: Vec::new(),
+            bridge_clamp: HashMap::new(),
+            bridge_natural: HashMap::new(),
+            sweeps_last_cycle: 1,
+            fault_unstable: false,
+            first_unstable_cycle: None,
         };
         // The clock reads 1 and reset 0 unless the testbench drives them.
         if let Some(clk) = sim.design.clk {
@@ -185,6 +213,95 @@ impl Simulator {
     /// Stops forcing a net.
     pub fn release(&mut self, net: NetId) {
         self.forced.remove(&net);
+    }
+
+    /// The nets currently forced (testbench drives, CLK, RSET), sorted by
+    /// id so callers — the fault engine in particular — can enumerate and
+    /// restore them deterministically.
+    pub fn forced_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self.forced.keys().copied().collect();
+        nets.sort();
+        nets
+    }
+
+    /// Injects a physical fault (see [`Fault`]). The site (and bridge
+    /// peer) may be any alias of the net; it is canonicalized here.
+    ///
+    /// Unlike [`Simulator::force`], an injected fault *clamps* the net: it
+    /// overrides whatever the design drives without counting as an extra
+    /// active driver, and it survives [`Simulator::reset_state`] — a
+    /// defect does not heal when the circuit is reset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the site (or bridge peer) is not a net of
+    /// this design.
+    pub fn inject(&mut self, fault: Fault) -> Result<(), Diagnostic> {
+        let n = self.design.netlist.net_count();
+        let canon = |net: NetId| -> Result<NetId, Diagnostic> {
+            if net.index() >= n {
+                return Err(Diagnostic::error(
+                    Span::dummy(),
+                    format!("fault site {net} is not a net of this design ({n} nets)"),
+                ));
+            }
+            Ok(self.design.netlist.find_ref(net))
+        };
+        let site = canon(fault.site)?;
+        let kind = match fault.kind {
+            FaultKind::BridgeWith(other) => FaultKind::BridgeWith(canon(other)?),
+            k => k,
+        };
+        match kind {
+            FaultKind::StuckAt0 => {
+                self.stuck.insert(site.index(), Value::Zero);
+            }
+            FaultKind::StuckAt1 => {
+                self.stuck.insert(site.index(), Value::One);
+            }
+            FaultKind::TransientFlip { cycle } => {
+                self.flips.insert(site.index(), cycle);
+            }
+            FaultKind::BridgeWith(other) => {
+                if other != site {
+                    self.bridges.push((site.index(), other.index()));
+                    self.bridge_natural.insert(site.index(), Value::NoInfl);
+                    self.bridge_natural.insert(other.index(), Value::NoInfl);
+                }
+            }
+        }
+        self.faults.push(Fault { site, kind });
+        Ok(())
+    }
+
+    /// Removes all injected faults (the repaired-circuit view).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+        self.stuck.clear();
+        self.flips.clear();
+        self.bridges.clear();
+        self.bridge_clamp.clear();
+        self.bridge_natural.clear();
+        self.fault_unstable = false;
+        self.first_unstable_cycle = None;
+    }
+
+    /// The currently injected faults (canonicalized), in injection order.
+    pub fn injected_faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when the last cycle's bridge-fault resolution oscillated
+    /// instead of converging (the affected nets were left UNDEF). The
+    /// fault engine classifies such faults as Hyperactive.
+    pub fn fault_unstable_last_cycle(&self) -> bool {
+        self.fault_unstable
+    }
+
+    /// The first cycle in which an injected bridge failed to settle, if
+    /// any did since construction or [`Simulator::reset_state`].
+    pub fn first_unstable_cycle(&self) -> Option<u64> {
+        self.first_unstable_cycle
     }
 
     /// Drives the predefined RSET signal.
@@ -319,67 +436,44 @@ impl Simulator {
         self.conflicts_total
     }
 
-    /// Resets all registers to UNDEF and the cycle counter to 0.
+    /// Resets all registers to UNDEF, the cycle counter to 0, and clears
+    /// every outstanding [`Simulator::force`] (restoring the default CLK/
+    /// RSET drives), so a reset simulator behaves exactly like a freshly
+    /// built one. Injected faults are *not* cleared — a physical defect
+    /// survives a circuit reset; use [`Simulator::clear_faults`] for that.
     pub fn reset_state(&mut self) {
         for (_, v) in &mut self.regs {
             *v = Value::Undef;
         }
         self.cycle = 0;
         self.conflicts_total = 0;
+        self.forced.clear();
+        if let Some(clk) = self.design.clk {
+            self.forced.insert(clk, Value::One);
+        }
+        if let Some(rset) = self.design.rset {
+            self.forced.insert(rset, Value::Zero);
+        }
+        self.bridge_clamp.clear();
+        self.bridge_natural.clear();
+        self.fault_unstable = false;
+        self.first_unstable_cycle = None;
     }
 
     /// Simulates one clock cycle: evaluates every node in a generalized
     /// topological order, resolves all nets, latches the registers, and
     /// reports runtime violations.
+    ///
+    /// With injected faults the evaluation additionally clamps faulted
+    /// nets; bridge faults are resolved to a fixpoint (re-sweeping until
+    /// the bridged pair settles), and a non-converging bridge leaves its
+    /// nets UNDEF with [`Simulator::fault_unstable_last_cycle`] set.
     pub fn step(&mut self) -> CycleReport {
-        self.values.fill(Value::NoInfl);
-        self.active.fill(0);
-
-        // Sources: forced inputs and register outputs.
-        let forced: Vec<(NetId, Value)> = self.forced.iter().map(|(&n, &v)| (n, v)).collect();
-        for (net, v) in forced {
-            self.drive(net, v);
-        }
-        for i in 0..self.regs.len() {
-            let (node, v) = self.regs[i];
-            let out = self.design.netlist.nodes[node.index()].output;
-            self.drive(out, v);
-        }
-
-        // Combinational sweep in topological order.
-        for i in 0..self.order.len() {
-            let node_id = self.order[i];
-            let node = &self.design.netlist.nodes[node_id.index()];
-            let out = node.output;
-            let v = match &node.op {
-                NodeOp::And => value::and(node.inputs.iter().map(|&n| self.values[n.index()])),
-                NodeOp::Or => value::or(node.inputs.iter().map(|&n| self.values[n.index()])),
-                NodeOp::Nand => value::nand(node.inputs.iter().map(|&n| self.values[n.index()])),
-                NodeOp::Nor => value::nor(node.inputs.iter().map(|&n| self.values[n.index()])),
-                NodeOp::Xor => value::xor(node.inputs.iter().map(|&n| self.values[n.index()])),
-                NodeOp::Not => self.values[node.inputs[0].index()].not(),
-                NodeOp::Equal { width } => {
-                    let (a, b) = node.inputs.split_at(*width);
-                    let av: Vec<Value> = a.iter().map(|&n| self.values[n.index()]).collect();
-                    let bv: Vec<Value> = b.iter().map(|&n| self.values[n.index()]).collect();
-                    value::equal(&av, &bv)
-                }
-                NodeOp::Buf => self.values[node.inputs[0].index()],
-                NodeOp::If => {
-                    let cond = self.values[node.inputs[0].index()];
-                    match cond {
-                        Value::Zero => Value::NoInfl,
-                        Value::One => self.values[node.inputs[1].index()],
-                        // "If b=NOINFL then s has value UNDEF" (§8); an
-                        // undefined condition is undefined too.
-                        _ => Value::Undef,
-                    }
-                }
-                NodeOp::Const(v) => *v,
-                NodeOp::Random => Value::from_bool(self.rng.gen()),
-                NodeOp::Reg => continue,
-            };
-            self.drive(out, v);
+        if self.faults.is_empty() {
+            self.sweeps_last_cycle = 1;
+            self.eval_cycle(false);
+        } else {
+            self.eval_cycle_faulty();
         }
 
         // Latch registers: "If 'in' is not changed during a clock cycle,
@@ -416,6 +510,137 @@ impl Simulator {
         report
     }
 
+    /// One full evaluation sweep: clears net state, drives the sources
+    /// (forced nets and register outputs), then evaluates the
+    /// combinational nodes in topological order. With `faulty` set, every
+    /// drive is filtered through the fault clamps.
+    fn eval_cycle(&mut self, faulty: bool) {
+        self.values.fill(Value::NoInfl);
+        self.active.fill(0);
+        if faulty {
+            // Clamps apply even to nets nothing drives this cycle.
+            for (&i, &v) in &self.stuck {
+                self.values[i] = v;
+            }
+            for (&i, &v) in &self.bridge_clamp {
+                self.values[i] = v;
+            }
+            // Flips of never-driven nets are no-ops (NOINFL has no charge
+            // to upset), so only the natural records need resetting here.
+            for k in self.bridge_natural.values_mut() {
+                *k = Value::NoInfl;
+            }
+        }
+
+        // Sources: forced inputs and register outputs.
+        let forced: Vec<(NetId, Value)> = self.forced.iter().map(|(&n, &v)| (n, v)).collect();
+        for (net, v) in forced {
+            self.drive(net, v, faulty);
+        }
+        for i in 0..self.regs.len() {
+            let (node, v) = self.regs[i];
+            let out = self.design.netlist.nodes[node.index()].output;
+            self.drive(out, v, faulty);
+        }
+
+        // Combinational sweep in topological order.
+        for i in 0..self.order.len() {
+            let node_id = self.order[i];
+            let node = &self.design.netlist.nodes[node_id.index()];
+            let out = node.output;
+            let v = match &node.op {
+                NodeOp::And => value::and(node.inputs.iter().map(|&n| self.values[n.index()])),
+                NodeOp::Or => value::or(node.inputs.iter().map(|&n| self.values[n.index()])),
+                NodeOp::Nand => value::nand(node.inputs.iter().map(|&n| self.values[n.index()])),
+                NodeOp::Nor => value::nor(node.inputs.iter().map(|&n| self.values[n.index()])),
+                NodeOp::Xor => value::xor(node.inputs.iter().map(|&n| self.values[n.index()])),
+                NodeOp::Not => self.values[node.inputs[0].index()].not(),
+                NodeOp::Equal { width } => {
+                    let (a, b) = node.inputs.split_at(*width);
+                    let av: Vec<Value> = a.iter().map(|&n| self.values[n.index()]).collect();
+                    let bv: Vec<Value> = b.iter().map(|&n| self.values[n.index()]).collect();
+                    value::equal(&av, &bv)
+                }
+                NodeOp::Buf => self.values[node.inputs[0].index()],
+                NodeOp::If => {
+                    let cond = self.values[node.inputs[0].index()];
+                    match cond {
+                        Value::Zero => Value::NoInfl,
+                        Value::One => self.values[node.inputs[1].index()],
+                        // "If b=NOINFL then s has value UNDEF" (§8); an
+                        // undefined condition is undefined too.
+                        _ => Value::Undef,
+                    }
+                }
+                NodeOp::Const(v) => *v,
+                NodeOp::Random => Value::from_bool(self.rng.gen()),
+                NodeOp::Reg => continue,
+            };
+            self.drive(out, v, faulty);
+        }
+    }
+
+    /// Evaluation under injected faults: sweeps until every bridged pair
+    /// settles on a common resolved value, restoring the RNG before each
+    /// re-sweep so RANDOM streams stay identical to a fault-free run. A
+    /// bridge that refuses to settle within `2*bridges+2` sweeps is
+    /// declared unstable: its nets are X-filled (UNDEF) and
+    /// [`Simulator::fault_unstable_last_cycle`] is raised instead of
+    /// aborting — the campaign layer classifies the fault as Hyperactive.
+    fn eval_cycle_faulty(&mut self) {
+        let rng_start = self.rng.clone();
+        self.fault_unstable = false;
+        self.bridge_clamp.clear();
+        let cap = 2 * self.bridges.len() as u32 + 2;
+        let mut sweeps: u32 = 0;
+        loop {
+            self.rng = rng_start.clone();
+            self.eval_cycle(true);
+            sweeps += 1;
+            if self.bridges.is_empty() {
+                break;
+            }
+            let mut stable = true;
+            let bridges = self.bridges.clone();
+            for (a, b) in bridges {
+                let na = *self.bridge_natural.get(&a).unwrap_or(&Value::NoInfl);
+                let nb = *self.bridge_natural.get(&b).unwrap_or(&Value::NoInfl);
+                let resolved = resolve_bridge(na, nb);
+                for i in [a, b] {
+                    if self.values[i] != resolved {
+                        stable = false;
+                    }
+                    if resolved == Value::NoInfl {
+                        self.bridge_clamp.remove(&i);
+                    } else {
+                        self.bridge_clamp.insert(i, resolved);
+                    }
+                }
+            }
+            if stable {
+                break;
+            }
+            if sweeps >= cap {
+                // Oscillating bridge: X-fill both ends and do one final
+                // sweep so downstream logic sees the UNDEF.
+                self.fault_unstable = true;
+                if self.first_unstable_cycle.is_none() {
+                    self.first_unstable_cycle = Some(self.cycle);
+                }
+                let bridges = self.bridges.clone();
+                for (a, b) in bridges {
+                    self.bridge_clamp.insert(a, Value::Undef);
+                    self.bridge_clamp.insert(b, Value::Undef);
+                }
+                self.rng = rng_start.clone();
+                self.eval_cycle(true);
+                sweeps += 1;
+                break;
+            }
+        }
+        self.sweeps_last_cycle = sweeps;
+    }
+
     /// Runs `n` cycles, returning the last report.
     pub fn run(&mut self, n: usize) -> CycleReport {
         let mut last = CycleReport::default();
@@ -435,7 +660,15 @@ impl Simulator {
     pub fn try_step(&mut self) -> Result<CycleReport, Diagnostic> {
         self.budget.begin_cycle()?;
         self.budget.charge_work(self.order.len() as u64)?;
-        Ok(self.step())
+        let report = self.step();
+        // Bridge fixpoint re-sweeps are real work: bill them after the
+        // fact so an oscillation-prone fault drains fuel instead of
+        // stretching the budget.
+        if self.sweeps_last_cycle > 1 {
+            self.budget
+                .charge_work((self.sweeps_last_cycle as u64 - 1) * self.order.len() as u64)?;
+        }
+        Ok(report)
     }
 
     /// Budget-checked [`Simulator::run`].
@@ -452,7 +685,7 @@ impl Simulator {
     }
 
     #[inline]
-    fn drive(&mut self, net: NetId, v: Value) {
+    fn drive(&mut self, net: NetId, v: Value, faulty: bool) {
         if v == Value::NoInfl {
             return;
         }
@@ -463,6 +696,31 @@ impl Simulator {
             self.values[i] = if a > 1 { Value::Undef } else { v };
         } else {
             self.values[i] = v;
+        }
+        if faulty {
+            self.apply_fault_clamp(i);
+        }
+    }
+
+    /// Re-applies the fault clamps to net `i` after a natural drive.
+    /// Stuck faults win outright; a transient flip inverts the natural
+    /// value in its one cycle; bridges record the natural value (for the
+    /// fixpoint in [`Simulator::eval_cycle_faulty`]) and then present the
+    /// currently resolved bridge value.
+    #[cold]
+    fn apply_fault_clamp(&mut self, i: usize) {
+        if let Some(&v) = self.stuck.get(&i) {
+            self.values[i] = v;
+        } else if let Some(&c) = self.flips.get(&i) {
+            if c == self.cycle {
+                self.values[i] = self.values[i].not();
+            }
+        }
+        if let Some(nat) = self.bridge_natural.get_mut(&i) {
+            *nat = self.values[i];
+            if let Some(&c) = self.bridge_clamp.get(&i) {
+                self.values[i] = c;
+            }
         }
     }
 
@@ -476,6 +734,21 @@ impl Simulator {
                 self.design.netlist.nets[node.output.index()].name.clone()
             })
             .collect()
+    }
+}
+
+/// Resolution of one bridged pair from the nets' natural values: agreeing
+/// values win, a NOINFL side defers to the driven side, and disagreement
+/// is UNDEF (an analog intermediate voltage).
+fn resolve_bridge(a: Value, b: Value) -> Value {
+    if a == b {
+        a
+    } else if a == Value::NoInfl {
+        b
+    } else if b == Value::NoInfl {
+        a
+    } else {
+        Value::Undef
     }
 }
 
@@ -749,6 +1022,117 @@ mod tests {
                     assert_eq!(s.port("cout"), vec![Value::from_bool(total >= 2)]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn stuck_at_fault_overrides_logic() {
+        let mut s = sim(HALFADDER, "halfadder", &[]);
+        let cout = *s.design().names.get("halfadder.cout").unwrap();
+        s.inject(zeus_elab::Fault::stuck_at_1(cout)).unwrap();
+        s.set_port_bit("a", Value::Zero).unwrap();
+        s.set_port_bit("b", Value::Zero).unwrap();
+        s.step();
+        assert_eq!(s.port("cout"), vec![Value::One], "SA1 beats AND(0,0)");
+        // XOR output is untouched.
+        assert_eq!(s.port("s"), vec![Value::Zero]);
+    }
+
+    #[test]
+    fn faults_survive_reset_but_forces_do_not() {
+        let mut s = sim(HALFADDER, "halfadder", &[]);
+        let cout = *s.design().names.get("halfadder.cout").unwrap();
+        s.inject(zeus_elab::Fault::stuck_at_1(cout)).unwrap();
+        s.set_port_bit("a", Value::One).unwrap();
+        assert!(!s.forced_nets().is_empty());
+        s.reset_state();
+        assert!(
+            s.forced_nets().is_empty(),
+            "reset_state must clear testbench forces"
+        );
+        assert_eq!(s.injected_faults().len(), 1, "faults survive reset");
+        s.set_port_bit("a", Value::Zero).unwrap();
+        s.set_port_bit("b", Value::Zero).unwrap();
+        s.step();
+        assert_eq!(s.port("cout"), vec![Value::One]);
+        s.clear_faults();
+        s.step();
+        assert_eq!(s.port("cout"), vec![Value::Zero]);
+    }
+
+    #[test]
+    fn transient_flip_hits_exactly_one_cycle() {
+        let mut s = sim(HALFADDER, "halfadder", &[]);
+        let sum = *s.design().names.get("halfadder.s").unwrap();
+        s.inject(zeus_elab::Fault::transient_flip(sum, 1)).unwrap();
+        s.set_port_bit("a", Value::One).unwrap();
+        s.set_port_bit("b", Value::Zero).unwrap();
+        s.step();
+        assert_eq!(s.port("s"), vec![Value::One], "cycle 0: no flip yet");
+        s.step();
+        assert_eq!(s.port("s"), vec![Value::Zero], "cycle 1: SEU inverts");
+        s.step();
+        assert_eq!(s.port("s"), vec![Value::One], "cycle 2: defect gone");
+    }
+
+    #[test]
+    fn bridge_fault_resolves_disagreement_to_undef() {
+        let mut s = sim(HALFADDER, "halfadder", &[]);
+        let cout = *s.design().names.get("halfadder.cout").unwrap();
+        let sum = *s.design().names.get("halfadder.s").unwrap();
+        s.inject(zeus_elab::Fault::bridge(cout, sum)).unwrap();
+        // a=1 b=0: naturally s=1, cout=0 — they disagree, both go UNDEF.
+        s.set_port_bit("a", Value::One).unwrap();
+        s.set_port_bit("b", Value::Zero).unwrap();
+        s.step();
+        assert_eq!(s.port("s"), vec![Value::Undef]);
+        assert_eq!(s.port("cout"), vec![Value::Undef]);
+        assert!(!s.fault_unstable_last_cycle());
+        // a=1 b=1: naturally s=0, cout=1 — still UNDEF.
+        s.set_port_bit("b", Value::One).unwrap();
+        s.step();
+        assert_eq!(s.port("s"), vec![Value::Undef]);
+        // a=0 b=0: both naturally 0 — the bridge agrees, values stay 0.
+        s.set_port_bit("a", Value::Zero).unwrap();
+        s.set_port_bit("b", Value::Zero).unwrap();
+        s.step();
+        assert_eq!(s.port("s"), vec![Value::Zero]);
+        assert_eq!(s.port("cout"), vec![Value::Zero]);
+    }
+
+    #[test]
+    fn inject_rejects_out_of_range_site() {
+        let mut s = sim(HALFADDER, "halfadder", &[]);
+        assert!(s.inject(zeus_elab::Fault::stuck_at_0(NetId(9999))).is_err());
+        assert!(s
+            .inject(zeus_elab::Fault::bridge(NetId(0), NetId(9999)))
+            .is_err());
+        assert!(s.injected_faults().is_empty());
+    }
+
+    #[test]
+    fn random_stream_unchanged_by_bridge_resweeps() {
+        // A design with a RANDOM node plus a bridge elsewhere: the
+        // re-sweeping fixpoint must not advance the RNG differently from
+        // a fault-free run of the same seed.
+        let src = "TYPE t = COMPONENT (IN a,b: boolean; OUT q,r: boolean) IS \
+             BEGIN q := RANDOM(); r := AND(a,b) END;";
+        let mut golden = sim(src, "t", &[]);
+        golden.reseed(7);
+        let mut faulty = sim(src, "t", &[]);
+        faulty.reseed(7);
+        let a = *faulty.design().names.get("t.a").unwrap();
+        let r = *faulty.design().names.get("t.r").unwrap();
+        faulty.inject(zeus_elab::Fault::bridge(a, r)).unwrap();
+        for cyc in 0..16u64 {
+            let bit = cyc % 3 == 0;
+            golden.set_port_bit("a", Value::from_bool(bit)).unwrap();
+            golden.set_port_bit("b", Value::from_bool(!bit)).unwrap();
+            faulty.set_port_bit("a", Value::from_bool(bit)).unwrap();
+            faulty.set_port_bit("b", Value::from_bool(!bit)).unwrap();
+            golden.step();
+            faulty.step();
+            assert_eq!(golden.port("q"), faulty.port("q"), "cycle {cyc}");
         }
     }
 }

@@ -184,6 +184,28 @@ impl Network {
     pub fn gnd_node(&self) -> Option<SNode> {
         self.gnd
     }
+
+    /// Drops every transistor added after the first `len` (fault-repair:
+    /// bridge faults are modeled as appended always-on transistors).
+    pub fn truncate_transistors(&mut self, len: usize) {
+        self.transistors.truncate(len);
+    }
+
+    /// Drops every node added after the first `len`. Panics when a supply
+    /// node would be removed — supplies are structural, not injectable.
+    pub fn truncate_nodes(&mut self, len: usize) {
+        assert!(
+            self.vdd.is_none_or(|v| v.index() < len) && self.gnd.is_none_or(|g| g.index() < len),
+            "cannot truncate away a supply node"
+        );
+        assert!(
+            self.transistors
+                .iter()
+                .all(|t| t.gate.index() < len && t.a.index() < len && t.b.index() < len),
+            "cannot truncate nodes still referenced by transistors"
+        );
+        self.names.truncate(len);
+    }
 }
 
 #[cfg(test)]

@@ -10,12 +10,12 @@
 //! stored value is presented as a forced node each cycle and re-latched
 //! after the network settles.
 
-use crate::network::{Conduction, SV};
+use crate::network::{Conduction, TransKind, SV};
 use crate::synth::{synthesize, Synth};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use zeus_elab::{Design, Governor, Limits};
+use zeus_elab::{Design, Fault, FaultKind, Governor, Limits, NetId};
 use zeus_sema::Value;
 use zeus_syntax::diag::{codes, Diagnostic};
 use zeus_syntax::span::Span;
@@ -46,6 +46,15 @@ pub struct SwitchSim {
     max_steps: Option<u64>,
     steps: u64,
     gov: Governor,
+    faults: Vec<Fault>,
+    /// Fault clamps merged into every cycle's forced map (stuck-at sites
+    /// and the always-high gates of bridge transistors).
+    fault_stuck: HashMap<crate::network::SNode, SV>,
+    /// `(node, cycle)` single-event upsets applied after relaxation.
+    fault_flips: Vec<(crate::network::SNode, u64)>,
+    /// Network size at construction, for [`SwitchSim::clear_faults`].
+    base_nodes: usize,
+    base_trans: usize,
 }
 
 impl SwitchSim {
@@ -71,6 +80,7 @@ impl SwitchSim {
             ports.insert(p.name.clone(), nodes);
         }
         let n = synth.network.node_count();
+        let base_trans = synth.network.transistor_count();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, t) in synth.network.transistors().iter().enumerate() {
             adj[t.a.index()].push(i as u32);
@@ -97,7 +107,99 @@ impl SwitchSim {
             max_steps: limits.max_steps,
             steps: 0,
             gov: limits.governor(),
+            faults: Vec::new(),
+            fault_stuck: HashMap::new(),
+            fault_flips: Vec::new(),
+            base_nodes: n,
+            base_trans,
         }
+    }
+
+    /// Reseeds the RANDOM-node generator (for reproducible campaigns).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// The switch-level node synthesized for a (canonical) elaborated
+    /// net, if the net survived synthesis.
+    pub fn node_for_net(&self, net: NetId) -> Option<crate::network::SNode> {
+        self.synth.net_map.get(&net).copied()
+    }
+
+    /// Injects a fault, mapped onto the switch-level network: stuck-at
+    /// faults become permanently forced nodes, a bridge becomes an
+    /// appended always-conducting N-transistor between the two nets, and
+    /// a transient flip inverts the settled node value in its one cycle.
+    /// An oscillation provoked by a fault is reported through
+    /// [`SwitchSim::try_step`]'s `Z310` (the campaign layer maps that to
+    /// Hyperactive) — never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the site (or bridge peer) has no
+    /// switch-level node — sites must be canonical net ids.
+    pub fn inject(&mut self, fault: Fault) -> Result<(), Diagnostic> {
+        let err = |n: NetId| {
+            Diagnostic::error(
+                Span::dummy(),
+                format!("fault site {n} has no switch-level node (not a canonical net?)"),
+            )
+        };
+        let site = self
+            .node_for_net(fault.site)
+            .ok_or_else(|| err(fault.site))?;
+        match fault.kind {
+            FaultKind::StuckAt0 => {
+                self.fault_stuck.insert(site, SV::Zero);
+            }
+            FaultKind::StuckAt1 => {
+                self.fault_stuck.insert(site, SV::One);
+            }
+            FaultKind::TransientFlip { cycle } => {
+                self.fault_flips.push((site, cycle));
+            }
+            FaultKind::BridgeWith(other) => {
+                let peer = self.node_for_net(other).ok_or_else(|| err(other))?;
+                if peer != site {
+                    let gate = self
+                        .synth
+                        .network
+                        .add_node(format!("FAULT#{}.bridge-gate", self.faults.len()));
+                    self.state.push(SV::One);
+                    self.adj.push(Vec::new());
+                    let ti = self.synth.network.transistor_count() as u32;
+                    self.synth
+                        .network
+                        .add_transistor(TransKind::N, gate, site, peer);
+                    self.adj[site.index()].push(ti);
+                    self.adj[peer.index()].push(ti);
+                    self.fault_stuck.insert(gate, SV::One);
+                }
+            }
+        }
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// Removes all injected faults, restoring the network to its
+    /// synthesized shape (bridge transistors and their gate nodes are
+    /// dropped).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+        self.fault_stuck.clear();
+        self.fault_flips.clear();
+        self.synth.network.truncate_transistors(self.base_trans);
+        self.synth.network.truncate_nodes(self.base_nodes);
+        self.state.truncate(self.base_nodes);
+        self.adj.truncate(self.base_nodes);
+        for list in &mut self.adj {
+            list.retain(|&ti| (ti as usize) < self.base_trans);
+        }
+    }
+
+    /// The currently injected faults, in injection order.
+    pub fn injected_faults(&self) -> &[Fault] {
+        &self.faults
     }
 
     /// Number of transistors in the synthesized network.
@@ -204,6 +306,11 @@ impl SwitchSim {
         for (i, &(_, out)) in self.synth.regs.iter().enumerate() {
             forced.insert(out, self.reg_state[i]);
         }
+        // Fault clamps last: a physical defect overrides any testbench
+        // or internal drive of the same node.
+        for (&node, &v) in &self.fault_stuck {
+            forced.insert(node, v);
+        }
         for (&node, &v) in &forced {
             self.state[node.index()] = v;
         }
@@ -235,6 +342,19 @@ impl SwitchSim {
             }
         }
         self.iterations_last_cycle = iters;
+
+        // Single-event upsets strike after the network settles (a late
+        // glitch): the node's value inverts for this cycle only, and a
+        // downstream register latches the corrupted value below.
+        for &(node, cycle) in &self.fault_flips {
+            if cycle == self.cycle {
+                self.state[node.index()] = match self.state[node.index()] {
+                    SV::Zero => SV::One,
+                    SV::One => SV::Zero,
+                    SV::X => SV::X,
+                };
+            }
+        }
 
         // Latch registers from their data inputs.
         for i in 0..self.synth.regs.len() {
@@ -531,5 +651,85 @@ mod tests {
         sw.set_port_num("a", 0).unwrap();
         sw.step();
         assert_eq!(sw.port("q"), vec![Value::One]);
+    }
+
+    fn canon(d: &Design, name: &str) -> zeus_elab::NetId {
+        d.netlist.find_ref(d.names[name])
+    }
+
+    #[test]
+    fn stuck_at_fault_forces_the_node() {
+        let d = design(FULLADDER, "fulladder");
+        let mut sw = SwitchSim::new(&d);
+        sw.inject(Fault::stuck_at_1(canon(&d, "fulladder.cout")))
+            .unwrap();
+        sw.set_port_num("a", 0).unwrap();
+        sw.set_port_num("b", 0).unwrap();
+        sw.set_port_num("cin", 0).unwrap();
+        sw.step();
+        assert_eq!(sw.port("cout"), vec![Value::One]);
+        assert_eq!(sw.port("s"), vec![Value::Zero]);
+        sw.clear_faults();
+        sw.step();
+        assert_eq!(sw.port("cout"), vec![Value::Zero]);
+    }
+
+    #[test]
+    fn bridge_fault_appends_transistor_and_clears() {
+        let d = design(FULLADDER, "fulladder");
+        let mut sw = SwitchSim::new(&d);
+        let nodes = sw.node_count();
+        let trans = sw.transistor_count();
+        sw.inject(Fault::bridge(
+            canon(&d, "fulladder.s"),
+            canon(&d, "fulladder.cout"),
+        ))
+        .unwrap();
+        assert_eq!(sw.node_count(), nodes + 1, "one bridge gate node");
+        assert_eq!(sw.transistor_count(), trans + 1);
+        // a=1, b=0, cin=0: naturally s=1, cout=0. Bridged, both see
+        // 1-and-0 paths and go X.
+        sw.set_port_num("a", 1).unwrap();
+        sw.set_port_num("b", 0).unwrap();
+        sw.set_port_num("cin", 0).unwrap();
+        sw.step();
+        assert_eq!(sw.port("s"), vec![Value::Undef]);
+        assert_eq!(sw.port("cout"), vec![Value::Undef]);
+        sw.clear_faults();
+        assert_eq!(sw.node_count(), nodes);
+        assert_eq!(sw.transistor_count(), trans);
+        sw.step();
+        assert_eq!(sw.port("s"), vec![Value::One]);
+        assert_eq!(sw.port("cout"), vec![Value::Zero]);
+    }
+
+    #[test]
+    fn transient_flip_upsets_one_cycle() {
+        let d = design(
+            "TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS \
+             SIGNAL r: REG; BEGIN r(d, q) END;",
+            "t",
+        );
+        let mut sw = SwitchSim::new(&d);
+        // Flip the register's output (== port q) in cycle 1: the upset
+        // is a late glitch on the settled value, visible that cycle only.
+        sw.inject(Fault::transient_flip(canon(&d, "t.q"), 1))
+            .unwrap();
+        sw.set_port_num("d", 1).unwrap();
+        sw.step(); // cycle 0: latches 1
+        sw.step(); // cycle 1: q presents 1, then the SEU inverts it
+        assert_eq!(sw.port_num("q"), Some(0));
+        sw.step(); // cycle 2: defect gone
+        assert_eq!(sw.port_num("q"), Some(1), "defect gone after one cycle");
+    }
+
+    #[test]
+    fn inject_rejects_unknown_site() {
+        let d = design(FULLADDER, "fulladder");
+        let mut sw = SwitchSim::new(&d);
+        assert!(sw
+            .inject(Fault::stuck_at_0(zeus_elab::NetId(60000)))
+            .is_err());
+        assert!(sw.injected_faults().is_empty());
     }
 }

@@ -1,0 +1,176 @@
+//! Fault-injection campaigns over the §10 example designs.
+//!
+//! Covers the fault-model claims end to end: a stuck-at on the
+//! ripple-carry adder's carry chain is detectable, a PARALLEL-redundant
+//! net masks a stuck-at, campaigns are deterministic, and injecting any
+//! enumerated stuck-at into any bundled design stays within its resource
+//! budget — no panics, no hangs, no unclassified errors.
+
+use proptest::prelude::*;
+use zeus::{
+    enumerate_faults, examples, run_campaign, CampaignConfig, Engine, Fault, FaultList,
+    FaultListOptions, Limits, Outcome, UndetectedReason, Zeus,
+};
+
+/// (example name, top, args) — representative parameters for every
+/// bundled design (same table as the canonical-text tests).
+const TOPS: &[(&str, &str, &[i64])] = &[
+    ("adders", "rippleCarry4", &[]),
+    ("adders", "rippleCarry", &[4]),
+    ("mux", "muxtop", &[]),
+    ("blackjack", "blackjack", &[]),
+    ("trees", "tree", &[8]),
+    ("trees", "rtree", &[8]),
+    ("trees", "htree", &[16]),
+    ("patternmatch", "patternmatch", &[3]),
+    ("routing", "routingnetwork", &[8]),
+    ("ram", "ram", &[8, 4, 3]),
+    ("chessboard", "chessboard", &[4]),
+    ("am2901", "am2901", &[]),
+    ("stack", "systolicstack", &[4, 4]),
+    ("queue", "systolicqueue", &[4, 4]),
+    ("counter", "counter", &[6]),
+    ("dictionary", "dictionary", &[4, 4]),
+    ("sorter", "sorter", &[4, 4]),
+    ("recognizer", "recab", &[]),
+    ("semantics", "semc", &[]),
+];
+
+fn source(name: &str) -> &'static str {
+    examples::ALL
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, s, _)| *s)
+        .unwrap_or_else(|| panic!("no example {name}"))
+}
+
+/// A fault list holding exactly the given faults (no enumeration).
+fn single(fault: Fault) -> FaultList {
+    FaultList {
+        faults: vec![fault],
+        total_enumerated: 1,
+        collapsed: 0,
+    }
+}
+
+/// Stuck-at-0 on the ripple-carry adder's internal carry chain is
+/// detected by a random campaign — on both engines (§10 "Adders").
+#[test]
+fn sa0_on_ripple_carry_chain_is_detected() {
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let d = z.elaborate("rippleCarry4", &[]).unwrap();
+    // h[3] is the carry between stages 2 and 3 of the auxiliary array.
+    let carry = d.names["rippleCarry4.h[3]"];
+    let list = single(Fault::stuck_at_0(carry));
+    for engine in [Engine::Graph, Engine::Switch] {
+        let cfg = CampaignConfig::new(engine, 64, 1);
+        let report = run_campaign(&d, &list, &cfg).unwrap();
+        match &report.results[0].outcome {
+            Outcome::Detected { port, .. } => {
+                // A broken carry corrupts the sum or the carry-out.
+                assert!(port == "s" || port == "cout", "detected on {port}");
+            }
+            other => panic!("carry-chain SA0 not detected ({engine:?}): {other:?}"),
+        }
+    }
+}
+
+/// A PARALLEL-annotated redundant computation masks a single stuck-at:
+/// `z := OR(x, y)` with `x` and `y` computing the same conjunction makes
+/// a stuck-at-0 on either branch unobservable, while a stuck-at-1 on the
+/// same net is still caught.
+#[test]
+fn parallel_redundant_net_masks_stuck_at() {
+    let src = "TYPE t = COMPONENT (IN a,b: boolean; OUT z: boolean) IS \
+               SIGNAL x,y: boolean; \
+               BEGIN PARALLEL x := AND(a,b); y := AND(a,b) END; \
+                     z := OR(x,y) END;";
+    let z = Zeus::parse(src).unwrap();
+    let d = z.elaborate("t", &[]).unwrap();
+    let x = d.names["t.x"];
+    let cfg = CampaignConfig::new(Engine::Graph, 32, 7);
+
+    let masked = run_campaign(&d, &single(Fault::stuck_at_0(x)), &cfg).unwrap();
+    assert_eq!(
+        masked.results[0].outcome,
+        Outcome::Undetected(UndetectedReason::NotObserved),
+        "the redundant PARALLEL branch should mask x stuck-at-0"
+    );
+    assert_eq!(masked.detected(), 0);
+
+    let caught = run_campaign(&d, &single(Fault::stuck_at_1(x)), &cfg).unwrap();
+    assert!(
+        matches!(caught.results[0].outcome, Outcome::Detected { .. }),
+        "x stuck-at-1 forces z high and must be detected"
+    );
+}
+
+/// Regression: injecting enumerated stuck-ats into every bundled design
+/// never panics, never hangs, and never escapes the per-fault `Limits` —
+/// every fault ends in a classification, not an error.
+#[test]
+fn enumerated_stuck_ats_never_panic_on_any_design() {
+    for &(name, top, args) in TOPS {
+        let z = Zeus::parse(source(name)).unwrap();
+        let d = z
+            .elaborate(top, args)
+            .unwrap_or_else(|e| panic!("{name}/{top}: {e}"));
+        let full = enumerate_faults(&d, &FaultListOptions::default());
+        assert!(!full.faults.is_empty(), "{name}/{top}: empty fault list");
+        // Sample up to 6 faults spread across the list; small budgets so a
+        // runaway fault surfaces as BudgetExhausted, not a hung test.
+        let stride = (full.faults.len() / 6).max(1);
+        let sample: Vec<Fault> = full
+            .faults
+            .iter()
+            .copied()
+            .step_by(stride)
+            .take(6)
+            .collect();
+        let list = FaultList {
+            total_enumerated: sample.len(),
+            collapsed: 0,
+            faults: sample,
+        };
+        let mut cfg = CampaignConfig::new(Engine::Graph, 8, 0xFA);
+        cfg.limits = Limits::default();
+        cfg.limits.fuel = Some(2_000_000);
+        let report = run_campaign(&d, &list, &cfg)
+            .unwrap_or_else(|e| panic!("{name}/{top}: campaign error {e}"));
+        assert_eq!(report.total(), list.faults.len(), "{name}/{top}");
+    }
+}
+
+/// Budget exhaustion inside a campaign is a per-fault classification
+/// (`budget-exhausted`), never a fatal error.
+#[test]
+fn budget_exhaustion_is_a_classification_not_an_error() {
+    let z = Zeus::parse(examples::ADDERS).unwrap();
+    let d = z.elaborate("rippleCarry4", &[]).unwrap();
+    let list = enumerate_faults(&d, &FaultListOptions::default());
+    let mut cfg = CampaignConfig::new(Engine::Graph, 16, 3);
+    cfg.limits.fuel = Some(1);
+    let report = run_campaign(&d, &list, &cfg).unwrap();
+    assert_eq!(report.detected(), 0);
+    assert!(report
+        .results
+        .iter()
+        .all(|r| r.outcome == Outcome::Undetected(UndetectedReason::BudgetExhausted)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Campaign determinism: the same design, seed and vector count
+    /// produce byte-identical JSON reports across two independent runs.
+    #[test]
+    fn campaign_json_is_deterministic(seed in any::<u64>(), vectors in 4u32..32) {
+        let z = Zeus::parse(examples::MUX).unwrap();
+        let d = z.elaborate("muxtop", &[]).unwrap();
+        let list = enumerate_faults(&d, &FaultListOptions::default());
+        let cfg = CampaignConfig::new(Engine::Graph, vectors, seed);
+        let a = run_campaign(&d, &list, &cfg).unwrap().to_json();
+        let b = run_campaign(&d, &list, &cfg).unwrap().to_json();
+        prop_assert_eq!(a, b);
+    }
+}
