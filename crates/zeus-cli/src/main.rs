@@ -5,6 +5,7 @@
 //! zeusc print <file.zeus>                      canonical pretty-print
 //! zeusc elab  <file.zeus> <top> [args...]      elaborate, print stats
 //! zeusc sim   <file.zeus> <top> [args...] [--cycles N] [--set port=value ...]
+//!             [--seed S] [--packed]            simulate N cycles
 //! zeusc layout <file.zeus> <top> [args...]     floorplan + ASCII art
 //! zeusc svg   <file.zeus> <top> [args...]      floorplan as SVG (stdout)
 //! zeusc graph <file.zeus> <top> [args...]      semantics graph as Graphviz dot
@@ -13,13 +14,19 @@
 //!                                              exhaustive equivalence check
 //! zeusc fault <file.zeus> <top> [args...] [--vectors N] [--seed S]
 //!             [--engine graph|switch] [--bridges] [--transients C] [--json]
-//!                                              differential fault campaign
+//!             [--packed] [--jobs N]            differential fault campaign
 //! zeusc examples                               list the bundled examples
+//! zeusc help [command]                         this text, or one command's
 //! ```
 //!
-//! Commands taking a top component also accept it as `--top <name>`
-//! (`zeusc fault file.zeus --top adder`). `sim` and `fault` print the
-//! random seed actually used on stderr when `--seed` is omitted.
+//! Flags may appear anywhere after the subcommand (`zeusc sim a.zeus
+//! --cycles 4 top` and `zeusc sim a.zeus top --cycles 4` are the same
+//! invocation); unknown flags are usage errors. Commands taking a top
+//! component also accept it as `--top <name>`. `sim` and `fault` print
+//! the random seed actually used on stderr when `--seed` is omitted.
+//! `fault --packed` runs the bit-parallel campaign engine (64 faults per
+//! simulation pass); `--jobs N` shards it over N worker threads and
+//! implies `--packed`. Reports are byte-identical to the scalar engine.
 //!
 //! Resource-limit flags accepted by every compiling command:
 //!
@@ -30,12 +37,14 @@
 //! --timeout MS         wall-clock deadline in milliseconds
 //! ```
 //!
-//! Exit codes: `0` success, `1` usage or I/O error, `2` the program has
-//! diagnostics, `3` a resource limit was hit (`error[Z9xx]`).
+//! Exit codes: `0` success (including `help`/`--help`), `1` usage or I/O
+//! error, `2` the program has diagnostics, `3` a resource limit was hit
+//! (`error[Z9xx]`).
 //!
 //! A file argument of `@name` loads the bundled example of that name
 //! (e.g. `zeusc layout @trees htree 16`).
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 use zeus::{examples, Limits, Zeus};
@@ -126,18 +135,281 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_source(path: &str) -> Result<String, String> {
+// ---------------------------------------------------------------------
+// Argument parsing
+// ---------------------------------------------------------------------
+
+/// The resource-limit flags, accepted by every compiling command.
+const LIMIT_FLAGS: [(&str, bool); 4] = [
+    ("--max-instances", true),
+    ("--max-nets", true),
+    ("--fuel", true),
+    ("--timeout", true),
+];
+
+/// Per-command flag table: `(name, takes a value)`. Flags may appear in
+/// any position after the subcommand; anything not in the table is a
+/// usage error.
+fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
+    let mut flags: Vec<(&'static str, bool)> = Vec::new();
+    if !matches!(cmd, "examples" | "help") {
+        flags.extend(LIMIT_FLAGS);
+    }
+    match cmd {
+        "elab" | "layout" | "svg" | "graph" | "synth" => flags.push(("--top", true)),
+        "sim" => flags.extend([
+            ("--top", true),
+            ("--cycles", true),
+            ("--seed", true),
+            ("--set", true),
+            ("--packed", false),
+        ]),
+        "fault" => flags.extend([
+            ("--top", true),
+            ("--vectors", true),
+            ("--seed", true),
+            ("--engine", true),
+            ("--bridges", false),
+            ("--transients", true),
+            ("--json", false),
+            ("--packed", false),
+            ("--jobs", true),
+        ]),
+        _ => {}
+    }
+    flags
+}
+
+/// One-line synopsis per command, shown by `help` and on usage errors.
+fn synopsis(cmd: &str) -> &'static str {
+    match cmd {
+        "check" => "zeusc check <file.zeus> [limit flags]",
+        "print" => "zeusc print <file.zeus> [limit flags]",
+        "elab" => "zeusc elab <file.zeus> <top> [type args...] [limit flags]",
+        "sim" => {
+            "zeusc sim <file.zeus> <top> [type args...] [--cycles N] [--seed S] \
+             [--set port=value ...] [--packed] [limit flags]"
+        }
+        "layout" => "zeusc layout <file.zeus> <top> [type args...] [limit flags]",
+        "svg" => "zeusc svg <file.zeus> <top> [type args...] [limit flags]",
+        "graph" => "zeusc graph <file.zeus> <top> [type args...] [limit flags]",
+        "synth" => "zeusc synth <file.zeus> <top> [type args...] [limit flags]",
+        "equiv" => "zeusc equiv <file.zeus> <topA> [args] --vs <topB> [args] [limit flags]",
+        "fault" => {
+            "zeusc fault <file.zeus> <top> [type args...] [--vectors N] [--seed S] \
+             [--engine graph|switch] [--bridges] [--transients C] [--json] \
+             [--packed] [--jobs N] [limit flags]"
+        }
+        "examples" => "zeusc examples",
+        "help" => "zeusc help [command]",
+        _ => "",
+    }
+}
+
+/// Longer per-command help for `zeusc help <cmd>` / `zeusc <cmd> --help`.
+fn detail(cmd: &str) -> &'static str {
+    match cmd {
+        "check" => "Parses the program and runs the static checks of paper §6.",
+        "print" => "Parses the program and pretty-prints it in canonical form.",
+        "elab" => "Elaborates <top> and prints netlist statistics and ports.",
+        "sim" => {
+            "Simulates <top> for --cycles clock cycles (default 8) and prints the\n\
+             final port values. --set forces an IN port each cycle; --seed seeds\n\
+             the RANDOM source (default 0x2E051983). --packed runs the 64-lane\n\
+             bit-parallel engine (same output; used for cross-checking)."
+        }
+        "layout" => "Computes the §7 floorplan and draws it as ASCII art.",
+        "svg" => "Computes the §7 floorplan and emits it as SVG on stdout.",
+        "graph" => "Emits the elaborated semantics graph as Graphviz dot.",
+        "synth" => "Synthesizes to the CMOS switch network and prints its size.",
+        "equiv" => {
+            "Elaborates both tops and checks exhaustive input equivalence.\n\
+             Exit 0 when equivalent, 2 with a counterexample when not."
+        }
+        "fault" => {
+            "Enumerates stuck-at (--bridges, --transients add more) faults,\n\
+             runs a differential campaign against the fault-free design, and\n\
+             prints a coverage report (--json for machine-readable output).\n\
+             --packed simulates 64 faults per pass with the bit-parallel\n\
+             engine; --jobs N shards the fault list over N threads (implies\n\
+             --packed). Reports are byte-identical to the scalar engine for\n\
+             the same seed."
+        }
+        "examples" => "Lists the bundled example programs (usable as @name).",
+        "help" => "Prints the command list, or one command's flags.",
+        _ => "",
+    }
+}
+
+const COMMANDS: [&str; 12] = [
+    "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "fault",
+    "examples", "help",
+];
+
+fn general_usage() -> String {
+    let mut s = String::from("usage: zeusc <command> [...]\n\ncommands:\n");
+    for cmd in COMMANDS {
+        s.push_str(&format!("  {}\n", synopsis(cmd)));
+    }
+    s.push_str(
+        "\nlimit flags (any compiling command): --max-instances N, --max-nets N,\n\
+         --fuel N, --timeout MS\n\
+         file arguments of the form @name load a bundled example\n\
+         run `zeusc help <command>` for details",
+    );
+    s
+}
+
+fn command_usage(cmd: &str) -> String {
+    format!("usage: {}\n\n{}", synopsis(cmd), detail(cmd))
+}
+
+/// A parsed command line: flag values by name plus bare positionals in
+/// order. `--flag=value` and `--flag value` are equivalent; repeated
+/// value flags accumulate.
+struct Parsed {
+    cmd: String,
+    flags: HashMap<&'static str, Vec<String>>,
+    positionals: Vec<String>,
+}
+
+impl Parsed {
+    fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    fn str_value(&self, flag: &str) -> Option<&str> {
+        self.flags
+            .get(flag)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    fn u64_value(&self, flag: &str) -> Result<Option<u64>, Failure> {
+        match self.str_value(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| Failure::Usage(format!("bad value '{v}' for {flag}"))),
+        }
+    }
+
+    fn values(&self, flag: &str) -> &[String] {
+        self.flags.get(flag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The resource budget from the limit flags.
+    fn limits(&self) -> Result<Limits, Failure> {
+        let mut limits = Limits::default();
+        if let Some(n) = self.u64_value("--max-instances")? {
+            limits.max_instances = n as usize;
+        }
+        if let Some(n) = self.u64_value("--max-nets")? {
+            limits.max_nets = n as usize;
+        }
+        if let Some(n) = self.u64_value("--fuel")? {
+            limits.fuel = Some(n);
+        }
+        if let Some(ms) = self.u64_value("--timeout")? {
+            limits.deadline = Some(Duration::from_millis(ms));
+        }
+        Ok(limits)
+    }
+}
+
+/// Splits `args` (everything after the subcommand) into flags and
+/// positionals, in any order. `--vs` is kept as a positional marker for
+/// `equiv`; an unknown `--flag` is a usage error.
+fn parse_command_line(cmd: &str, args: &[String]) -> Result<Parsed, Failure> {
+    let known = known_flags(cmd);
+    let mut flags: HashMap<&'static str, Vec<String>> = HashMap::new();
+    let mut positionals = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if cmd == "equiv" && arg == "--vs" {
+            positionals.push(arg.clone());
+            continue;
+        }
+        if let Some(body) = arg.strip_prefix("--") {
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (format!("--{n}"), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let Some(&(canonical, takes_value)) = known.iter().find(|(n, _)| *n == name) else {
+                return Err(Failure::Usage(format!(
+                    "unknown flag '{name}' for `zeusc {cmd}`\n\n{}",
+                    command_usage(cmd)
+                )));
+            };
+            let value = match (takes_value, inline) {
+                (true, Some(v)) => v,
+                (true, None) => iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| Failure::Usage(format!("{canonical} needs a value")))?,
+                (false, Some(_)) => {
+                    return Err(Failure::Usage(format!("{canonical} does not take a value")))
+                }
+                (false, None) => String::new(),
+            };
+            flags.entry(canonical).or_default().push(value);
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Ok(Parsed {
+        cmd: cmd.to_string(),
+        flags,
+        positionals,
+    })
+}
+
+/// Numeric type parameters following the top component name.
+fn top_args(rest: &[String]) -> Result<Vec<i64>, Failure> {
+    rest.iter()
+        .map(|a| {
+            a.parse::<i64>()
+                .map_err(|_| Failure::Usage(format!("'{a}' is not a numeric type parameter")))
+        })
+        .collect()
+}
+
+/// Resolves `<file> [<top>] [type args...]` from the positionals, with
+/// the top component optionally supplied as `--top` instead.
+fn file_top_args(p: &Parsed) -> Result<(&str, &str, Vec<i64>), Failure> {
+    let mut pos = p.positionals.iter();
+    let file = pos
+        .next()
+        .ok_or_else(|| Failure::Usage(command_usage(&p.cmd)))?;
+    let (top, rest_at) = match p.str_value("--top") {
+        Some(t) => (t, 1),
+        None => (
+            pos.next().map(String::as_str).ok_or_else(|| {
+                Failure::Usage(format!(
+                    "missing top component type\n\n{}",
+                    command_usage(&p.cmd)
+                ))
+            })?,
+            2,
+        ),
+    };
+    let targs = top_args(&p.positionals[rest_at..])?;
+    Ok((file, top, targs))
+}
+
+fn load_source(path: &str) -> Result<String, Failure> {
     if let Some(name) = path.strip_prefix('@') {
         for (n, src, _) in examples::ALL {
             if *n == name {
                 return Ok((*src).to_string());
             }
         }
-        return Err(format!(
+        return Err(Failure::Usage(format!(
             "no bundled example '{name}' (try `zeusc examples`)"
-        ));
+        )));
     }
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    std::fs::read_to_string(path).map_err(|e| Failure::Usage(format!("cannot read {path}: {e}")))
 }
 
 fn parse(src: &str) -> Result<Zeus, Failure> {
@@ -148,65 +420,48 @@ fn parse(src: &str) -> Result<Zeus, Failure> {
     })
 }
 
-fn top_args(rest: &[String]) -> Result<Vec<i64>, String> {
-    rest.iter()
-        .take_while(|a| !a.starts_with("--"))
-        .map(|a| {
-            a.parse::<i64>()
-                .map_err(|_| format!("'{a}' is not a numeric type parameter"))
-        })
-        .collect()
-}
-
-fn flag_value(rest: &[String], flag: &str) -> Result<Option<u64>, String> {
-    let Some(pos) = rest.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    let val = rest
-        .get(pos + 1)
-        .ok_or_else(|| format!("{flag} needs a numeric value"))?;
-    val.parse()
-        .map(Some)
-        .map_err(|_| format!("bad value '{val}' for {flag}"))
-}
-
-fn flag_str(rest: &[String], flag: &str) -> Result<Option<String>, String> {
-    let Some(pos) = rest.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    rest.get(pos + 1)
-        .cloned()
-        .ok_or_else(|| format!("{flag} needs a value"))
-        .map(Some)
-}
-
-fn has_flag(rest: &[String], flag: &str) -> bool {
-    rest.iter().any(|a| a == flag)
-}
-
-/// Builds the resource budget from the `--max-instances`, `--max-nets`,
-/// `--fuel` and `--timeout` flags (defaults from [`Limits::default`]).
-fn parse_limits(args: &[String]) -> Result<Limits, String> {
-    let mut limits = Limits::default();
-    if let Some(n) = flag_value(args, "--max-instances")? {
-        limits.max_instances = n as usize;
-    }
-    if let Some(n) = flag_value(args, "--max-nets")? {
-        limits.max_nets = n as usize;
-    }
-    if let Some(n) = flag_value(args, "--fuel")? {
-        limits.fuel = Some(n);
-    }
-    if let Some(ms) = flag_value(args, "--timeout")? {
-        limits.deadline = Some(Duration::from_millis(ms));
-    }
-    Ok(limits)
-}
+// ---------------------------------------------------------------------
+// Command dispatch
+// ---------------------------------------------------------------------
 
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage =
-        "usage: zeusc <check|print|elab|sim|layout|svg|graph|synth|equiv|fault|examples> [...]";
-    let cmd = args.first().ok_or(usage)?;
+    let cmd = args.first().ok_or_else(general_usage)?;
+
+    // `--help`/`-h` anywhere prints usage and exits 0; `zeusc help
+    // [cmd]` is the spelled-out form.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        let topic = if COMMANDS.contains(&cmd.as_str()) {
+            Some(cmd.as_str())
+        } else {
+            None
+        };
+        match topic {
+            Some(c) if c != "help" => outln!("{}", command_usage(c)),
+            _ => outln!("{}", general_usage()),
+        }
+        return Ok(());
+    }
+    if cmd == "help" {
+        match args.get(1).map(String::as_str) {
+            None => outln!("{}", general_usage()),
+            Some(c) if COMMANDS.contains(&c) => outln!("{}", command_usage(c)),
+            Some(other) => {
+                return Err(Failure::Usage(format!(
+                    "unknown command '{other}'\n\n{}",
+                    general_usage()
+                )))
+            }
+        }
+        return Ok(());
+    }
+    if !COMMANDS.contains(&cmd.as_str()) {
+        return Err(Failure::Usage(format!(
+            "unknown command '{cmd}'\n\n{}",
+            general_usage()
+        )));
+    }
+
+    let p = parse_command_line(cmd, &args[1..])?;
     match cmd.as_str() {
         "examples" => {
             for (name, src, top) in examples::ALL {
@@ -214,201 +469,256 @@ fn run(args: &[String]) -> Result<(), Failure> {
             }
             Ok(())
         }
-        "equiv" => {
-            let file = args
-                .get(1)
-                .ok_or("usage: zeusc equiv <file> <topA> [args] --vs <topB> [args]")?;
-            let split = args
-                .iter()
-                .position(|a| a == "--vs")
-                .ok_or("missing --vs separator")?;
-            let top_a = args.get(2).ok_or("missing first top")?;
-            let args_a = top_args(&args[3..split])?;
-            let top_b = args.get(split + 1).ok_or("missing second top")?;
-            let args_b = top_args(&args[split + 2..])?;
-            let src = load_source(file)?;
-            let z = parse(&src)?;
-            let map = zeus::SourceMap::new(&src);
-            let mut limits = parse_limits(args)?;
-            // The historical CLI cap (slightly above the library default).
-            limits.max_input_bits = 22;
-            let elab = |top: &str, targs: &[i64]| {
-                z.elaborate_limited(top, targs, &limits)
-                    .map_err(|e| diags_failure(&e, e.render(&map)))
-            };
-            let da = elab(top_a, &args_a)?;
-            let db = elab(top_b, &args_b)?;
-            match zeus::check_equivalent_with(&da, &db, &limits).map_err(|e| diag_failure(&e))? {
-                None => {
-                    outln!("equivalent (exhaustive)");
-                    Ok(())
-                }
-                Some(ce) => Err(Failure::Diags(format!("NOT equivalent: {ce}"))),
-            }
-        }
         "check" => {
-            let file = args.get(1).ok_or("usage: zeusc check <file>")?;
+            let file = p
+                .positionals
+                .first()
+                .ok_or_else(|| Failure::Usage(command_usage("check")))?;
             parse(&load_source(file)?)?;
             outln!("ok");
             Ok(())
         }
         "print" => {
-            let file = args.get(1).ok_or("usage: zeusc print <file>")?;
+            let file = p
+                .positionals
+                .first()
+                .ok_or_else(|| Failure::Usage(command_usage("print")))?;
             let z = parse(&load_source(file)?)?;
             out!("{}", z.to_canonical_text());
             Ok(())
         }
-        "elab" | "sim" | "layout" | "svg" | "graph" | "synth" | "fault" => {
-            let file = args
-                .get(1)
-                .ok_or("usage: zeusc <cmd> <file> <top> [args]")?;
-            // The top component is positional, or named via `--top`.
-            let (top, rest_start) = if args.get(2).map(String::as_str) == Some("--top") {
-                (args.get(3).ok_or("missing top component type")?, 4)
-            } else {
-                (args.get(2).ok_or("missing top component type")?, 3)
-            };
-            let rest = &args[rest_start..];
-            let targs = top_args(rest)?;
-            let src = load_source(file)?;
-            let z = parse(&src)?;
-            let limits = parse_limits(args)?;
-            let design = z.elaborate_limited(top, &targs, &limits).map_err(|e| {
-                let map = zeus::SourceMap::new(&src);
-                let rendered = e.render(&map);
-                diags_failure(&e, rendered)
-            })?;
-            for w in &design.warnings {
-                eprintln!("{}", w.render(&zeus::SourceMap::new(&src)));
-            }
-            match cmd.as_str() {
-                "elab" => {
-                    outln!("top       : {}", design.top_type);
-                    outln!("nets      : {}", design.netlist.net_count());
-                    outln!("nodes     : {}", design.netlist.node_count());
-                    outln!("registers : {}", design.netlist.registers().count());
-                    outln!("instances : {}", design.instances.size());
-                    for p in &design.ports {
-                        outln!("port      : {} {} [{} bit]", p.mode, p.name, p.width());
-                    }
-                    Ok(())
-                }
-                "sim" => {
-                    let cycles = flag_value(rest, "--cycles")?.unwrap_or(8);
-                    let mut sim = zeus::Simulator::with_limits(design, &limits)
-                        .map_err(|e| diag_failure(&e))?;
-                    match flag_value(rest, "--seed")? {
-                        Some(seed) => sim.reseed(seed),
-                        // The fixed default seed keeps runs reproducible;
-                        // say which one was used (satisfying scripted
-                        // reproduction) without polluting stdout.
-                        None => eprintln!(
-                            "seed      : {} (default; pass --seed to vary)",
-                            0x2E05_1983u64
-                        ),
-                    }
-                    // Apply --set port=value forcings.
-                    let mut iter = rest.iter();
-                    while let Some(a) = iter.next() {
-                        if a == "--set" {
-                            let kv = iter.next().ok_or("--set needs port=value")?;
-                            let (port, val) = kv
-                                .split_once('=')
-                                .ok_or_else(|| format!("bad --set '{kv}', want port=value"))?;
-                            let val: u64 = val
-                                .parse()
-                                .map_err(|_| format!("bad value in --set '{kv}'"))?;
-                            sim.set_port_num(port, val)
-                                .map_err(|e| Failure::Usage(e.to_string()))?;
-                        }
-                    }
-                    let mut violations = 0u64;
-                    for _ in 0..cycles {
-                        let r = sim.try_step().map_err(|e| diag_failure(&e))?;
-                        violations += r.conflicts.len() as u64;
-                    }
-                    outln!("cycles    : {cycles}");
-                    outln!("conflicts : {violations}");
-                    for p in sim.design().ports.clone() {
-                        let vals: String =
-                            sim.port(&p.name).iter().map(|v| v.to_string()).collect();
-                        outln!("{:<10}: {}", p.name, vals);
-                    }
-                    Ok(())
-                }
-                "svg" => {
-                    let plan = zeus::floorplan(&design);
-                    out!("{}", plan.render_svg(16));
-                    Ok(())
-                }
-                "graph" => {
-                    out!("{}", zeus::to_dot(&design.netlist));
-                    Ok(())
-                }
-                "layout" => {
-                    let plan = zeus::floorplan(&design);
-                    outln!(
-                        "bounding box: {} x {} (area {})",
-                        plan.width,
-                        plan.height,
-                        plan.area()
-                    );
-                    outln!("leaf cells  : {}", plan.leaf_count());
-                    let art = plan.render_ascii();
-                    if !art.is_empty() {
-                        outln!("{art}");
-                    }
-                    Ok(())
-                }
-                "fault" => {
-                    let vectors = flag_value(rest, "--vectors")?.unwrap_or(64) as u32;
-                    let seed = match flag_value(rest, "--seed")? {
-                        Some(s) => s,
-                        None => {
-                            let s = std::time::SystemTime::now()
-                                .duration_since(std::time::UNIX_EPOCH)
-                                .map(|d| d.as_nanos() as u64)
-                                .unwrap_or(0);
-                            eprintln!("seed      : {s} (pass --seed {s} to reproduce)");
-                            s
-                        }
-                    };
-                    let engine = match flag_str(rest, "--engine")?.as_deref() {
-                        None | Some("graph") => zeus::Engine::Graph,
-                        Some("switch") => zeus::Engine::Switch,
-                        Some(e) => {
-                            return Err(Failure::Usage(format!(
-                                "unknown engine '{e}' (expected graph or switch)"
-                            )))
-                        }
-                    };
-                    let opts = zeus::FaultListOptions {
-                        bridges: has_flag(rest, "--bridges"),
-                        transients: flag_value(rest, "--transients")?,
-                        ..zeus::FaultListOptions::default()
-                    };
-                    let list = zeus::enumerate_faults(&design, &opts);
-                    let mut cfg = zeus::CampaignConfig::new(engine, vectors, seed);
-                    cfg.limits = limits.clone();
-                    let report =
-                        zeus::run_campaign(&design, &list, &cfg).map_err(|e| diag_failure(&e))?;
-                    if has_flag(rest, "--json") {
-                        outln!("{}", report.to_json());
-                    } else {
-                        out!("{}", report.to_text());
-                    }
-                    Ok(())
-                }
-                _ => {
-                    let sw = zeus::SwitchSim::with_limits(&design, &limits);
-                    outln!("transistors : {}", sw.transistor_count());
-                    outln!("nodes       : {}", sw.node_count());
-                    Ok(())
-                }
-            }
-        }
-        other => Err(Failure::Usage(format!(
-            "unknown command '{other}'\n{usage}"
-        ))),
+        "equiv" => cmd_equiv(&p),
+        _ => cmd_elaborating(&p),
     }
+}
+
+fn cmd_equiv(p: &Parsed) -> Result<(), Failure> {
+    let split = p
+        .positionals
+        .iter()
+        .position(|a| a == "--vs")
+        .ok_or("missing --vs separator")?;
+    let (left, right) = p.positionals.split_at(split);
+    let right = &right[1..];
+    let file = left
+        .first()
+        .ok_or_else(|| Failure::Usage(command_usage("equiv")))?;
+    let top_a = left.get(1).ok_or("missing first top")?;
+    let args_a = top_args(&left[2..])?;
+    let top_b = right.first().ok_or("missing second top")?;
+    let args_b = top_args(&right[1..])?;
+    let src = load_source(file)?;
+    let z = parse(&src)?;
+    let map = zeus::SourceMap::new(&src);
+    let mut limits = p.limits()?;
+    // The historical CLI cap (slightly above the library default).
+    limits.max_input_bits = 22;
+    let elab = |top: &str, targs: &[i64]| {
+        z.elaborate_limited(top, targs, &limits)
+            .map_err(|e| diags_failure(&e, e.render(&map)))
+    };
+    let da = elab(top_a, &args_a)?;
+    let db = elab(top_b, &args_b)?;
+    match zeus::check_equivalent_with(&da, &db, &limits).map_err(|e| diag_failure(&e))? {
+        None => {
+            outln!("equivalent (exhaustive)");
+            Ok(())
+        }
+        Some(ce) => Err(Failure::Diags(format!("NOT equivalent: {ce}"))),
+    }
+}
+
+/// The commands that elaborate a design first: `elab`, `sim`, `layout`,
+/// `svg`, `graph`, `synth`, `fault`.
+fn cmd_elaborating(p: &Parsed) -> Result<(), Failure> {
+    let (file, top, targs) = file_top_args(p)?;
+    let src = load_source(file)?;
+    let z = parse(&src)?;
+    let limits = p.limits()?;
+    let design = z.elaborate_limited(top, &targs, &limits).map_err(|e| {
+        let map = zeus::SourceMap::new(&src);
+        let rendered = e.render(&map);
+        diags_failure(&e, rendered)
+    })?;
+    for w in &design.warnings {
+        eprintln!("{}", w.render(&zeus::SourceMap::new(&src)));
+    }
+    match p.cmd.as_str() {
+        "elab" => {
+            outln!("top       : {}", design.top_type);
+            outln!("nets      : {}", design.netlist.net_count());
+            outln!("nodes     : {}", design.netlist.node_count());
+            outln!("registers : {}", design.netlist.registers().count());
+            outln!("instances : {}", design.instances.size());
+            for p in &design.ports {
+                outln!("port      : {} {} [{} bit]", p.mode, p.name, p.width());
+            }
+            Ok(())
+        }
+        "sim" => cmd_sim(p, design, &limits),
+        "svg" => {
+            let plan = zeus::floorplan(&design);
+            out!("{}", plan.render_svg(16));
+            Ok(())
+        }
+        "graph" => {
+            out!("{}", zeus::to_dot(&design.netlist));
+            Ok(())
+        }
+        "layout" => {
+            let plan = zeus::floorplan(&design);
+            outln!(
+                "bounding box: {} x {} (area {})",
+                plan.width,
+                plan.height,
+                plan.area()
+            );
+            outln!("leaf cells  : {}", plan.leaf_count());
+            let art = plan.render_ascii();
+            if !art.is_empty() {
+                outln!("{art}");
+            }
+            Ok(())
+        }
+        "fault" => cmd_fault(p, design, &limits),
+        _ => {
+            let sw = zeus::SwitchSim::with_limits(&design, &limits);
+            outln!("transistors : {}", sw.transistor_count());
+            outln!("nodes       : {}", sw.node_count());
+            Ok(())
+        }
+    }
+}
+
+fn cmd_sim(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
+    let cycles = p.u64_value("--cycles")?.unwrap_or(8);
+    let seed = p.u64_value("--seed")?;
+    if seed.is_none() {
+        // The fixed default seed keeps runs reproducible; say which one
+        // was used (satisfying scripted reproduction) without polluting
+        // stdout.
+        eprintln!(
+            "seed      : {} (default; pass --seed to vary)",
+            0x2E05_1983u64
+        );
+    }
+    let forcings: Vec<(String, u64)> = p
+        .values("--set")
+        .iter()
+        .map(|kv| {
+            let (port, val) = kv
+                .split_once('=')
+                .ok_or_else(|| Failure::Usage(format!("bad --set '{kv}', want port=value")))?;
+            let val: u64 = val
+                .parse()
+                .map_err(|_| Failure::Usage(format!("bad value in --set '{kv}'")))?;
+            Ok((port.to_string(), val))
+        })
+        .collect::<Result<_, Failure>>()?;
+
+    let ports = design.ports.clone();
+    let mut violations = 0u64;
+    let mut values: Vec<(String, String)> = Vec::new();
+    if p.has("--packed") {
+        // The 64-lane engine with every lane driven identically: output
+        // must be byte-identical to the scalar run below.
+        let mut sim = zeus::PackedSim::with_limits(design, limits).map_err(|e| diag_failure(&e))?;
+        if let Some(s) = seed {
+            sim.reseed(s);
+        }
+        for (port, val) in &forcings {
+            sim.set_port_num(port, *val)
+                .map_err(|e| Failure::Usage(e.to_string()))?;
+        }
+        for _ in 0..cycles {
+            let r = sim.try_step().map_err(|e| diag_failure(&e))?;
+            violations += r.conflicts.iter().filter(|c| c.lanes & 1 == 1).count() as u64;
+        }
+        for port in &ports {
+            let vals: String = sim
+                .port_lane(&port.name, 0)
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            values.push((port.name.clone(), vals));
+        }
+    } else {
+        let mut sim = zeus::Simulator::with_limits(design, limits).map_err(|e| diag_failure(&e))?;
+        if let Some(s) = seed {
+            sim.reseed(s);
+        }
+        for (port, val) in &forcings {
+            sim.set_port_num(port, *val)
+                .map_err(|e| Failure::Usage(e.to_string()))?;
+        }
+        for _ in 0..cycles {
+            let r = sim.try_step().map_err(|e| diag_failure(&e))?;
+            violations += r.conflicts.len() as u64;
+        }
+        for port in &ports {
+            let vals: String = sim.port(&port.name).iter().map(|v| v.to_string()).collect();
+            values.push((port.name.clone(), vals));
+        }
+    }
+    outln!("cycles    : {cycles}");
+    outln!("conflicts : {violations}");
+    for (name, vals) in values {
+        outln!("{name:<10}: {vals}");
+    }
+    Ok(())
+}
+
+fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
+    let vectors = p.u64_value("--vectors")?.unwrap_or(64) as u32;
+    let seed = match p.u64_value("--seed")? {
+        Some(s) => s,
+        None => {
+            let s = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            eprintln!("seed      : {s} (pass --seed {s} to reproduce)");
+            s
+        }
+    };
+    let engine = match p.str_value("--engine") {
+        None | Some("graph") => zeus::Engine::Graph,
+        Some("switch") => zeus::Engine::Switch,
+        Some(e) => {
+            return Err(Failure::Usage(format!(
+                "unknown engine '{e}' (expected graph or switch)"
+            )))
+        }
+    };
+    // --jobs implies the packed engine (sharding is a packed feature).
+    let packed = p.has("--packed") || p.has("--jobs");
+    if packed && engine == zeus::Engine::Switch {
+        return Err(Failure::Usage(
+            "--packed/--jobs support the graph engine only".to_string(),
+        ));
+    }
+    let jobs = match p.u64_value("--jobs")? {
+        Some(0) => return Err(Failure::Usage("--jobs must be at least 1".to_string())),
+        Some(n) => n as usize,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let opts = zeus::FaultListOptions {
+        bridges: p.has("--bridges"),
+        transients: p.u64_value("--transients")?,
+        ..zeus::FaultListOptions::default()
+    };
+    let list = zeus::enumerate_faults(&design, &opts);
+    let mut cfg = zeus::CampaignConfig::new(engine, vectors, seed);
+    cfg.limits = limits.clone();
+    let report = if packed {
+        zeus::run_campaign_packed(&design, &list, &cfg, jobs).map_err(|e| diag_failure(&e))?
+    } else {
+        zeus::run_campaign(&design, &list, &cfg).map_err(|e| diag_failure(&e))?
+    };
+    if p.has("--json") {
+        outln!("{}", report.to_json());
+    } else {
+        out!("{}", report.to_text());
+    }
+    Ok(())
 }

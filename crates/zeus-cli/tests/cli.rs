@@ -393,3 +393,235 @@ fn generous_limits_do_not_interfere() {
     assert_eq!(code, 0, "{stderr}");
     assert!(stdout.contains("cycles    : 2"), "{stdout}");
 }
+
+// ---------------------------------------------------------------------
+// Flag-position and help contract
+// ---------------------------------------------------------------------
+
+#[test]
+fn flags_are_accepted_in_any_position() {
+    // The historical bug: `--cycles` after the file was swallowed as the
+    // top component and died with error[Z201].
+    let (code, out1, stderr) = zeusc_code(&[
+        "sim", "@counter", "--cycles", "4", "counter", "6", "--seed", "1",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    let (code, out2, _) = zeusc_code(&[
+        "sim", "@counter", "counter", "6", "--cycles", "4", "--seed", "1",
+    ]);
+    assert_eq!(code, 0);
+    let (code, out3, _) = zeusc_code(&[
+        "sim", "--seed", "1", "--cycles", "4", "@counter", "counter", "6",
+    ]);
+    assert_eq!(code, 0);
+    assert_eq!(out1, out2);
+    assert_eq!(out1, out3);
+}
+
+#[test]
+fn flag_equals_value_form_is_accepted() {
+    let (code, stdout, stderr) =
+        zeusc_code(&["sim", "@adders", "halfadder", "--cycles=2", "--seed=1"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("cycles    : 2"), "{stdout}");
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    let (code, _, stderr) = zeusc_code(&["sim", "@adders", "halfadder", "--frobnicate"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("unknown flag '--frobnicate'"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    // Also for flags that exist on other commands only.
+    let (code, _, stderr) = zeusc_code(&["elab", "@adders", "halfadder", "--vectors", "4"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("unknown flag '--vectors'"), "{stderr}");
+}
+
+#[test]
+fn help_exits_zero_in_all_spellings() {
+    for args in [
+        &["--help"][..],
+        &["-h"][..],
+        &["help"][..],
+        &["help", "fault"][..],
+        &["sim", "--help"][..],
+        &["fault", "-h"][..],
+    ] {
+        let (code, stdout, stderr) = zeusc_code(args);
+        assert_eq!(code, 0, "{args:?}: {stderr}");
+        assert!(stdout.contains("zeusc"), "{args:?}: {stdout}");
+    }
+    let (_, stdout, _) = zeusc_code(&["help", "fault"]);
+    assert!(stdout.contains("--jobs"), "{stdout}");
+    let (_, stdout, _) = zeusc_code(&["help"]);
+    for cmd in ["check", "sim", "fault", "equiv", "examples"] {
+        assert!(stdout.contains(cmd), "{stdout}");
+    }
+}
+
+#[test]
+fn help_for_unknown_command_is_a_usage_error() {
+    let (code, _, stderr) = zeusc_code(&["help", "frobnicate"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+// ---------------------------------------------------------------------
+// Packed campaigns
+// ---------------------------------------------------------------------
+
+#[test]
+fn packed_fault_reports_are_byte_identical_to_scalar() {
+    let base = &[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "64",
+        "--seed",
+        "1",
+    ];
+    let (c_scalar, text_scalar, _) = zeusc_code(base);
+    let mut packed_args = base.to_vec();
+    packed_args.extend(["--packed", "--jobs", "4"]);
+    let (c_packed, text_packed, stderr) = zeusc_code(&packed_args);
+    assert_eq!((c_scalar, c_packed), (0, 0), "{stderr}");
+    assert_eq!(
+        text_scalar, text_packed,
+        "text reports must be byte-identical"
+    );
+
+    let mut json_scalar_args = base.to_vec();
+    json_scalar_args.push("--json");
+    let mut json_packed_args = packed_args.clone();
+    json_packed_args.push("--json");
+    let (_, json_scalar, _) = zeusc_code(&json_scalar_args);
+    let (_, json_packed, _) = zeusc_code(&json_packed_args);
+    assert_eq!(
+        json_scalar, json_packed,
+        "json reports must be byte-identical"
+    );
+}
+
+#[test]
+fn packed_jobs_do_not_change_the_report() {
+    let run = |jobs: &str| {
+        let (code, stdout, stderr) = zeusc_code(&[
+            "fault",
+            "@adders",
+            "--top",
+            "rippleCarry4",
+            "--vectors",
+            "16",
+            "--seed",
+            "7",
+            "--packed",
+            "--jobs",
+            jobs,
+            "--json",
+        ]);
+        assert_eq!(code, 0, "{stderr}");
+        stdout
+    };
+    assert_eq!(
+        run("1"),
+        run("8"),
+        "--jobs 1 and --jobs 8 must agree byte-for-byte"
+    );
+}
+
+#[test]
+fn packed_budget_exhaustion_matches_scalar() {
+    let base = &[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "64",
+        "--seed",
+        "1",
+        "--fuel",
+        "300",
+    ];
+    let (c1, scalar, _) = zeusc_code(base);
+    let mut packed = base.to_vec();
+    packed.extend(["--packed", "--jobs", "2"]);
+    let (c2, packed, stderr) = zeusc_code(&packed);
+    assert_eq!((c1, c2), (0, 0), "{stderr}");
+    assert!(scalar.contains("budget-exhausted"), "{scalar}");
+    assert_eq!(
+        scalar, packed,
+        "budget classifications must agree byte-for-byte"
+    );
+}
+
+#[test]
+fn jobs_implies_packed_and_rejects_switch() {
+    let (code, _, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "halfadder",
+        "--engine",
+        "switch",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("graph engine"), "{stderr}");
+    let (code, _, stderr) = zeusc_code(&["fault", "@adders", "--top", "halfadder", "--jobs", "0"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+#[test]
+fn packed_sim_output_matches_scalar_sim() {
+    let base = &[
+        "sim",
+        "@adders",
+        "rippleCarry4",
+        "--cycles",
+        "3",
+        "--seed",
+        "2",
+        "--set",
+        "a=9",
+        "--set",
+        "b=3",
+        "--set",
+        "cin=1",
+    ];
+    let (c1, scalar, _) = zeusc_code(base);
+    let mut packed_args = base.to_vec();
+    packed_args.push("--packed");
+    let (c2, packed, stderr) = zeusc_code(&packed_args);
+    assert_eq!((c1, c2), (0, 0), "{stderr}");
+    assert_eq!(scalar, packed, "--packed sim must print identical output");
+}
+
+#[test]
+fn packed_sim_budget_errors_match_scalar() {
+    let base = &[
+        "sim",
+        "@adders",
+        "rippleCarry4",
+        "--cycles",
+        "4",
+        "--fuel",
+        "3",
+    ];
+    let (c1, _, err_scalar) = zeusc_code(base);
+    let mut packed_args = base.to_vec();
+    packed_args.push("--packed");
+    let (c2, _, err_packed) = zeusc_code(&packed_args);
+    assert_eq!(
+        (c1, c2),
+        (3, 3),
+        "both engines must exit 3 on fuel exhaustion"
+    );
+    assert!(err_scalar.contains("error[Z904]"), "{err_scalar}");
+    assert!(err_packed.contains("error[Z904]"), "{err_packed}");
+}

@@ -61,7 +61,7 @@ impl CampaignConfig {
         }
     }
 
-    fn effective_limits(&self) -> Limits {
+    pub(crate) fn effective_limits(&self) -> Limits {
         let mut l = self.limits.clone();
         if l.max_steps.is_none() {
             l.max_steps = Some(self.vectors as u64 + 2);
@@ -150,7 +150,7 @@ fn canonicalize(design: &Design, mut fault: Fault) -> Fault {
 /// Classifies a diagnostic raised while stepping the pair: budget
 /// exhaustion and oscillation classify the fault; anything else is a
 /// real error.
-fn classify_error(diag: Diagnostic) -> Result<Outcome, Diagnostic> {
+pub(crate) fn classify_error(diag: Diagnostic) -> Result<Outcome, Diagnostic> {
     if diag.code == Some(codes::OSCILLATION) {
         Ok(Outcome::Hyperactive)
     } else if diag.is_resource_limit() {

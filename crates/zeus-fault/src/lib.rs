@@ -39,9 +39,11 @@
 
 mod campaign;
 mod list;
+mod packed;
 mod report;
 
 pub use campaign::{run_campaign, CampaignConfig, Engine, FaultResult, Outcome, UndetectedReason};
 pub use list::{enumerate_faults, FaultList, FaultListOptions};
+pub use packed::run_campaign_packed;
 pub use report::CoverageReport;
 pub use zeus_elab::{Fault, FaultKind};

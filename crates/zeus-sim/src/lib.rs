@@ -5,12 +5,16 @@
 //! clock cycle, and the runtime single-active-assignment check that
 //! "safeguards against burning transistors".
 //!
-//! Two engines with identical semantics are provided:
+//! Three engines with identical semantics are provided:
 //!
 //! * [`Simulator`] — the reference levelized engine (full topological
 //!   sweep per cycle),
 //! * [`EventSimulator`] — a selective-trace event-driven engine for
-//!   workloads with low activity (used by the benchmark ablations).
+//!   workloads with low activity (used by the benchmark ablations),
+//! * [`PackedSim`] — a bit-parallel engine evaluating 64 independent
+//!   patterns per sweep (two `u64` planes per net), lane-for-lane
+//!   equivalent to [`Simulator`] and the substrate for sharded fault
+//!   campaigns (see `docs/PERFORMANCE.md`).
 //!
 //! [`Recorder`] captures waveforms and renders ASCII timelines or a
 //! VCD-style dump.
@@ -41,6 +45,7 @@
 
 mod equiv;
 mod event;
+mod packed;
 mod sim;
 mod trace;
 mod vectors;
@@ -50,6 +55,7 @@ pub use equiv::{
     CounterExample, Divergence,
 };
 pub use event::EventSimulator;
+pub use packed::{PackedConflict, PackedCycleReport, PackedSim, PackedWord, LANES};
 pub use sim::{Conflict, CycleReport, Simulator};
 pub use trace::Recorder;
 pub use vectors::VectorStream;

@@ -304,6 +304,14 @@ impl Simulator {
         self.first_unstable_cycle
     }
 
+    /// How many full evaluation sweeps the last cycle needed (1 unless
+    /// injected bridges forced fixpoint re-sweeps). This is the number
+    /// [`Simulator::try_step`] bills fuel by; the packed engine exposes
+    /// its per-lane counterpart for equivalence checks.
+    pub fn sweeps_last_cycle(&self) -> u32 {
+        self.sweeps_last_cycle
+    }
+
     /// Drives the predefined RSET signal.
     pub fn set_rset(&mut self, v: bool) {
         if let Some(r) = self.design.rset {

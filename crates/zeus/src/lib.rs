@@ -36,15 +36,15 @@ pub use zeus_elab::{
     Net, NetId, Netlist, Node, NodeId, NodeOp, Orientation, Port, Shape,
 };
 pub use zeus_fault::{
-    enumerate_faults, run_campaign, CampaignConfig, CoverageReport, Engine, FaultList,
-    FaultListOptions, FaultResult, Outcome, UndetectedReason,
+    enumerate_faults, run_campaign, run_campaign_packed, CampaignConfig, CoverageReport, Engine,
+    FaultList, FaultListOptions, FaultResult, Outcome, UndetectedReason,
 };
 pub use zeus_layout::{floorplan, floorplan_of, Floorplan, PlacedPin, PlacedRect};
 pub use zeus_sema::{BasicKind, ConstEnv, ConstVal, Resolution, Value};
 pub use zeus_sim::{
     check_equivalent, check_equivalent_sequential, check_equivalent_with, run_differential,
-    Conflict, CounterExample, CycleReport, Divergence, EventSimulator, Recorder, Simulator,
-    VectorStream,
+    Conflict, CounterExample, CycleReport, Divergence, EventSimulator, PackedConflict,
+    PackedCycleReport, PackedSim, PackedWord, Recorder, Simulator, VectorStream, LANES,
 };
 pub use zeus_switch::{SwitchSim, Synth};
 pub use zeus_syntax::{codes, Code, Diagnostic, Diagnostics, Program, SourceMap, Span};
