@@ -14,7 +14,8 @@
 //!                                              exhaustive equivalence check
 //! zeusc fault <file.zeus> <top> [args...] [--vectors N] [--seed S]
 //!             [--engine graph|switch] [--bridges] [--transients C] [--json]
-//!             [--packed] [--jobs N]            differential fault campaign
+//!             [--packed] [--jobs N] [--checkpoint FILE] [--resume]
+//!             [--campaign-timeout MS]          differential fault campaign
 //! zeusc examples                               list the bundled examples
 //! zeusc help [command]                         this text, or one command's
 //! ```
@@ -39,7 +40,13 @@
 //!
 //! Exit codes: `0` success (including `help`/`--help`), `1` usage or I/O
 //! error, `2` the program has diagnostics, `3` a resource limit was hit
-//! (`error[Z9xx]`).
+//! (`error[Z9xx]`), `130` a fault campaign was interrupted by Ctrl-C
+//! after reporting partially.
+//!
+//! `fault --checkpoint FILE` journals completed fault words so a crashed
+//! or interrupted campaign can continue with `--resume` (see `zeusc help
+//! fault`); the resumed report is byte-identical to an uninterrupted
+//! run.
 //!
 //! A file argument of `@name` loads the bundled example of that name
 //! (e.g. `zeusc layout @trees htree 16`).
@@ -75,12 +82,17 @@ enum Failure {
     Diags(String),
     /// A resource limit (`Z9xx`) was hit → exit 3.
     Limit(String),
+    /// A fault campaign was interrupted (Ctrl-C) after reporting
+    /// partially → exit 130 (128 + SIGINT), the shell convention.
+    Interrupted(String),
 }
 
 impl Failure {
     fn message(&self) -> &str {
         match self {
-            Failure::Usage(m) | Failure::Diags(m) | Failure::Limit(m) => m,
+            Failure::Usage(m) | Failure::Diags(m) | Failure::Limit(m) | Failure::Interrupted(m) => {
+                m
+            }
         }
     }
 
@@ -89,6 +101,7 @@ impl Failure {
             Failure::Usage(_) => ExitCode::from(1),
             Failure::Diags(_) => ExitCode::from(2),
             Failure::Limit(_) => ExitCode::from(3),
+            Failure::Interrupted(_) => ExitCode::from(130),
         }
     }
 }
@@ -174,6 +187,9 @@ fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
             ("--json", false),
             ("--packed", false),
             ("--jobs", true),
+            ("--checkpoint", true),
+            ("--resume", false),
+            ("--campaign-timeout", true),
         ]),
         _ => {}
     }
@@ -198,7 +214,8 @@ fn synopsis(cmd: &str) -> &'static str {
         "fault" => {
             "zeusc fault <file.zeus> <top> [type args...] [--vectors N] [--seed S] \
              [--engine graph|switch] [--bridges] [--transients C] [--json] \
-             [--packed] [--jobs N] [limit flags]"
+             [--packed] [--jobs N] [--checkpoint FILE] [--resume] \
+             [--campaign-timeout MS] [limit flags]"
         }
         "examples" => "zeusc examples",
         "help" => "zeusc help [command]",
@@ -233,7 +250,14 @@ fn detail(cmd: &str) -> &'static str {
              --packed simulates 64 faults per pass with the bit-parallel\n\
              engine; --jobs N shards the fault list over N threads (implies\n\
              --packed). Reports are byte-identical to the scalar engine for\n\
-             the same seed."
+             the same seed.\n\
+             --checkpoint FILE journals completed work after every 64-fault\n\
+             word; --resume skips the journaled words (the final report is\n\
+             byte-identical to an uninterrupted run, and the seed is\n\
+             recovered from the checkpoint when --seed is omitted).\n\
+             --campaign-timeout MS bounds the whole campaign's wall clock.\n\
+             Ctrl-C drains in-flight words, flushes the checkpoint and\n\
+             reports partially (exit 130); a second Ctrl-C aborts."
         }
         "examples" => "Lists the bundled example programs (usable as @name).",
         "help" => "Prints the command list, or one command's flags.",
@@ -670,15 +694,44 @@ fn cmd_sim(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Fail
 
 fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
     let vectors = p.u64_value("--vectors")?.unwrap_or(64) as u32;
+    let checkpoint = match (p.str_value("--checkpoint"), p.has("--resume")) {
+        (None, true) => {
+            return Err(Failure::Usage(
+                "--resume needs --checkpoint FILE to resume from".to_string(),
+            ))
+        }
+        (None, false) => None,
+        (Some(path), resume) => Some(zeus::CheckpointOptions {
+            path: path.into(),
+            resume,
+        }),
+    };
     let seed = match p.u64_value("--seed")? {
         Some(s) => s,
         None => {
-            let s = std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos() as u64)
-                .unwrap_or(0);
-            eprintln!("seed      : {s} (pass --seed {s} to reproduce)");
-            s
+            // When resuming, the original seed lives in the checkpoint
+            // header: recover it so `--resume` never needs `--seed`
+            // repeated (a resumed campaign with a different seed would
+            // be rejected by the digest check anyway).
+            let recovered = checkpoint
+                .as_ref()
+                .filter(|c| c.resume && c.path.exists())
+                .and_then(|c| zeus::read_header(&c.path).ok())
+                .map(|h| h.seed);
+            match recovered {
+                Some(s) => {
+                    eprintln!("seed      : {s} (recovered from checkpoint)");
+                    s
+                }
+                None => {
+                    let s = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos() as u64)
+                        .unwrap_or(0);
+                    eprintln!("seed      : {s} (pass --seed {s} to reproduce)");
+                    s
+                }
+            }
         }
     };
     let engine = match p.str_value("--engine") {
@@ -710,15 +763,68 @@ fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Fa
     let list = zeus::enumerate_faults(&design, &opts);
     let mut cfg = zeus::CampaignConfig::new(engine, vectors, seed);
     cfg.limits = limits.clone();
+    if let Some(ms) = p.u64_value("--campaign-timeout")? {
+        cfg.campaign_deadline = Some(Duration::from_millis(ms));
+    }
+    #[cfg(unix)]
+    {
+        sigint::install();
+        cfg.cancel = Some(&sigint::INTERRUPTED);
+    }
     let report = if packed {
-        zeus::run_campaign_packed(&design, &list, &cfg, jobs).map_err(|e| diag_failure(&e))?
+        zeus::run_campaign_packed_with(&design, &list, &cfg, jobs, checkpoint.as_ref())
+            .map_err(|e| diag_failure(&e))?
     } else {
-        zeus::run_campaign(&design, &list, &cfg).map_err(|e| diag_failure(&e))?
+        zeus::run_campaign_with(&design, &list, &cfg, checkpoint.as_ref())
+            .map_err(|e| diag_failure(&e))?
     };
     if p.has("--json") {
         outln!("{}", report.to_json());
     } else {
         out!("{}", report.to_text());
     }
-    Ok(())
+    match report.partial {
+        None => Ok(()),
+        Some(zeus::PartialReason::Interrupted) => Err(Failure::Interrupted(
+            "fault campaign interrupted; partial results reported above".to_string(),
+        )),
+        Some(zeus::PartialReason::DeadlineExceeded) => Err(Failure::Limit(
+            "fault campaign stopped at --campaign-timeout; partial results reported above"
+                .to_string(),
+        )),
+    }
+}
+
+/// Graceful Ctrl-C for fault campaigns, without a libc dependency: the
+/// first SIGINT raises [`INTERRUPTED`] (the campaign drains in-flight
+/// words, flushes its checkpoint and reports partially) and restores the
+/// default disposition so a second Ctrl-C kills the process immediately.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the first SIGINT; polled by the campaign between words.
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+        // Async-signal-safe: one atomic store and one signal(2) call.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    /// Installs the handler (idempotent).
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
 }

@@ -625,3 +625,243 @@ fn packed_sim_budget_errors_match_scalar() {
     assert!(err_scalar.contains("error[Z904]"), "{err_scalar}");
     assert!(err_packed.contains("error[Z904]"), "{err_packed}");
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint, resume and interruption
+// ---------------------------------------------------------------------
+
+fn tmp_journal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("zeusc-ckpt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+/// Truncates a journal to its header plus the first `keep` entries,
+/// simulating a run that crashed mid-campaign.
+fn truncate_journal(path: &std::path::Path, keep: usize) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1, "journal has a header and entries: {text}");
+    let mut out = lines[..(1 + keep).min(lines.len())].join("\n");
+    out.push('\n');
+    std::fs::write(path, out).unwrap();
+}
+
+#[test]
+fn fault_seed_is_echoed_into_json_report() {
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "halfadder",
+        "--vectors",
+        "8",
+        "--seed",
+        "424242",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("\"seed\":424242"), "{stdout}");
+}
+
+#[test]
+fn fault_checkpoint_resume_reproduces_the_report_byte_for_byte() {
+    // rippleCarry4 enumerates 68 faults = 2 words, so a 1-entry prefix
+    // really does leave work to resume.
+    let base = &[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "16",
+        "--seed",
+        "7",
+        "--json",
+    ];
+    let (code, straight, stderr) = zeusc_code(base);
+    assert_eq!(code, 0, "{stderr}");
+
+    for jobs in [None, Some("2")] {
+        let path = tmp_journal(&format!("resume-{}", jobs.unwrap_or("scalar")));
+        let _ = std::fs::remove_file(&path);
+        let mut args = base.to_vec();
+        args.extend(["--checkpoint", path.to_str().unwrap()]);
+        if let Some(j) = jobs {
+            args.extend(["--jobs", j]);
+        }
+        let (code, full, stderr) = zeusc_code(&args);
+        assert_eq!(code, 0, "{stderr}");
+        assert_eq!(full, straight, "checkpointing must not change the report");
+
+        truncate_journal(&path, 1);
+        let mut args = args.clone();
+        args.push("--resume");
+        let (code, resumed, stderr) = zeusc_code(&args);
+        assert_eq!(code, 0, "{stderr}");
+        assert_eq!(resumed, straight, "resumed report must be byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn fault_resume_recovers_seed_from_checkpoint() {
+    let path = tmp_journal("seedrec");
+    let _ = std::fs::remove_file(&path);
+    let (code, _, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "8",
+        "--seed",
+        "777",
+        "--checkpoint",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    truncate_journal(&path, 0);
+    // No --seed on the resume: it must come back from the header.
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "8",
+        "--checkpoint",
+        path.to_str().unwrap(),
+        "--resume",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("recovered from checkpoint"), "{stderr}");
+    assert!(stdout.contains("\"seed\":777"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fault_resume_requires_checkpoint_flag() {
+    let (code, _, stderr) = zeusc_code(&["fault", "@adders", "--top", "halfadder", "--resume"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("--checkpoint"), "{stderr}");
+}
+
+#[test]
+fn fault_resume_rejects_a_mismatched_campaign() {
+    let path = tmp_journal("mismatch");
+    let _ = std::fs::remove_file(&path);
+    let base = [
+        "fault",
+        "@adders",
+        "--top",
+        "halfadder",
+        "--vectors",
+        "8",
+        "--checkpoint",
+        path.to_str().unwrap(),
+    ];
+    let (code, _, stderr) = zeusc_code(&[&base[..], &["--seed", "1"]].concat());
+    assert_eq!(code, 0, "{stderr}");
+    let (code, _, stderr) = zeusc_code(&[&base[..], &["--seed", "2", "--resume"]].concat());
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("different campaign"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fault_campaign_timeout_reports_partially_with_exit_3() {
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry4",
+        "--vectors",
+        "16",
+        "--seed",
+        "1",
+        "--campaign-timeout",
+        "0",
+        "--json",
+    ]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stdout.contains("\"partial\":true"), "{stdout}");
+    assert!(
+        stdout.contains("\"partial_reason\":\"deadline\""),
+        "{stdout}"
+    );
+    assert!(stderr.contains("--campaign-timeout"), "{stderr}");
+}
+
+/// First Ctrl-C: drain in-flight words, flush the checkpoint, report
+/// partially, exit 130 — then a resume completes to the byte-identical
+/// full report.
+#[cfg(unix)]
+#[test]
+fn sigint_flushes_the_checkpoint_and_resume_completes() {
+    use std::io::Read;
+    use std::time::Duration;
+
+    // Scalar on purpose: it completes (and journals) fault words from
+    // the start, so the SIGINT lands on a checkpoint with progress in
+    // it; the packed path front-loads a golden-trace recording.
+    let base = &[
+        "fault",
+        "@adders",
+        "--top",
+        "rippleCarry",
+        "32",
+        "--vectors",
+        "8192",
+        "--seed",
+        "5",
+        "--json",
+    ];
+    let (code, straight, stderr) = zeusc_code(base);
+    assert_eq!(code, 0, "{stderr}");
+
+    let path = tmp_journal("sigint");
+    let _ = std::fs::remove_file(&path);
+    let mut args = base.to_vec();
+    args.extend(["--checkpoint", path.to_str().unwrap()]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_zeusc"))
+        .args(&args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn zeusc");
+    std::thread::sleep(Duration::from_millis(300));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let status = child.wait().unwrap();
+
+    match status.code() {
+        // The campaign outran the signal: nothing to resume, but the
+        // report must be the complete one.
+        Some(0) => assert_eq!(stdout, straight),
+        Some(130) => {
+            assert!(stdout.contains("\"partial\":true"), "{stdout}");
+            assert!(
+                stdout.contains("\"partial_reason\":\"interrupted\""),
+                "{stdout}"
+            );
+            assert!(path.exists(), "checkpoint was flushed");
+            let mut args = args.clone();
+            args.push("--resume");
+            let (code, resumed, stderr) = zeusc_code(&args);
+            assert_eq!(code, 0, "{stderr}");
+            assert_eq!(resumed, straight, "resume completes byte-identically");
+        }
+        other => panic!("unexpected exit: {other:?}\n{stdout}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

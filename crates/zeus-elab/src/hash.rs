@@ -1,0 +1,226 @@
+//! Stable structural hashing of elaborated designs.
+//!
+//! Crash-safe fault campaigns persist completed work to a checkpoint and
+//! must refuse to merge results recorded for a *different* campaign. The
+//! key is a digest of everything that determines campaign outcomes; its
+//! design component is computed here. `std::hash` deliberately makes no
+//! cross-process guarantees (and `HashMap`'s default hasher is randomly
+//! seeded), so this module implements 64-bit FNV-1a by hand: the digest
+//! of a design is identical across runs, platforms and — barring a
+//! documented bump of [`DIGEST_VERSION`] — releases.
+
+use crate::design::Design;
+use zeus_sema::Value;
+use zeus_syntax::ast::Mode;
+
+/// Version of the digest layout. Bump when the hashed structure changes
+/// so stale checkpoints are rejected instead of misread.
+pub const DIGEST_VERSION: u64 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher with length-prefixed writes, so
+/// `("ab", "c")` and `("a", "bc")` digest differently.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A fresh hasher seeded with the FNV offset basis and the digest
+    /// version.
+    pub fn new() -> StableHasher {
+        let mut h = StableHasher { state: FNV_OFFSET };
+        h.write_u64(DIGEST_VERSION);
+        h
+    }
+
+    /// Hashes raw bytes (no length prefix).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` widened to `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes an `Option<u64>` with a presence tag.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u64(0),
+            Some(x) => {
+                self.write_u64(1);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// Hashes a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+fn value_tag(v: Value) -> u64 {
+    match v {
+        Value::Zero => 0,
+        Value::One => 1,
+        Value::Undef => 2,
+        Value::NoInfl => 3,
+    }
+}
+
+fn mode_tag(m: Mode) -> u64 {
+    match m {
+        Mode::In => 0,
+        Mode::Out => 1,
+        Mode::InOut => 2,
+    }
+}
+
+/// Digest of everything about a design that a fault campaign's results
+/// depend on: the semantics graph (nodes, operations, canonical wiring),
+/// net kinds and debug names (reports print them), the port interface in
+/// declaration order, and the predefined CLK/RSET wiring.
+///
+/// Layout/instance-tree data is deliberately excluded — it cannot change
+/// simulation results.
+pub fn design_digest(design: &Design) -> u64 {
+    let nl = &design.netlist;
+    let mut h = StableHasher::new();
+    h.write_str(&design.top_type);
+
+    h.write_usize(nl.net_count());
+    for (i, net) in nl.nets.iter().enumerate() {
+        h.write_u64(match net.kind {
+            zeus_sema::BasicKind::Boolean => 0,
+            zeus_sema::BasicKind::Multiplex => 1,
+        });
+        h.write_str(&net.name);
+        // The canonical alias class of every net: fault sites resolve
+        // through it.
+        h.write_usize(nl.find_ref(crate::NetId(i as u32)).index());
+    }
+
+    h.write_usize(nl.node_count());
+    for node in &nl.nodes {
+        let (tag, param): (u64, u64) = match &node.op {
+            crate::NodeOp::And => (0, 0),
+            crate::NodeOp::Or => (1, 0),
+            crate::NodeOp::Nand => (2, 0),
+            crate::NodeOp::Nor => (3, 0),
+            crate::NodeOp::Xor => (4, 0),
+            crate::NodeOp::Not => (5, 0),
+            crate::NodeOp::Equal { width } => (6, *width as u64),
+            crate::NodeOp::Buf => (7, 0),
+            crate::NodeOp::If => (8, 0),
+            crate::NodeOp::Const(v) => (9, value_tag(*v)),
+            crate::NodeOp::Random => (10, 0),
+            crate::NodeOp::Reg => (11, 0),
+        };
+        h.write_u64(tag);
+        h.write_u64(param);
+        h.write_usize(node.inputs.len());
+        for &i in &node.inputs {
+            h.write_usize(nl.find_ref(i).index());
+        }
+        h.write_usize(nl.find_ref(node.output).index());
+        h.write_opt_u64(node.group.map(u64::from));
+    }
+
+    h.write_usize(design.ports.len());
+    for p in &design.ports {
+        h.write_str(&p.name);
+        h.write_u64(mode_tag(p.mode));
+        h.write_usize(p.nets.len());
+        for &n in &p.nets {
+            h.write_usize(nl.find_ref(n).index());
+        }
+    }
+
+    h.write_opt_u64(design.clk.map(|n| nl.find_ref(n).index() as u64));
+    h.write_opt_u64(design.rset.map(|n| nl.find_ref(n).index() as u64));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse_program(src).unwrap(), top, &[]).unwrap()
+    }
+
+    const HALFADDER: &str = "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+         BEGIN s := XOR(a,b); cout := AND(a,b) END;";
+
+    #[test]
+    fn digest_is_stable_across_elaborations() {
+        let a = design_digest(&design(HALFADDER, "halfadder"));
+        let b = design_digest(&design(HALFADDER, "halfadder"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_distinguishes_designs() {
+        let ha = design_digest(&design(HALFADDER, "halfadder"));
+        let or = design_digest(&design(
+            "TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS \
+             BEGIN s := XOR(a,b); cout := OR(a,b) END;",
+            "halfadder",
+        ));
+        assert_ne!(ha, or, "an AND/OR swap must change the digest");
+    }
+
+    #[test]
+    fn hasher_is_order_and_boundary_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = StableHasher::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        let mut d = StableHasher::new();
+        d.write_u64(2);
+        d.write_u64(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") with the standard offset/prime, on top of the
+        // version prefix: recompute manually to pin the algorithm.
+        let mut h = StableHasher { state: FNV_OFFSET };
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -37,6 +37,7 @@ mod elab;
 
 pub mod design;
 pub mod fault;
+pub mod hash;
 pub mod limits;
 pub mod netlist;
 pub mod shape;
@@ -44,6 +45,7 @@ pub mod shape;
 pub use design::{Design, Direction, InstanceNode, LayoutItem, Orientation, Port};
 pub use elab::{elaborate, elaborate_signal, elaborate_signal_with, elaborate_with, ElabOptions};
 pub use fault::{Fault, FaultKind};
+pub use hash::{design_digest, StableHasher};
 pub use limits::{Governor, Limits};
 pub use netlist::{to_dot, GroupConstraint, Net, NetId, Netlist, Node, NodeId, NodeOp};
 pub use shape::{BuiltinComponent, FieldShape, RecordShape, Shape};

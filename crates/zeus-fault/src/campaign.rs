@@ -9,12 +9,25 @@
 //! unobserved is *undetected*. Every faulty run is bounded by a
 //! [`Limits`] budget, so a pathological fault exhausts its budget and is
 //! classified — it never hangs or aborts the campaign.
+//!
+//! Campaigns execute in *words* of up to 64 faults (the packed engine's
+//! lane width), which is also the granularity of crash-safe
+//! checkpointing ([`crate::checkpoint`]), per-word panic isolation (a
+//! poisoned word is retried once on a fresh simulator and then
+//! classified [`Outcome::ToolError`] instead of killing the campaign),
+//! and graceful interruption (a cancellation flag or campaign deadline
+//! stops the run between words and yields a partial report).
 
+use crate::checkpoint::{CheckpointOptions, Journal};
 use crate::list::FaultList;
 use crate::report::CoverageReport;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 use zeus_elab::{Design, Fault, Limits};
-use zeus_sim::{run_differential, Simulator, VectorStream};
+use zeus_sim::{run_differential, Simulator, VectorStream, LANES};
 use zeus_switch::SwitchSim;
+use zeus_syntax::catch_panic;
 use zeus_syntax::diag::{codes, Diagnostic};
 
 /// Which simulation engine executes the campaign.
@@ -37,6 +50,10 @@ impl Engine {
 }
 
 /// Campaign parameters.
+///
+/// Only `engine`, `vectors`, `seed` and `limits` affect per-fault
+/// outcomes (and therefore the checkpoint digest); the remaining fields
+/// control *how far* a run gets, not what it computes.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// The engine to run on.
@@ -48,6 +65,20 @@ pub struct CampaignConfig {
     /// Per-fault resource budget. When `max_steps` is `None` it defaults
     /// to `vectors + 2` (the vectors plus the reset cycle and slack).
     pub limits: Limits,
+    /// Wall-clock budget for the *whole campaign* (distinct from the
+    /// per-fault `limits.deadline`). When it expires the run stops
+    /// between words and reports partially.
+    pub campaign_deadline: Option<Duration>,
+    /// Cooperative cancellation flag (e.g. set from a SIGINT handler).
+    /// When it reads `true` the run drains in-flight words, flushes the
+    /// checkpoint, and reports partially.
+    pub cancel: Option<&'static AtomicBool>,
+    /// Test-only chaos: panic while simulating this word.
+    pub chaos_panic_word: Option<usize>,
+    /// Test-only chaos: how many attempts at `chaos_panic_word` panic
+    /// before one succeeds. `1` exercises the retry path, `2` (or more)
+    /// the `ToolError` classification.
+    pub chaos_panic_attempts: u32,
 }
 
 impl CampaignConfig {
@@ -58,6 +89,10 @@ impl CampaignConfig {
             vectors,
             seed,
             limits: Limits::default(),
+            campaign_deadline: None,
+            cancel: None,
+            chaos_panic_word: None,
+            chaos_panic_attempts: 0,
         }
     }
 
@@ -95,6 +130,41 @@ pub enum Outcome {
     /// The fault made the circuit oscillate (a bridge that never
     /// settles, or a switch-level relaxation that hit its cap).
     Hyperactive,
+    /// The simulator itself failed (panicked) while running this fault's
+    /// word, twice in a row. The fault's true classification is unknown;
+    /// it counts against coverage, never toward it.
+    ToolError,
+}
+
+/// Stable lowercase tag for an outcome, shared by the report renderers
+/// and the checkpoint journal.
+pub(crate) fn outcome_tag(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Detected { .. } => "detected",
+        Outcome::Undetected(UndetectedReason::NotObserved) => "undetected",
+        Outcome::Undetected(UndetectedReason::BudgetExhausted) => "budget-exhausted",
+        Outcome::Hyperactive => "hyperactive",
+        Outcome::ToolError => "tool-error",
+    }
+}
+
+/// Why a campaign stopped before simulating every fault word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialReason {
+    /// The cancellation flag was raised (e.g. Ctrl-C).
+    Interrupted,
+    /// The campaign wall-clock deadline expired.
+    DeadlineExceeded,
+}
+
+impl PartialReason {
+    /// Stable lowercase tag (used in reports).
+    pub fn tag(self) -> &'static str {
+        match self {
+            PartialReason::Interrupted => "interrupted",
+            PartialReason::DeadlineExceeded => "deadline",
+        }
+    }
 }
 
 /// One fault with its campaign outcome and debug site name.
@@ -120,21 +190,122 @@ pub fn run_campaign(
     list: &FaultList,
     cfg: &CampaignConfig,
 ) -> Result<CoverageReport, Diagnostic> {
+    run_campaign_with(design, list, cfg, None)
+}
+
+/// [`run_campaign`] with optional crash-safe checkpointing: completed
+/// 64-fault words are journaled to `checkpoint.path` after each word,
+/// and with `checkpoint.resume` a valid existing journal's words are
+/// skipped. A resumed run produces a report byte-identical to an
+/// uninterrupted one.
+///
+/// # Errors
+///
+/// As [`run_campaign`], plus checkpoint I/O failures and a digest
+/// mismatch when resuming a journal recorded for a different campaign.
+pub fn run_campaign_with(
+    design: &Design,
+    list: &FaultList,
+    cfg: &CampaignConfig,
+    checkpoint: Option<&CheckpointOptions>,
+) -> Result<CoverageReport, Diagnostic> {
     let limits = cfg.effective_limits();
-    let mut results = Vec::with_capacity(list.faults.len());
-    for &fault in &list.faults {
-        let outcome = match cfg.engine {
-            Engine::Graph => run_one_graph(design, fault, cfg, &limits)?,
-            Engine::Switch => run_one_switch(design, fault, cfg, &limits)?,
-        };
-        let site = design.netlist.find_ref(fault.site);
-        results.push(FaultResult {
-            fault,
-            site_name: design.netlist.nets[site.index()].name.clone(),
-            outcome,
-        });
+    let (mut journal, mut done) = Journal::open(design, list, cfg, checkpoint)?;
+    let words: Vec<&[Fault]> = list.faults.chunks(LANES).collect();
+    let started = Instant::now();
+    let mut partial = None;
+    for (w, faults) in words.iter().enumerate() {
+        if done.contains_key(&w) {
+            continue;
+        }
+        if let Some(reason) = interruption(cfg, started) {
+            partial = Some(reason);
+            break;
+        }
+        let outcomes = run_word_isolated(w, cfg, faults.len(), || {
+            faults
+                .iter()
+                .map(|&fault| match cfg.engine {
+                    Engine::Graph => run_one_graph(design, fault, cfg, &limits),
+                    Engine::Switch => run_one_switch(design, fault, cfg, &limits),
+                })
+                .collect()
+        })?;
+        if let Some(j) = journal.as_mut() {
+            j.record(w, &outcomes)?;
+        }
+        done.insert(w, outcomes);
     }
-    Ok(CoverageReport::new(design, list, cfg, results))
+    Ok(assemble(design, list, cfg, done, partial))
+}
+
+/// Checks the cooperative stop conditions (between words).
+pub(crate) fn interruption(cfg: &CampaignConfig, started: Instant) -> Option<PartialReason> {
+    if let Some(flag) = cfg.cancel {
+        if flag.load(Ordering::Relaxed) {
+            return Some(PartialReason::Interrupted);
+        }
+    }
+    if let Some(deadline) = cfg.campaign_deadline {
+        if started.elapsed() > deadline {
+            return Some(PartialReason::DeadlineExceeded);
+        }
+    }
+    None
+}
+
+/// Runs one word's simulation under the panic firewall. A panic retries
+/// the word once on a freshly constructed simulator (the closure
+/// rebuilds all state); a second panic classifies the whole word
+/// [`Outcome::ToolError`] instead of propagating. `chaos_panic_*` inject
+/// deterministic panics for testing this very path.
+pub(crate) fn run_word_isolated(
+    word: usize,
+    cfg: &CampaignConfig,
+    lanes: usize,
+    run: impl Fn() -> Result<Vec<Outcome>, Diagnostic>,
+) -> Result<Vec<Outcome>, Diagnostic> {
+    for attempt in 0.. {
+        let chaos = cfg.chaos_panic_word == Some(word) && attempt < cfg.chaos_panic_attempts;
+        match catch_panic(|| {
+            if chaos {
+                panic!("chaos: injected worker panic (word {word}, attempt {attempt})");
+            }
+            run()
+        }) {
+            Ok(result) => return result,
+            Err(_) if attempt == 0 => continue,
+            Err(_) => return Ok(vec![Outcome::ToolError; lanes]),
+        }
+    }
+    unreachable!("the retry loop always returns")
+}
+
+/// Assembles completed words (in word order) into a report, marking it
+/// partial when not every planned word completed.
+pub(crate) fn assemble(
+    design: &Design,
+    list: &FaultList,
+    cfg: &CampaignConfig,
+    done: BTreeMap<usize, Vec<Outcome>>,
+    partial: Option<PartialReason>,
+) -> CoverageReport {
+    let mut results = Vec::with_capacity(done.len() * LANES);
+    for (w, outcomes) in done {
+        let faults = &list.faults[w * LANES..(w * LANES + outcomes.len()).min(list.faults.len())];
+        debug_assert_eq!(faults.len(), outcomes.len());
+        for (fault, outcome) in faults.iter().zip(outcomes) {
+            let site = design.netlist.find_ref(fault.site);
+            results.push(FaultResult {
+                fault: *fault,
+                site_name: design.netlist.nets[site.index()].name.clone(),
+                outcome,
+            });
+        }
+    }
+    let mut report = CoverageReport::new(design, list, cfg, results);
+    report.partial = partial;
+    report
 }
 
 /// Rewrites a fault's site (and bridge peer) to the canonical alias

@@ -38,12 +38,17 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod checkpoint;
 mod list;
 mod packed;
 mod report;
 
-pub use campaign::{run_campaign, CampaignConfig, Engine, FaultResult, Outcome, UndetectedReason};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignConfig, Engine, FaultResult, Outcome, PartialReason,
+    UndetectedReason,
+};
+pub use checkpoint::{campaign_digest, read_header, CheckpointHeader, CheckpointOptions};
 pub use list::{enumerate_faults, FaultList, FaultListOptions};
-pub use packed::run_campaign_packed;
+pub use packed::{run_campaign_packed, run_campaign_packed_with};
 pub use report::CoverageReport;
 pub use zeus_elab::{Fault, FaultKind};

@@ -32,9 +32,14 @@
 //!    result order no matter how many workers ran.
 
 use crate::campaign::UndetectedReason;
-use crate::campaign::{classify_error, CampaignConfig, Engine, FaultResult, Outcome};
+use crate::campaign::{
+    assemble, classify_error, interruption, run_word_isolated, CampaignConfig, Engine, Outcome,
+};
+use crate::checkpoint::{CheckpointOptions, Journal};
 use crate::list::FaultList;
 use crate::report::CoverageReport;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::time::Instant;
 use zeus_elab::{Design, Fault, Limits};
 use zeus_sema::Value;
@@ -130,6 +135,35 @@ pub fn run_campaign_packed(
     cfg: &CampaignConfig,
     jobs: usize,
 ) -> Result<CoverageReport, Diagnostic> {
+    run_campaign_packed_with(design, list, cfg, jobs, None)
+}
+
+/// Never spawn more workers than there are pending fault words: excess
+/// workers would only sit idle on an empty queue.
+pub(crate) fn clamp_jobs(jobs: usize, pending_words: usize) -> usize {
+    jobs.max(1).min(pending_words.max(1))
+}
+
+/// [`run_campaign_packed`] with optional crash-safe checkpointing (see
+/// [`crate::run_campaign_with`] — the journal format is shared, so a
+/// scalar checkpoint resumes packed and vice versa). Completed words are
+/// journaled incrementally as workers deliver them; a panic inside a
+/// worker's word is retried once on a fresh simulator and then
+/// classified [`Outcome::ToolError`](crate::Outcome::ToolError) without
+/// killing the campaign; the cancellation flag and campaign deadline
+/// drain in-flight words and yield a partial report.
+///
+/// # Errors
+///
+/// As [`run_campaign_packed`], plus checkpoint I/O failures and a digest
+/// mismatch when resuming a journal recorded for a different campaign.
+pub fn run_campaign_packed_with(
+    design: &Design,
+    list: &FaultList,
+    cfg: &CampaignConfig,
+    jobs: usize,
+    checkpoint: Option<&CheckpointOptions>,
+) -> Result<CoverageReport, Diagnostic> {
     if cfg.engine == Engine::Switch {
         return Err(Diagnostic::error(
             Span::dummy(),
@@ -140,59 +174,91 @@ pub fn run_campaign_packed(
     let limits = cfg.effective_limits();
     let golden = record_golden(design, cfg, &limits)?;
 
+    let (mut journal, mut done) = Journal::open(design, list, cfg, checkpoint)?;
     let words: Vec<&[Fault]> = list.faults.chunks(LANES).collect();
-    let jobs = jobs.max(1).min(words.len().max(1));
+    let pending: Vec<usize> = (0..words.len()).filter(|w| !done.contains_key(w)).collect();
+    let jobs = clamp_jobs(jobs, pending.len());
+    let started = Instant::now();
+    let mut partial = None;
 
-    // Contiguous word ranges per worker; merging by word index makes the
-    // result order — and therefore the report — independent of `jobs`.
-    let mut outcomes: Vec<Option<Vec<Outcome>>> = vec![None; words.len()];
-    if jobs <= 1 || words.len() <= 1 {
-        for (w, faults) in words.iter().enumerate() {
-            outcomes[w] = Some(run_word(design, faults, cfg, &limits, &golden)?);
+    if jobs <= 1 {
+        for &w in &pending {
+            if let Some(reason) = interruption(cfg, started) {
+                partial = Some(reason);
+                break;
+            }
+            let outcomes = run_word_isolated(w, cfg, words[w].len(), || {
+                run_word(design, words[w], cfg, &limits, &golden)
+            })?;
+            if let Some(j) = journal.as_mut() {
+                j.record(w, &outcomes)?;
+            }
+            done.insert(w, outcomes);
         }
     } else {
-        let chunk = words.len().div_ceil(jobs);
-        type ShardResult = Result<Vec<(usize, Vec<Outcome>)>, Diagnostic>;
-        let mut shards: Vec<ShardResult> = Vec::new();
+        // Contiguous word ranges per worker; merging by word index makes
+        // the result order — and therefore the report — independent of
+        // `jobs`. Workers stream finished words to the coordinator over
+        // a channel so the journal flushes while the campaign runs, and
+        // a first error (or interruption) makes every worker stop at its
+        // next word boundary, draining in-flight work.
+        let stop = AtomicBool::new(false);
+        let mut first_err: Option<Diagnostic> = None;
+        let chunk = pending.len().div_ceil(jobs);
+        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Outcome>, Diagnostic>)>();
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (shard_idx, shard) in words.chunks(chunk).enumerate() {
-                let base = shard_idx * chunk;
-                let golden = &golden;
-                let limits = &limits;
-                handles.push(scope.spawn(move || {
-                    let mut done = Vec::with_capacity(shard.len());
-                    for (i, faults) in shard.iter().enumerate() {
-                        done.push((base + i, run_word(design, faults, cfg, limits, golden)?));
+            for shard in pending.chunks(chunk) {
+                let tx = tx.clone();
+                let (golden, limits, words, stop) = (&golden, &limits, &words, &stop);
+                scope.spawn(move || {
+                    for &w in shard {
+                        if stop.load(Ordering::Relaxed) || interruption(cfg, started).is_some() {
+                            break;
+                        }
+                        let res = run_word_isolated(w, cfg, words[w].len(), || {
+                            run_word(design, words[w], cfg, limits, golden)
+                        });
+                        let failed = res.is_err();
+                        let _ = tx.send((w, res));
+                        if failed {
+                            break;
+                        }
                     }
-                    Ok(done)
-                }));
+                });
             }
-            for h in handles {
-                shards.push(h.join().expect("campaign worker panicked"));
+            drop(tx);
+            for (w, res) in rx {
+                match res {
+                    Ok(outcomes) => {
+                        if let Some(j) = journal.as_mut() {
+                            if let Err(e) = j.record(w, &outcomes) {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        done.insert(w, outcomes);
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
             }
         });
-        for shard in shards {
-            for (w, out) in shard? {
-                outcomes[w] = Some(out);
-            }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if done.len() < words.len() {
+            partial = interruption(cfg, started);
+            debug_assert!(partial.is_some(), "missing words without an interruption");
         }
     }
 
-    let mut results = Vec::with_capacity(list.faults.len());
-    for (w, &faults) in words.iter().enumerate() {
-        let out = outcomes[w].take().expect("every word was simulated");
-        debug_assert_eq!(out.len(), faults.len());
-        for (fault, outcome) in faults.iter().zip(out) {
-            let site = design.netlist.find_ref(fault.site);
-            results.push(FaultResult {
-                fault: *fault,
-                site_name: design.netlist.nets[site.index()].name.clone(),
-                outcome,
-            });
-        }
-    }
-    Ok(CoverageReport::new(design, list, cfg, results))
+    Ok(assemble(design, list, cfg, done, partial))
 }
 
 /// Runs the fault-free simulation once under the campaign limits and
@@ -490,6 +556,14 @@ mod tests {
             assert_eq!(one.to_json(), many.to_json(), "jobs={jobs}");
             assert_eq!(one.to_text(), many.to_text(), "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn jobs_are_clamped_to_pending_words() {
+        assert_eq!(clamp_jobs(0, 5), 1, "zero jobs becomes one");
+        assert_eq!(clamp_jobs(8, 3), 3, "never more workers than words");
+        assert_eq!(clamp_jobs(2, 3), 2, "requested jobs kept when fewer");
+        assert_eq!(clamp_jobs(8, 0), 1, "nothing pending still needs one");
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! The JSON is hand-rolled with a fixed key order and fixed number
 //! formatting, so a campaign with the same design, seed and vector count
 //! produces *byte-identical* reports across runs — a property the test
-//! suite asserts, and which makes reports diffable in CI.
+//! suite asserts, and which makes reports diffable in CI. The partial
+//! and tool-error annotations below are emitted *only* when present, so
+//! a complete, error-free campaign renders exactly as it always has.
 
-use crate::campaign::{CampaignConfig, FaultResult, Outcome, UndetectedReason};
+use crate::campaign::{outcome_tag, CampaignConfig, FaultResult, Outcome, PartialReason};
 use crate::list::FaultList;
 use std::fmt::Write as _;
 use zeus_elab::Design;
@@ -29,6 +31,12 @@ pub struct CoverageReport {
     pub results: Vec<FaultResult>,
     /// `(port, detections)` for every OUT port, in declaration order.
     pub port_histogram: Vec<(String, usize)>,
+    /// Faults the campaign planned to simulate (the collapsed universe).
+    /// Equals `results.len()` unless the run is partial.
+    pub planned: usize,
+    /// `Some` when the campaign stopped early (interrupt or campaign
+    /// deadline): `results` then covers only the completed words.
+    pub partial: Option<PartialReason>,
 }
 
 impl CoverageReport {
@@ -57,6 +65,8 @@ impl CoverageReport {
             collapsed: list.collapsed,
             results,
             port_histogram,
+            planned: list.faults.len(),
+            partial: None,
         }
     }
 
@@ -89,6 +99,15 @@ impl CoverageReport {
             .count()
     }
 
+    /// Faults classified `ToolError` (simulator failure, not a verdict
+    /// about the fault). They count in the coverage denominator.
+    pub fn tool_errors(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::ToolError))
+            .count()
+    }
+
     /// Detected / total, in [0, 1]; 0 for an empty universe.
     pub fn coverage(&self) -> f64 {
         if self.results.is_empty() {
@@ -114,6 +133,15 @@ impl CoverageReport {
             self.collapsed,
             self.total()
         );
+        if let Some(reason) = self.partial {
+            let _ = writeln!(
+                s,
+                "  PARTIAL ({}): {}/{} faults simulated — resume with --resume",
+                reason.tag(),
+                self.total(),
+                self.planned
+            );
+        }
         let _ = writeln!(
             s,
             "  coverage: {}/{} detected ({}), {} undetected, {} hyperactive",
@@ -123,6 +151,13 @@ impl CoverageReport {
             self.undetected(),
             self.hyperactive()
         );
+        if self.tool_errors() > 0 {
+            let _ = writeln!(
+                s,
+                "  tool errors: {} (simulator failures; classification unknown)",
+                self.tool_errors()
+            );
+        }
         let _ = writeln!(s, "  detections by port:");
         for (port, n) in &self.port_histogram {
             let _ = writeln!(s, "    {port}: {n}");
@@ -166,6 +201,19 @@ impl CoverageReport {
         let _ = write!(s, ",\"detected\":{}", self.detected());
         let _ = write!(s, ",\"undetected\":{}", self.undetected());
         let _ = write!(s, ",\"hyperactive\":{}", self.hyperactive());
+        // Emitted only when non-zero / present, so complete error-free
+        // reports keep their historical byte layout.
+        if self.tool_errors() > 0 {
+            let _ = write!(s, ",\"tool_errors\":{}", self.tool_errors());
+        }
+        if let Some(reason) = self.partial {
+            let _ = write!(
+                s,
+                ",\"partial\":true,\"partial_reason\":{},\"planned\":{}",
+                json_str(reason.tag()),
+                self.planned
+            );
+        }
         let _ = write!(s, ",\"coverage\":{:.6}", self.coverage());
         s.push_str(",\"ports\":[");
         for (i, (port, n)) in self.port_histogram.iter().enumerate() {
@@ -194,15 +242,6 @@ impl CoverageReport {
         }
         s.push_str("]}");
         s
-    }
-}
-
-fn outcome_tag(o: &Outcome) -> &'static str {
-    match o {
-        Outcome::Detected { .. } => "detected",
-        Outcome::Undetected(UndetectedReason::NotObserved) => "undetected",
-        Outcome::Undetected(UndetectedReason::BudgetExhausted) => "budget-exhausted",
-        Outcome::Hyperactive => "hyperactive",
     }
 }
 

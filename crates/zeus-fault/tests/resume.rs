@@ -1,0 +1,244 @@
+//! Crash-safe campaign properties: resuming from any checkpoint prefix
+//! reproduces the uninterrupted report byte for byte, worker panics are
+//! contained to one fault word, and interruption yields partial reports.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use zeus_elab::{elaborate, Design};
+use zeus_fault::{
+    enumerate_faults, run_campaign, run_campaign_packed, run_campaign_packed_with,
+    run_campaign_with, CampaignConfig, CheckpointOptions, Engine, FaultListOptions, Outcome,
+    PartialReason,
+};
+use zeus_syntax::parse_program;
+
+/// Large enough to enumerate several 64-fault words (with bridges on).
+const BIG: &str = "TYPE big = COMPONENT \
+     (IN a,b,c,d,e,f,g,h: boolean; OUT p,q,r,s,t,u,v,w: boolean) IS \
+     BEGIN \
+       p := XOR(AND(a,b), OR(c,d)); \
+       q := NAND(XOR(e,f), NOR(g,h)); \
+       r := AND(XOR(a,c), OR(e,g)); \
+       s := XOR(AND(b,d), NAND(f,h)); \
+       t := OR(NAND(a,e), XOR(b,f)); \
+       u := NOR(AND(c,g), OR(d,h)); \
+       v := XOR(NOR(a,h), AND(d,e)); \
+       w := NAND(OR(b,g), XOR(c,f)) \
+     END;";
+
+fn big_design() -> Design {
+    elaborate(&parse_program(BIG).unwrap(), "big", &[]).unwrap()
+}
+
+fn big_list(d: &Design) -> zeus_fault::FaultList {
+    enumerate_faults(
+        d,
+        &FaultListOptions {
+            bridges: true,
+            ..FaultListOptions::default()
+        },
+    )
+}
+
+static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("zeus-fault-resume-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Truncates a journal file to its header plus the first `keep` entries.
+fn truncate_journal(path: &PathBuf, keep: usize) -> usize {
+    let text = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let entries = lines.len() - 1;
+    let keep = keep.min(entries);
+    let mut out: String = lines[..1 + keep].join("\n");
+    out.push('\n');
+    std::fs::write(path, out).unwrap();
+    entries
+}
+
+/// A fresh leaked cancellation flag (CampaignConfig wants `&'static`).
+fn flag(initial: bool) -> &'static AtomicBool {
+    Box::leak(Box::new(AtomicBool::new(initial)))
+}
+
+#[test]
+fn the_test_design_spans_multiple_words() {
+    let d = big_design();
+    let list = big_list(&d);
+    assert!(
+        list.faults.len() > zeus_sim::LANES,
+        "need >1 word, got {} faults",
+        list.faults.len()
+    );
+}
+
+#[test]
+fn scalar_checkpoint_resumes_under_packed_and_vice_versa() {
+    let d = big_design();
+    let list = big_list(&d);
+    let cfg = CampaignConfig::new(Engine::Graph, 12, 3);
+    let straight = run_campaign(&d, &list, &cfg).unwrap();
+
+    // Scalar writes the journal, packed resumes from a prefix of it.
+    let path = tmp("cross.jsonl");
+    run_campaign_with(&d, &list, &cfg, Some(&CheckpointOptions::new(&path))).unwrap();
+    truncate_journal(&path, 1);
+    let resumed =
+        run_campaign_packed_with(&d, &list, &cfg, 3, Some(&CheckpointOptions::resume(&path)))
+            .unwrap();
+    assert_eq!(straight.to_json(), resumed.to_json());
+    assert_eq!(straight.to_text(), resumed.to_text());
+
+    // Packed writes the journal, scalar resumes.
+    let path = tmp("cross2.jsonl");
+    run_campaign_packed_with(&d, &list, &cfg, 2, Some(&CheckpointOptions::new(&path))).unwrap();
+    truncate_journal(&path, 1);
+    let resumed =
+        run_campaign_with(&d, &list, &cfg, Some(&CheckpointOptions::resume(&path))).unwrap();
+    assert_eq!(straight.to_json(), resumed.to_json());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn worker_panic_is_contained_to_one_word() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep chaos panics quiet
+    let d = big_design();
+    let list = big_list(&d);
+
+    // Two chaos attempts: both tries at word 1 panic, so its faults are
+    // classified tool-error and the campaign still completes fully.
+    let mut cfg = CampaignConfig::new(Engine::Graph, 12, 3);
+    cfg.chaos_panic_word = Some(1);
+    cfg.chaos_panic_attempts = 2;
+    let word1 = list.faults.len().min(2 * zeus_sim::LANES) - zeus_sim::LANES;
+    for report in [
+        run_campaign(&d, &list, &cfg).unwrap(),
+        run_campaign_packed(&d, &list, &cfg, 3).unwrap(),
+    ] {
+        assert_eq!(report.total(), list.faults.len(), "campaign completed");
+        assert_eq!(report.tool_errors(), word1, "exactly word 1 poisoned");
+        assert!(report.partial.is_none());
+        assert!(report.to_json().contains("\"tool_errors\":"));
+        assert!(report.to_text().contains("tool errors:"));
+        for (i, r) in report.results.iter().enumerate() {
+            let in_word1 = (zeus_sim::LANES..2 * zeus_sim::LANES).contains(&i);
+            assert_eq!(
+                matches!(r.outcome, Outcome::ToolError),
+                in_word1,
+                "fault {i}"
+            );
+        }
+    }
+
+    // One chaos attempt: the retry (on a fresh simulator) succeeds and
+    // the report is byte-identical to an unpoisoned run.
+    let clean = run_campaign(&d, &list, &CampaignConfig::new(Engine::Graph, 12, 3)).unwrap();
+    cfg.chaos_panic_attempts = 1;
+    let retried = run_campaign(&d, &list, &cfg).unwrap();
+    assert_eq!(clean.to_json(), retried.to_json());
+    let retried = run_campaign_packed(&d, &list, &cfg, 2).unwrap();
+    assert_eq!(clean.to_json(), retried.to_json());
+    std::panic::set_hook(prev);
+}
+
+#[test]
+fn cancellation_yields_a_partial_report_and_resume_completes_it() {
+    let d = big_design();
+    let list = big_list(&d);
+    let straight = run_campaign(&d, &list, &CampaignConfig::new(Engine::Graph, 12, 3)).unwrap();
+
+    for packed in [false, true] {
+        let path = tmp("cancel.jsonl");
+        let mut cfg = CampaignConfig::new(Engine::Graph, 12, 3);
+        cfg.cancel = Some(flag(true)); // cancelled before the first word
+        let opts = CheckpointOptions::new(&path);
+        let partial = if packed {
+            run_campaign_packed_with(&d, &list, &cfg, 2, Some(&opts)).unwrap()
+        } else {
+            run_campaign_with(&d, &list, &cfg, Some(&opts)).unwrap()
+        };
+        assert_eq!(partial.partial, Some(PartialReason::Interrupted));
+        assert_eq!(partial.total(), 0);
+        assert_eq!(partial.planned, list.faults.len());
+        assert!(partial.to_json().contains("\"partial\":true"));
+        assert!(partial
+            .to_json()
+            .contains("\"partial_reason\":\"interrupted\""));
+        assert!(partial.to_text().contains("PARTIAL (interrupted)"));
+
+        // Resume with the flag lowered: completes, byte-identical.
+        cfg.cancel = Some(flag(false));
+        let opts = CheckpointOptions::resume(&path);
+        let resumed = if packed {
+            run_campaign_packed_with(&d, &list, &cfg, 2, Some(&opts)).unwrap()
+        } else {
+            run_campaign_with(&d, &list, &cfg, Some(&opts)).unwrap()
+        };
+        assert!(resumed.partial.is_none());
+        assert_eq!(straight.to_json(), resumed.to_json());
+        assert_eq!(straight.to_text(), resumed.to_text());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn campaign_deadline_yields_a_partial_report() {
+    let d = big_design();
+    let list = big_list(&d);
+    let mut cfg = CampaignConfig::new(Engine::Graph, 12, 3);
+    cfg.campaign_deadline = Some(std::time::Duration::ZERO);
+    let report = run_campaign(&d, &list, &cfg).unwrap();
+    assert_eq!(report.partial, Some(PartialReason::DeadlineExceeded));
+    assert!(report.to_json().contains("\"partial_reason\":\"deadline\""));
+    let report = run_campaign_packed(&d, &list, &cfg, 2).unwrap();
+    assert_eq!(report.partial, Some(PartialReason::DeadlineExceeded));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash anywhere: a journal truncated to ANY prefix of completed
+    /// words resumes to a report byte-identical to the uninterrupted
+    /// run, scalar and packed alike.
+    #[test]
+    fn resume_from_any_prefix_is_byte_identical(
+        keep in 0usize..6,
+        jobs in 1usize..4,
+        packed in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let d = big_design();
+        let list = big_list(&d);
+        let cfg = CampaignConfig::new(Engine::Graph, 10, seed);
+        let straight = run_campaign(&d, &list, &cfg).unwrap();
+
+        let path = tmp("prefix.jsonl");
+        let opts = CheckpointOptions::new(&path);
+        if packed {
+            run_campaign_packed_with(&d, &list, &cfg, jobs, Some(&opts)).unwrap();
+        } else {
+            run_campaign_with(&d, &list, &cfg, Some(&opts)).unwrap();
+        }
+        truncate_journal(&path, keep);
+
+        let opts = CheckpointOptions::resume(&path);
+        let resumed = if packed {
+            run_campaign_packed_with(&d, &list, &cfg, jobs, Some(&opts)).unwrap()
+        } else {
+            run_campaign_with(&d, &list, &cfg, Some(&opts)).unwrap()
+        };
+        prop_assert_eq!(straight.to_json(), resumed.to_json());
+        prop_assert_eq!(straight.to_text(), resumed.to_text());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -200,6 +200,36 @@ impl fmt::Display for Diagnostic {
 
 impl Error for Diagnostic {}
 
+/// Runs `f` behind a panic firewall: a panic is caught and downgraded to
+/// a `Z999` internal-error [`Diagnostic`] carrying the panic payload.
+///
+/// This is the single unwinding boundary of the toolchain — the `zeus`
+/// facade wraps its entry points with it, and long-running drivers (fault
+/// campaigns, servers) use it to isolate one unit of work so a residual
+/// bug cannot take down the whole run.
+///
+/// # Errors
+///
+/// Returns the `Z999` diagnostic when `f` panicked.
+pub fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, Diagnostic> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "unknown panic payload".to_string()
+            };
+            Err(Diagnostic::internal(
+                Span::dummy(),
+                format!("caught panic: {msg}"),
+            ))
+        }
+    }
+}
+
 /// A collection of diagnostics accumulated by a phase.
 ///
 /// Phases push into a `DiagSink` and return `Result<T, Diagnostics>` so a
@@ -383,5 +413,18 @@ mod tests {
         assert!(!format!("{d}").is_empty());
         let ds: Diagnostics = std::iter::once(d).collect();
         assert!(!format!("{ds}").is_empty());
+    }
+
+    #[test]
+    fn catch_panic_downgrades_to_z999() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let err = catch_panic(|| panic!("kaboom {}", 7)).unwrap_err();
+        let ok = catch_panic(|| 41 + 1);
+        std::panic::set_hook(prev);
+        assert_eq!(err.code, Some(codes::INTERNAL));
+        assert!(err.message.contains("kaboom 7"), "{}", err.message);
+        assert!(!err.is_resource_limit());
+        assert_eq!(ok.unwrap(), 42);
     }
 }

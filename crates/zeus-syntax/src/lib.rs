@@ -34,7 +34,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::Program;
-pub use diag::{codes, Code, Diagnostic, Diagnostics, Severity};
+pub use diag::{catch_panic, codes, Code, Diagnostic, Diagnostics, Severity};
 pub use lexer::lex;
 pub use parser::{parse_const_expr, parse_expr, parse_program};
 pub use printer::{print_const_expr, print_expr, print_program, print_stmt};

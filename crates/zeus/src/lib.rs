@@ -36,8 +36,10 @@ pub use zeus_elab::{
     Net, NetId, Netlist, Node, NodeId, NodeOp, Orientation, Port, Shape,
 };
 pub use zeus_fault::{
-    enumerate_faults, run_campaign, run_campaign_packed, CampaignConfig, CoverageReport, Engine,
-    FaultList, FaultListOptions, FaultResult, Outcome, UndetectedReason,
+    campaign_digest, enumerate_faults, read_header, run_campaign, run_campaign_packed,
+    run_campaign_packed_with, run_campaign_with, CampaignConfig, CheckpointHeader,
+    CheckpointOptions, CoverageReport, Engine, FaultList, FaultListOptions, FaultResult, Outcome,
+    PartialReason, UndetectedReason,
 };
 pub use zeus_layout::{floorplan, floorplan_of, Floorplan, PlacedPin, PlacedRect};
 pub use zeus_sema::{BasicKind, ConstEnv, ConstVal, Resolution, Value};
@@ -47,7 +49,9 @@ pub use zeus_sim::{
     PackedCycleReport, PackedSim, PackedWord, Recorder, Simulator, VectorStream, LANES,
 };
 pub use zeus_switch::{SwitchSim, Synth};
-pub use zeus_syntax::{codes, Code, Diagnostic, Diagnostics, Program, SourceMap, Span};
+pub use zeus_syntax::{
+    catch_panic, codes, Code, Diagnostic, Diagnostics, Program, SourceMap, Span,
+};
 
 /// Runs `f` behind a panic firewall: any residual panic (a bug — the
 /// library aims to be panic-free on all release paths) is downgraded to a
@@ -57,21 +61,9 @@ pub use zeus_syntax::{codes, Code, Diagnostic, Diagnostics, Program, SourceMap, 
 /// embedders (REPLs, servers, fuzzers) never have to `catch_unwind`
 /// themselves.
 fn firewall<T>(f: impl FnOnce() -> Result<T, Diagnostics>) -> Result<T, Diagnostics> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+    match zeus_syntax::catch_panic(f) {
         Ok(r) => r,
-        Err(payload) => {
-            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "unknown panic payload".to_string()
-            };
-            Err(Diagnostics::from(Diagnostic::internal(
-                Span::dummy(),
-                format!("caught panic: {msg}"),
-            )))
-        }
+        Err(d) => Err(Diagnostics::from(d)),
     }
 }
 
