@@ -1,0 +1,78 @@
+//! ATPG throughput and compaction quality (ISSUE 5 satellite): how
+//! fast the harvest → PODEM → compaction pipeline generates vectors,
+//! and how much the compaction earns.
+//!
+//! Besides the criterion groups, the bench prints a one-line summary
+//! per design with vectors/sec and the vectors-per-detected-fault
+//! ratio before and after compaction, so the compaction win is
+//! recorded directly in the bench output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use zeus::{examples, run_atpg, AtpgConfig, Zeus};
+
+const SEED: u64 = 7;
+
+const DESIGNS: &[(&str, &str, &[i64])] = &[
+    ("adders/rippleCarry4", "rippleCarry4", &[]),
+    ("sorter/sorter-4-2", "sorter", &[4, 2]),
+    ("routing/routingnetwork-4", "routingnetwork", &[4]),
+];
+
+fn source_of(label: &str) -> &'static str {
+    let name = label.split('/').next().unwrap();
+    examples::ALL
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, src, _)| *src)
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atpg");
+    g.sample_size(10);
+
+    for &(label, top, args) in DESIGNS {
+        let z = Zeus::parse(source_of(label)).unwrap();
+        let d = z.elaborate(top, args).unwrap();
+        let cfg = AtpgConfig {
+            seed: SEED,
+            ..AtpgConfig::default()
+        };
+        g.bench_function(format!("generate_{}", label.replace('/', "_")), |b| {
+            b.iter(|| run_atpg(black_box(&d), black_box(&cfg)).unwrap())
+        });
+    }
+    g.finish();
+
+    // One-line summary per design: generation rate and the
+    // vectors-per-detected-fault ratio before/after compaction.
+    for &(label, top, args) in DESIGNS {
+        let z = Zeus::parse(source_of(label)).unwrap();
+        let d = z.elaborate(top, args).unwrap();
+        let cfg = AtpgConfig {
+            seed: SEED,
+            ..AtpgConfig::default()
+        };
+        let t = Instant::now();
+        let report = run_atpg(&d, &cfg).unwrap();
+        let dt = t.elapsed();
+        let detected = report.grade.detected().max(1) as f64;
+        let pre = report.stats.pre_compaction.max(report.vectors.len());
+        println!(
+            "atpg {label}: {} vectors in {:.1?} ({:.0} vec/s), coverage {:.2}%, \
+             vectors/fault {:.3} -> {:.3} ({} removed)",
+            report.vectors.len(),
+            dt,
+            pre as f64 / dt.as_secs_f64(),
+            report.coverage() * 100.0,
+            pre as f64 / detected,
+            report.vectors.len() as f64 / detected,
+            report.stats.compaction_removed,
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

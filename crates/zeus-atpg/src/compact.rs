@@ -1,0 +1,108 @@
+//! Reverse-order fault-simulation compaction.
+//!
+//! Vectors generated late (PODEM's targeted tests) tend to detect many
+//! of the faults that earlier random vectors were originally credited
+//! with. Walking the vector set *backwards* and keeping a vector only
+//! when it detects some fault no later-kept vector covers is the
+//! classic reverse-order compaction: exact (per-vector detection is
+//! recomputed by real fault simulation, not taken from the harvest's
+//! bookkeeping) and coverage-preserving for combinational designs,
+//! where each vector's detections are independent of its neighbours.
+//!
+//! The detect matrix is built fault-word-parallel: one [`PackedSim`]
+//! carries up to 64 faults (one per lane via `inject_lanes`), and each
+//! vector is splatted across all lanes, so a full column of the matrix
+//! costs one simulator step.
+
+use zeus_elab::{Design, Governor, NetId};
+use zeus_fault::FaultList;
+use zeus_sim::{PackedSim, VectorSet, LANES};
+use zeus_syntax::diag::Diagnostic;
+use zeus_syntax::span::Span;
+
+/// What the compaction pass did.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CompactOutcome {
+    /// Vectors dropped from the set.
+    pub removed: usize,
+    /// True when the fuel governor ran out before the detect matrix was
+    /// complete; the set is then left untouched.
+    pub skipped: bool,
+}
+
+/// Compacts `set` in place, preserving its exact fault coverage.
+///
+/// # Errors
+///
+/// Propagates simulator construction or stepping failures; fuel
+/// exhaustion sets `skipped` instead.
+pub(crate) fn reverse_compact(
+    design: &Design,
+    list: &FaultList,
+    set: &mut VectorSet,
+    gov: &mut Governor,
+) -> Result<CompactOutcome, Diagnostic> {
+    let mut out = CompactOutcome::default();
+    let nvec = set.len();
+    if nvec <= 1 || list.faults.is_empty() {
+        return Ok(out);
+    }
+
+    let out_nets: Vec<NetId> = design
+        .outputs()
+        .flat_map(|p| p.nets.iter().copied())
+        .collect();
+    let nwords = list.faults.len().div_ceil(LANES);
+
+    // detect[v][w]: lane mask of faults in word `w` detected by vector
+    // `v`. Golden lane values come from a clean simulator stepping the
+    // same splatted vector (all its lanes are identical).
+    let mut golden = PackedSim::new(design.clone())?;
+    let mut faulty = PackedSim::new(design.clone())?;
+    let mut detect = vec![vec![0u64; nwords]; nvec];
+
+    for (w, word) in list.faults.chunks(LANES).enumerate() {
+        let cost = golden.order_len() as u64 * 2 * nvec as u64 + 1;
+        if gov.charge(cost, Span::dummy()).is_err() {
+            out.skipped = true;
+            return Ok(out);
+        }
+        faulty.clear_faults();
+        for (lane, &fault) in word.iter().enumerate() {
+            faulty.inject_lanes(fault, 1u64 << lane)?;
+        }
+        for (v, row) in detect.iter_mut().enumerate() {
+            for (name, bits) in set.assignment(v) {
+                golden.set_port(&name, &bits)?;
+                faulty.set_port(&name, &bits)?;
+            }
+            golden.try_step()?;
+            faulty.try_step()?;
+            let mut mask = 0u64;
+            for &n in &out_nets {
+                mask |= faulty
+                    .value(n)
+                    .to_boolean()
+                    .diff(golden.value(n).to_boolean());
+            }
+            row[w] = mask;
+        }
+    }
+
+    // Reverse greedy: keep a vector only when it detects a fault not
+    // yet covered by a kept (later) vector.
+    let mut covered = vec![0u64; nwords];
+    let mut keep = vec![false; nvec];
+    for v in (0..nvec).rev() {
+        let news = detect[v].iter().zip(&covered).any(|(&d, &c)| d & !c != 0);
+        if news {
+            keep[v] = true;
+            for (w, &d) in detect[v].iter().enumerate() {
+                covered[w] |= d;
+            }
+        }
+    }
+    out.removed = keep.iter().filter(|&&k| !k).count();
+    set.retain_indices(|i| keep[i]);
+    Ok(out)
+}

@@ -1,0 +1,352 @@
+//! zeus-atpg: deterministic automatic test-pattern generation.
+//!
+//! Produces a *compact* vector set covering a design's collapsed
+//! stuck-at fault universe (optionally bridges/transients for
+//! sequential designs), in three phases:
+//!
+//! 1. **Packed random harvest** ([`harvest`]): 64 candidate vectors at
+//!    a time through the bit-parallel [`PackedSim`], keeping only
+//!    candidates that are first to detect some fault.
+//! 2. **PODEM structural search** ([`podem`]): for each fault random
+//!    vectors missed, a deterministic objective → backtrace → imply
+//!    search over the four-valued domain; faults whose search space is
+//!    exhausted are proven **redundant** (untestable), budget
+//!    exhaustion leaves a fault **aborted**.
+//! 3. **Reverse-order compaction** ([`compact`]): drops vectors whose
+//!    detections are covered by later vectors, by exact fault
+//!    simulation.
+//!
+//! The structural phases only run for **combinational** designs (no
+//! registers, no RANDOM nodes, no RSET, stuck-at faults only). A
+//! sequential design takes the **sequence** path: a packed random
+//! fault campaign, with the emitted set truncated to the shortest
+//! stream prefix that preserves every detection.
+//!
+//! The emitted set is finally **re-graded** by a full scalar fault
+//! campaign replaying it — the claimed coverage *is* that campaign's
+//! report, so `zeusc fault --vectors-file` on the emitted file
+//! reproduces the grade byte for byte.
+//!
+//! Determinism: same design digest + seed + limits ⇒ identical vector
+//! set, identical text report, identical JSON. All randomness flows
+//! from the one seed through [`VectorStream`]; all iteration orders
+//! are the collapsed fault list's sorted order.
+//!
+//! [`PackedSim`]: zeus_sim::PackedSim
+//! [`VectorStream`]: zeus_sim::VectorStream
+
+mod compact;
+mod harvest;
+mod podem;
+mod report;
+
+pub use report::{AtpgReport, AtpgStats};
+
+use zeus_elab::{Design, Limits, NodeOp};
+use zeus_fault::{
+    enumerate_faults, run_campaign, run_campaign_packed, CampaignConfig, Engine, FaultKind,
+    FaultListOptions, Outcome,
+};
+use zeus_sim::{VectorSet, VectorStream};
+use zeus_syntax::diag::Diagnostic;
+
+use podem::{Podem, PodemOutcome};
+
+/// How [`run_atpg`] handled the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No state, no randomness, stuck-at universe: full harvest →
+    /// PODEM → compaction pipeline with sound redundancy proofs.
+    Combinational,
+    /// Registers, RANDOM nodes, an RSET net, or non-stuck-at faults:
+    /// random harvest via a packed campaign, emitted set truncated to
+    /// the detection-preserving stream prefix.
+    Sequence,
+}
+
+impl Mode {
+    /// Stable lowercase tag used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Combinational => "combinational",
+            Mode::Sequence => "sequence",
+        }
+    }
+}
+
+/// Knobs for one ATPG run.
+#[derive(Debug, Clone)]
+pub struct AtpgConfig {
+    /// Seed for the candidate vector stream (and RANDOM nodes during
+    /// grading).
+    pub seed: u64,
+    /// Stop harvesting once this fraction of the collapsed universe is
+    /// detected, in [0, 1]. PODEM also stops once the target is met.
+    pub coverage_target: f64,
+    /// Hard cap on emitted vectors (pre-compaction for the structural
+    /// path, stream-prefix length for the sequence path).
+    pub max_vectors: usize,
+    /// PODEM decision-flip budget per fault; beyond it the fault is
+    /// classified aborted.
+    pub backtrack_limit: u64,
+    /// Fuel/deadline budget for the whole generation run (grading runs
+    /// under its own per-fault budget, like any campaign).
+    pub limits: Limits,
+    /// Which fault universe to target.
+    pub fault_opts: FaultListOptions,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            seed: 1,
+            coverage_target: 1.0,
+            max_vectors: 256,
+            backtrack_limit: 256,
+            limits: Limits::default(),
+            fault_opts: FaultListOptions::default(),
+        }
+    }
+}
+
+/// Runs ATPG and returns the graded report.
+///
+/// # Errors
+///
+/// Propagates elaboration-level diagnostics (combinational loops),
+/// simulator construction/stepping failures, and grading errors.
+/// Fuel/backtrack exhaustion inside the generation phases is *not* an
+/// error: affected faults are reported aborted and the run completes.
+pub fn run_atpg(design: &Design, cfg: &AtpgConfig) -> Result<AtpgReport, Diagnostic> {
+    let list = enumerate_faults(design, &cfg.fault_opts);
+    let mode = detect_mode(design, &list);
+    let mut stats = AtpgStats::default();
+    let mut redundant = Vec::new();
+    let mut aborted = Vec::new();
+    let mut gov = cfg.limits.governor();
+
+    let set = match mode {
+        Mode::Combinational => {
+            let mut set = VectorSet::new(design, cfg.seed);
+            let mut detected = vec![false; list.faults.len()];
+            let h = harvest::packed_harvest(design, &list, cfg, &mut set, &mut detected, &mut gov)?;
+            stats.absorb(h, set.len());
+
+            // PODEM over what the harvest missed, in fault-list order.
+            let mut podem = Podem::new(design)?;
+            let total = list.faults.len();
+            let mut ndet = detected.iter().filter(|&&d| d).count();
+            for (fi, &fault) in list.faults.iter().enumerate() {
+                if detected[fi] {
+                    continue;
+                }
+                if (ndet as f64) >= cfg.coverage_target * total as f64 {
+                    break;
+                }
+                if set.len() >= cfg.max_vectors {
+                    stats.podem_skipped += 1;
+                    continue;
+                }
+                stats.podem_attempts += 1;
+                match podem.generate(fault, cfg.backtrack_limit, &mut gov) {
+                    PodemOutcome::Test(bits) => {
+                        set.push(bits);
+                        detected[fi] = true;
+                        ndet += 1;
+                        stats.podem_vectors += 1;
+                        stats.podem_detected += 1;
+                    }
+                    PodemOutcome::Redundant => {
+                        redundant.push((report::site_label(design, fault), fault));
+                    }
+                    PodemOutcome::Aborted => {
+                        aborted.push((report::site_label(design, fault), fault));
+                    }
+                }
+            }
+
+            let pre = set.len();
+            let c = compact::reverse_compact(design, &list, &mut set, &mut gov)?;
+            stats.absorb_compaction(pre, c);
+            set
+        }
+        Mode::Sequence => {
+            let mut hcfg = CampaignConfig::new(Engine::Graph, cfg.max_vectors as u32, cfg.seed);
+            hcfg.limits = cfg.limits.clone();
+            let campaign = run_campaign_packed(design, &list, &hcfg, 1)?;
+            // The shortest stream prefix preserving every detection:
+            // replaying it reproduces each fault's first divergence.
+            let prefix = campaign
+                .results
+                .iter()
+                .filter_map(|r| match r.outcome {
+                    Outcome::Detected { cycle, .. } => Some(cycle as usize + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            let mut set = VectorSet::new(design, cfg.seed);
+            let mut stream = VectorStream::new(design, cfg.seed);
+            for _ in 0..prefix {
+                set.push_assignment(&stream.next_vector());
+            }
+            stats.harvest_rounds = cfg.max_vectors as u64;
+            stats.harvest_vectors = set.len();
+            stats.harvest_detected = campaign.detected();
+            set
+        }
+    };
+
+    // The authoritative grade: a scalar campaign replaying the emitted
+    // set, exactly what `zeusc fault --vectors-file` will run.
+    let mut gcfg = CampaignConfig::replay(Engine::Graph, set.clone());
+    gcfg.limits = cfg.limits.clone();
+    let grade = run_campaign(design, &list, &gcfg)?;
+
+    Ok(AtpgReport {
+        top: design.top_type.clone(),
+        seed: cfg.seed,
+        mode,
+        vectors: set,
+        stats,
+        redundant,
+        aborted,
+        grade,
+    })
+}
+
+/// A design takes the structural path only when its semantics graph is
+/// pure combinational logic and the fault universe is pure stuck-at —
+/// the PODEM implication model covers exactly that fragment.
+fn detect_mode(design: &Design, list: &zeus_fault::FaultList) -> Mode {
+    let sequential = design
+        .netlist
+        .nodes
+        .iter()
+        .any(|n| matches!(n.op, NodeOp::Reg | NodeOp::Random));
+    let stuck_only = list
+        .faults
+        .iter()
+        .all(|f| matches!(f.kind, FaultKind::StuckAt0 | FaultKind::StuckAt1));
+    if !sequential && design.rset.is_none() && stuck_only {
+        Mode::Combinational
+    } else {
+        Mode::Sequence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_elab::elaborate;
+    use zeus_syntax::parse_program;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse_program(src).unwrap(), top, &[]).unwrap()
+    }
+
+    const RIPPLE: &str = "TYPE fulladder = COMPONENT \
+         (IN a,b,cin: boolean; OUT sum,cout: boolean) IS \
+         BEGIN sum := XOR(XOR(a,b),cin); \
+         cout := OR(AND(a,b), AND(cin, XOR(a,b))) END;";
+
+    const REDUNDANT: &str = "TYPE taut = COMPONENT \
+         (IN a,b: boolean; OUT q: boolean) IS \
+         BEGIN q := AND(OR(a, NOT a), b) END;";
+
+    #[test]
+    fn combinational_design_reaches_full_testable_coverage() {
+        let d = design(RIPPLE, "fulladder");
+        let report = run_atpg(&d, &AtpgConfig::default()).expect("atpg");
+        assert_eq!(report.mode, Mode::Combinational);
+        assert!(report.aborted.is_empty(), "aborted: {:?}", report.aborted);
+        assert!(
+            (report.testable_coverage() - 1.0).abs() < 1e-9,
+            "testable coverage {} < 1; report:\n{}",
+            report.testable_coverage(),
+            report.to_text()
+        );
+        assert!(report.coverage() >= 0.95, "{}", report.to_text());
+    }
+
+    #[test]
+    fn tautological_net_is_proven_redundant() {
+        // OR(a, NOT a) is constant 1: its stuck-at-1 fault (and the
+        // stuck-at-0 faults of nets forced by it) can never be
+        // observed. PODEM must prove at least one fault redundant
+        // rather than abort, and grading must still reach 100% of the
+        // testable universe.
+        let d = design(REDUNDANT, "taut");
+        let report = run_atpg(&d, &AtpgConfig::default()).expect("atpg");
+        assert_eq!(report.mode, Mode::Combinational);
+        assert!(
+            !report.redundant.is_empty(),
+            "expected redundant faults; report:\n{}",
+            report.to_text()
+        );
+        assert!(report.aborted.is_empty(), "aborted: {:?}", report.aborted);
+        assert!(
+            (report.testable_coverage() - 1.0).abs() < 1e-9,
+            "{}",
+            report.to_text()
+        );
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let d = design(RIPPLE, "fulladder");
+        let cfg = AtpgConfig::default();
+        let a = run_atpg(&d, &cfg).expect("atpg");
+        let b = run_atpg(&d, &cfg).expect("atpg");
+        assert_eq!(a.vectors.to_text(), b.vectors.to_text());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_text(), b.to_text());
+    }
+
+    #[test]
+    fn regrading_the_emitted_set_reproduces_the_claimed_coverage() {
+        let d = design(RIPPLE, "fulladder");
+        let report = run_atpg(&d, &AtpgConfig::default()).expect("atpg");
+        let set = zeus_sim::VectorSet::parse(&report.vectors.to_text()).expect("parse");
+        let cfg = CampaignConfig::replay(Engine::Graph, set);
+        let grade = run_campaign(
+            &d,
+            &enumerate_faults(&d, &FaultListOptions::default()),
+            &cfg,
+        )
+        .expect("campaign");
+        assert_eq!(grade.to_json(), report.grade.to_json());
+    }
+
+    #[test]
+    fn sequential_design_takes_the_sequence_path() {
+        let src = "TYPE delay = COMPONENT (IN d: boolean; OUT q: boolean) IS \
+             SIGNAL r: REG; BEGIN r(XOR(d, r.out), q) END;";
+        let d = design(src, "delay");
+        let report = run_atpg(&d, &AtpgConfig::default()).expect("atpg");
+        assert_eq!(report.mode, Mode::Sequence);
+        assert!(report.coverage() > 0.0, "{}", report.to_text());
+        // Replay equality holds on the sequence path too.
+        let cfg = CampaignConfig::replay(Engine::Graph, report.vectors.clone());
+        let grade = run_campaign(
+            &d,
+            &enumerate_faults(&d, &FaultListOptions::default()),
+            &cfg,
+        )
+        .expect("campaign");
+        assert_eq!(grade.coverage(), report.coverage());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_aborted_not_error() {
+        let d = design(RIPPLE, "fulladder");
+        let mut cfg = AtpgConfig::default();
+        cfg.limits.fuel = Some(1);
+        let report = run_atpg(&d, &cfg).expect("atpg completes under tiny fuel");
+        // Nothing was generated, everything pending went to PODEM and
+        // aborted immediately; grading still ran.
+        assert!(report.vectors.is_empty());
+        assert!(!report.aborted.is_empty());
+        assert_eq!(report.coverage(), 0.0);
+    }
+}

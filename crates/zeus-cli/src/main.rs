@@ -15,7 +15,11 @@
 //! zeusc fault <file.zeus> <top> [args...] [--vectors N] [--seed S]
 //!             [--engine graph|switch] [--bridges] [--transients C] [--json]
 //!             [--packed] [--jobs N] [--checkpoint FILE] [--resume]
-//!             [--campaign-timeout MS]          differential fault campaign
+//!             [--campaign-timeout MS] [--vectors-file FILE]
+//!                                              differential fault campaign
+//! zeusc atpg  <file.zeus> <top> [args...] [--seed S] [--coverage-target PCT]
+//!             [--max-vectors N] [--emit-vectors FILE] [--json]
+//!             [--bridges] [--transients C]     generate a compact test set
 //! zeusc examples                               list the bundled examples
 //! zeusc help [command]                         this text, or one command's
 //! ```
@@ -190,6 +194,18 @@ fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
             ("--checkpoint", true),
             ("--resume", false),
             ("--campaign-timeout", true),
+            ("--vectors-file", true),
+        ]),
+        "atpg" => flags.extend([
+            ("--top", true),
+            ("--seed", true),
+            ("--coverage-target", true),
+            ("--max-vectors", true),
+            ("--backtrack-limit", true),
+            ("--emit-vectors", true),
+            ("--json", false),
+            ("--bridges", false),
+            ("--transients", true),
         ]),
         _ => {}
     }
@@ -215,7 +231,13 @@ fn synopsis(cmd: &str) -> &'static str {
             "zeusc fault <file.zeus> <top> [type args...] [--vectors N] [--seed S] \
              [--engine graph|switch] [--bridges] [--transients C] [--json] \
              [--packed] [--jobs N] [--checkpoint FILE] [--resume] \
-             [--campaign-timeout MS] [limit flags]"
+             [--campaign-timeout MS] [--vectors-file FILE] [limit flags]"
+        }
+        "atpg" => {
+            "zeusc atpg <file.zeus> <top> [type args...] [--seed S] \
+             [--coverage-target PCT] [--max-vectors N] [--backtrack-limit N] \
+             [--emit-vectors FILE] [--json] [--bridges] [--transients C] \
+             [limit flags]"
         }
         "examples" => "zeusc examples",
         "help" => "zeusc help [command]",
@@ -257,7 +279,26 @@ fn detail(cmd: &str) -> &'static str {
              recovered from the checkpoint when --seed is omitted).\n\
              --campaign-timeout MS bounds the whole campaign's wall clock.\n\
              Ctrl-C drains in-flight words, flushes the checkpoint and\n\
-             reports partially (exit 130); a second Ctrl-C aborts."
+             reports partially (exit 130); a second Ctrl-C aborts.\n\
+             --vectors-file FILE replays an explicit vector set written by\n\
+             `zeusc atpg --emit-vectors` instead of a random stream; the\n\
+             seed is recovered from the file when --seed is omitted, and\n\
+             the file's content is folded into the checkpoint digest."
+        }
+        "atpg" => {
+            "Generates a compact deterministic test-vector set for the stuck-at\n\
+             fault universe (--bridges/--transients extend it): a packed random\n\
+             harvest, then a PODEM structural search for the faults random\n\
+             vectors missed (proving untestable faults redundant), then\n\
+             reverse-order compaction. The emitted set is re-graded by a full\n\
+             fault campaign; the reported coverage is exactly what `zeusc\n\
+             fault --vectors-file` reproduces on the emitted file.\n\
+             --coverage-target PCT stops generation early and makes the exit\n\
+             status enforce the target (exit 2 below it); --max-vectors caps\n\
+             the set (default 256); --backtrack-limit bounds each PODEM\n\
+             search (default 256); --emit-vectors FILE writes the canonical\n\
+             vector file. Same seed + design + limits reproduce the set and\n\
+             report byte for byte (default seed 0x2E051983)."
         }
         "examples" => "Lists the bundled example programs (usable as @name).",
         "help" => "Prints the command list, or one command's flags.",
@@ -265,8 +306,8 @@ fn detail(cmd: &str) -> &'static str {
     }
 }
 
-const COMMANDS: [&str; 12] = [
-    "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "fault",
+const COMMANDS: [&str; 13] = [
+    "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "fault", "atpg",
     "examples", "help",
 ];
 
@@ -605,6 +646,7 @@ fn cmd_elaborating(p: &Parsed) -> Result<(), Failure> {
             Ok(())
         }
         "fault" => cmd_fault(p, design, &limits),
+        "atpg" => cmd_atpg(p, design, &limits),
         _ => {
             let sw = zeus::SwitchSim::with_limits(&design, &limits);
             outln!("transistors : {}", sw.transistor_count());
@@ -694,6 +736,19 @@ fn cmd_sim(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Fail
 
 fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
     let vectors = p.u64_value("--vectors")?.unwrap_or(64) as u32;
+    let vector_set = match p.str_value("--vectors-file") {
+        None => None,
+        Some(path) => {
+            if p.has("--vectors") {
+                return Err(Failure::Usage(
+                    "--vectors-file supplies the vectors; don't also pass --vectors".to_string(),
+                ));
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| Failure::Usage(format!("cannot read {path}: {e}")))?;
+            Some(zeus::VectorSet::parse(&text).map_err(|e| diag_failure(&e))?)
+        }
+    };
     let checkpoint = match (p.str_value("--checkpoint"), p.has("--resume")) {
         (None, true) => {
             return Err(Failure::Usage(
@@ -706,9 +761,16 @@ fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Fa
             resume,
         }),
     };
-    let seed = match p.u64_value("--seed")? {
-        Some(s) => s,
-        None => {
+    let seed = match (p.u64_value("--seed")?, &vector_set) {
+        (Some(s), _) => s,
+        (None, Some(set)) => {
+            // An explicit vector file carries the seed it was generated
+            // with in its header; reuse it so a bare `--vectors-file`
+            // replay reproduces the ATPG grade exactly.
+            eprintln!("seed      : {} (recovered from vector file)", set.seed);
+            set.seed
+        }
+        (None, None) => {
             // When resuming, the original seed lives in the checkpoint
             // header: recover it so `--resume` never needs `--seed`
             // repeated (a resumed campaign with a different seed would
@@ -761,7 +823,14 @@ fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Fa
         ..zeus::FaultListOptions::default()
     };
     let list = zeus::enumerate_faults(&design, &opts);
-    let mut cfg = zeus::CampaignConfig::new(engine, vectors, seed);
+    let mut cfg = match vector_set {
+        Some(set) => {
+            let mut c = zeus::CampaignConfig::replay(engine, set);
+            c.seed = seed;
+            c
+        }
+        None => zeus::CampaignConfig::new(engine, vectors, seed),
+    };
     cfg.limits = limits.clone();
     if let Some(ms) = p.u64_value("--campaign-timeout")? {
         cfg.campaign_deadline = Some(Duration::from_millis(ms));
@@ -792,6 +861,73 @@ fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Fa
             "fault campaign stopped at --campaign-timeout; partial results reported above"
                 .to_string(),
         )),
+    }
+}
+
+fn cmd_atpg(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
+    let mut cfg = zeus::AtpgConfig {
+        limits: limits.clone(),
+        ..zeus::AtpgConfig::default()
+    };
+    cfg.seed = match p.u64_value("--seed")? {
+        Some(s) => s,
+        None => {
+            // Unlike `fault`, the default is fixed, not time-based:
+            // reproducible vector sets are the whole point of ATPG.
+            eprintln!(
+                "seed      : {} (default; pass --seed to vary)",
+                0x2E05_1983u64
+            );
+            0x2E05_1983
+        }
+    };
+    let target = match p.str_value("--coverage-target") {
+        None => None,
+        Some(v) => {
+            let pct: f64 = v
+                .parse()
+                .map_err(|_| Failure::Usage(format!("bad value '{v}' for --coverage-target")))?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(Failure::Usage(
+                    "--coverage-target must be a percentage between 0 and 100".to_string(),
+                ));
+            }
+            Some(pct / 100.0)
+        }
+    };
+    if let Some(t) = target {
+        cfg.coverage_target = t;
+    }
+    if let Some(n) = p.u64_value("--max-vectors")? {
+        cfg.max_vectors = n as usize;
+    }
+    if let Some(n) = p.u64_value("--backtrack-limit")? {
+        cfg.backtrack_limit = n;
+    }
+    cfg.fault_opts = zeus::FaultListOptions {
+        bridges: p.has("--bridges"),
+        transients: p.u64_value("--transients")?,
+        ..zeus::FaultListOptions::default()
+    };
+    let report = zeus::run_atpg(&design, &cfg).map_err(|e| diag_failure(&e))?;
+    if let Some(path) = p.str_value("--emit-vectors") {
+        std::fs::write(path, report.vectors.to_text())
+            .map_err(|e| Failure::Usage(format!("cannot write {path}: {e}")))?;
+    }
+    if p.has("--json") {
+        outln!("{}", report.to_json());
+    } else {
+        out!("{}", report.to_text());
+    }
+    // An explicit target is a pass/fail contract, not just a stopping
+    // heuristic: fall below it and the exit status says so.
+    match target {
+        Some(t) if report.coverage() + 1e-12 < t => Err(Failure::Diags(format!(
+            "coverage {:.2}% is below the target {:.2}%",
+            report.coverage() * 100.0,
+            t * 100.0
+        ))),
+        _ => Ok(()),
     }
 }
 

@@ -865,3 +865,130 @@ fn sigint_flushes_the_checkpoint_and_resume_completes() {
     }
     let _ = std::fs::remove_file(&path);
 }
+
+// ---------------------------------------------------------------------
+// atpg
+// ---------------------------------------------------------------------
+
+#[test]
+fn atpg_reports_full_coverage_on_ripple_carry() {
+    let (ok, stdout, _) = zeusc(&["atpg", "@adders", "rippleCarry4", "--seed", "7"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("combinational mode"), "{stdout}");
+    assert!(stdout.contains("coverage: 100.00%"), "{stdout}");
+}
+
+#[test]
+fn atpg_same_seed_runs_are_byte_identical() {
+    let args = [
+        "atpg", "@sorter", "sorter", "4", "2", "--seed", "9", "--json",
+    ];
+    let (ok1, a, _) = zeusc(&args);
+    let (ok2, b, _) = zeusc(&args);
+    assert!(ok1 && ok2);
+    assert_eq!(a, b, "same-seed JSON reports must be byte-identical");
+    assert!(a.contains("\"tool\":\"zeus-atpg\""), "{a}");
+}
+
+#[test]
+fn atpg_emitted_vectors_replay_to_the_same_grade() {
+    let dir = std::env::temp_dir().join("zeusc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let vec_path = dir.join("rc4-atpg.vec");
+    let vec_str = vec_path.to_str().unwrap();
+
+    let (ok, stdout, _) = zeusc(&[
+        "atpg",
+        "@adders",
+        "rippleCarry4",
+        "--seed",
+        "7",
+        "--json",
+        "--emit-vectors",
+        vec_str,
+    ]);
+    assert!(ok, "{stdout}");
+    let grade_start = stdout.find("\"grade\":").expect("grade field") + "\"grade\":".len();
+    // The grade object runs to the report's closing brace.
+    let claimed = &stdout[grade_start..stdout.trim_end().len() - 1];
+
+    // Re-grade the emitted file; the seed comes from the file header.
+    let (ok, regrade, stderr) = zeusc(&[
+        "fault",
+        "@adders",
+        "rippleCarry4",
+        "--vectors-file",
+        vec_str,
+        "--json",
+    ]);
+    assert!(ok, "{regrade}");
+    assert!(stderr.contains("recovered from vector file"), "{stderr}");
+    assert_eq!(
+        regrade.trim_end(),
+        claimed,
+        "replay must reproduce the grade"
+    );
+    let _ = std::fs::remove_file(&vec_path);
+}
+
+#[test]
+fn atpg_coverage_target_failure_exits_2() {
+    // Zero vectors can't cover anything: an explicit target must turn
+    // that into exit 2.
+    let (code, stdout, stderr) = zeusc_code(&[
+        "atpg",
+        "@adders",
+        "rippleCarry4",
+        "--seed",
+        "7",
+        "--max-vectors",
+        "0",
+        "--coverage-target",
+        "95",
+    ]);
+    assert_eq!(code, 2, "{stdout}\n{stderr}");
+    assert!(stderr.contains("below the target"), "{stderr}");
+}
+
+#[test]
+fn fault_rejects_vectors_file_with_vectors() {
+    let (code, _, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "rippleCarry4",
+        "--vectors-file",
+        "/nonexistent.vec",
+        "--vectors",
+        "8",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("don't also pass --vectors"), "{stderr}");
+}
+
+#[test]
+fn fault_rejects_vector_file_for_wrong_design() {
+    let dir = std::env::temp_dir().join("zeusc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let vec_path = dir.join("mux-atpg.vec");
+    let vec_str = vec_path.to_str().unwrap();
+    let (ok, _, _) = zeusc(&[
+        "atpg",
+        "@mux",
+        "muxtop",
+        "--seed",
+        "3",
+        "--emit-vectors",
+        vec_str,
+    ]);
+    assert!(ok);
+    let (code, _, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "rippleCarry4",
+        "--vectors-file",
+        vec_str,
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("Z301"), "{stderr}");
+    let _ = std::fs::remove_file(&vec_path);
+}

@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use zeus_elab::{Design, Fault, Limits};
-use zeus_sim::{run_differential, Simulator, VectorStream, LANES};
+use zeus_sim::{run_differential, Simulator, VectorSet, VectorStream, LANES};
 use zeus_switch::SwitchSim;
 use zeus_syntax::catch_panic;
 use zeus_syntax::diag::{codes, Diagnostic};
@@ -79,6 +79,13 @@ pub struct CampaignConfig {
     /// before one succeeds. `1` exercises the retry path, `2` (or more)
     /// the `ToolError` classification.
     pub chaos_panic_attempts: u32,
+    /// Replay this explicit vector set instead of a seeded random
+    /// stream (the `zeusc fault --vectors-file` path). The set's
+    /// canonical text is folded into the checkpoint digest, and `seed`
+    /// still reseeds the simulators' RANDOM nodes. `vectors` should
+    /// normally equal `set.len()` (a longer budget pads with all-zero
+    /// vectors).
+    pub vector_set: Option<VectorSet>,
 }
 
 impl CampaignConfig {
@@ -93,6 +100,33 @@ impl CampaignConfig {
             cancel: None,
             chaos_panic_word: None,
             chaos_panic_attempts: 0,
+            vector_set: None,
+        }
+    }
+
+    /// A config replaying an explicit vector set: `vectors` is the set's
+    /// length and the seed is recovered from the set's header.
+    pub fn replay(engine: Engine, set: VectorSet) -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(engine, set.len() as u32, set.seed);
+        cfg.vector_set = Some(set);
+        cfg
+    }
+
+    /// The input stream for one fault's differential run: a replay of
+    /// the explicit set when present, a seeded random stream otherwise.
+    pub(crate) fn stream(&self, design: &Design) -> VectorStream {
+        match &self.vector_set {
+            Some(set) => VectorStream::replay(set),
+            None => VectorStream::new(design, self.seed),
+        }
+    }
+
+    /// Validates the explicit vector set (when present) against the
+    /// design it is about to drive.
+    pub(crate) fn validate(&self, design: &Design) -> Result<(), Diagnostic> {
+        match &self.vector_set {
+            Some(set) => set.matches_design(design),
+            None => Ok(()),
         }
     }
 
@@ -209,6 +243,7 @@ pub fn run_campaign_with(
     cfg: &CampaignConfig,
     checkpoint: Option<&CheckpointOptions>,
 ) -> Result<CoverageReport, Diagnostic> {
+    cfg.validate(design)?;
     let limits = cfg.effective_limits();
     let (mut journal, mut done) = Journal::open(design, list, cfg, checkpoint)?;
     let words: Vec<&[Fault]> = list.faults.chunks(LANES).collect();
@@ -342,7 +377,7 @@ fn run_one_graph(
     faulty.inject(fault)?;
     golden.reseed(cfg.seed);
     faulty.reseed(cfg.seed);
-    let mut stream = VectorStream::new(design, cfg.seed);
+    let mut stream = cfg.stream(design);
 
     // Reset pulse (quiescent inputs) when the design uses RSET.
     if design.rset.is_some() {
@@ -399,7 +434,7 @@ fn run_one_switch(
     faulty.inject(fault)?;
     golden.reseed(cfg.seed);
     faulty.reseed(cfg.seed);
-    let mut stream = VectorStream::new(design, cfg.seed);
+    let mut stream = cfg.stream(design);
     let out_names: Vec<String> = design.outputs().map(|p| p.name.clone()).collect();
 
     if design.rset.is_some() {

@@ -106,6 +106,13 @@ pub fn campaign_digest(design: &Design, list: &FaultList, cfg: &CampaignConfig) 
     h.write_opt_u64(limits.relax_iter_cap.map(u64::from));
     h.write_u64(u64::from(limits.max_input_bits));
 
+    // An explicit vector set changes every per-fault outcome, so its
+    // canonical text is part of the campaign identity. Random-stream
+    // campaigns write nothing here, keeping their historical digests.
+    if let Some(set) = &cfg.vector_set {
+        h.write_str(&set.to_text());
+    }
+
     h.write_usize(list.total_enumerated);
     h.write_usize(list.collapsed);
     h.write_usize(list.faults.len());

@@ -9,6 +9,32 @@
 //! any AND input is equivalent to stuck-at-0 on its output. We collapse
 //! with a union-find over `(net, polarity)` pairs, conservatively
 //! restricted to single-driver, fanout-free, non-port connections.
+//!
+//! # Ordering contract
+//!
+//! The fault list is the *identity* of a campaign: checkpoint digests
+//! hash it fault-by-fault, packed campaigns chunk it into 64-lane
+//! words, and ATPG credits vectors against fault indices. All of that
+//! is only sound because [`enumerate_faults`] is deterministic:
+//!
+//! * sites are the **canonical** nets (post-alias [`find_ref`]) of every
+//!   node pin and port bit, gathered in ascending [`NetId`] order;
+//! * collapsing picks the **lowest `(net, polarity)` key** of each
+//!   equivalence class as representative, so representatives do not
+//!   depend on union order;
+//! * bridge pairs are normalized `(min, max)` and ascending; transient
+//!   sites follow the netlist's register order;
+//! * the final list is `sort()`ed by [`Fault`]'s derived `Ord` (site,
+//!   then kind) and `dedup()`ed.
+//!
+//! Consequently two calls on equal designs — including a design
+//! re-elaborated from the same source — return identical `faults`
+//! vectors, with no dependence on hash-map iteration order or platform.
+//! The property test `collapsed_list_is_reproducible` exercises this
+//! across randomly grown designs.
+//!
+//! [`find_ref`]: zeus_elab::Netlist::find_ref
+//! [`NetId`]: zeus_elab::NetId
 
 use std::collections::BTreeSet;
 use zeus_elab::{Design, Fault, NetId, NodeOp};
@@ -52,7 +78,10 @@ pub struct FaultList {
 /// Enumerates the fault universe of `design` under `opts`.
 ///
 /// Sites are the canonical nets referenced by any node or port, in
-/// ascending net order, so the list is deterministic for a given design.
+/// ascending net order, so the list is deterministic for a given design
+/// (see the module-level *Ordering contract*): equal designs — even
+/// re-elaborated from the same source — yield identical, sorted,
+/// duplicate-free fault vectors.
 pub fn enumerate_faults(design: &Design, opts: &FaultListOptions) -> FaultList {
     let nl = &design.netlist;
     let mut sites: BTreeSet<NetId> = BTreeSet::new();
@@ -212,6 +241,7 @@ fn collapse_stuck_at(design: &Design, sites: &BTreeSet<NetId>) -> Vec<Fault> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use zeus_elab::elaborate;
     use zeus_syntax::parse_program;
 
@@ -301,5 +331,87 @@ mod tests {
             .faults
             .iter()
             .any(|f| matches!(f.kind, zeus_elab::FaultKind::TransientFlip { cycle: 3 })));
+    }
+
+    /// Renders a small random combinational+sequential design from a
+    /// generated shape: `gates[i]` picks the operator combining the two
+    /// "previous" signals of a growing chain seeded by the inputs.
+    fn grown_source(inputs: usize, gates: &[u8], with_reg: bool) -> String {
+        let names: Vec<String> = (0..inputs).map(|i| format!("i{i}")).collect();
+        let mut decls = Vec::new();
+        let mut stmts = Vec::new();
+        if with_reg {
+            decls.push("SIGNAL r: REG".to_string());
+        }
+        let mut exprs: Vec<String> = names.clone();
+        for (n, g) in gates.iter().enumerate() {
+            let a = exprs[exprs.len() - 1].clone();
+            let b = exprs[exprs.len().saturating_sub(2)].clone();
+            let e = match g % 6 {
+                0 => format!("AND({a},{b})"),
+                1 => format!("OR({a},{b})"),
+                2 => format!("NAND({a},{b})"),
+                3 => format!("NOR({a},{b})"),
+                4 => format!("XOR({a},{b})"),
+                _ => format!("NOT {a}"),
+            };
+            let name = format!("g{n}");
+            decls.push(format!("SIGNAL {name}: boolean"));
+            stmts.push(format!("{name} := {e}"));
+            exprs.push(name);
+        }
+        let last = exprs.last().unwrap().clone();
+        if with_reg {
+            stmts.push(format!("r({last}, q)"));
+        } else {
+            stmts.push(format!("q := {last}"));
+        }
+        let mut src = String::from("TYPE t = COMPONENT (IN ");
+        src.push_str(&names.join(","));
+        src.push_str(": boolean; OUT q: boolean) IS ");
+        for d in &decls {
+            src.push_str(d);
+            src.push_str("; ");
+        }
+        src.push_str("BEGIN ");
+        src.push_str(&stmts.join("; "));
+        src.push_str(" END;");
+        src
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The module's ordering contract: the same source, elaborated
+        /// twice, enumerates byte-identical fault lists (collapsed or
+        /// not, with bridges/transients or not), sorted and
+        /// duplicate-free.
+        #[test]
+        fn collapsed_list_is_reproducible(
+            inputs in 1usize..4,
+            gates in proptest::collection::vec(any::<u8>(), 1..8),
+            with_reg in any::<bool>(),
+            collapse in any::<bool>(),
+            bridges in any::<bool>(),
+        ) {
+            let src = grown_source(inputs, &gates, with_reg);
+            let opts = FaultListOptions {
+                stuck_at: true,
+                bridges,
+                transients: if with_reg { Some(2) } else { None },
+                collapse,
+            };
+            let d1 = design(&src, "t");
+            let d2 = design(&src, "t");
+            let l1 = enumerate_faults(&d1, &opts);
+            let l2 = enumerate_faults(&d2, &opts);
+            assert_eq!(l1.faults, l2.faults, "shape: {src}");
+            assert_eq!(l1.total_enumerated, l2.total_enumerated);
+            assert_eq!(l1.collapsed, l2.collapsed);
+            let mut sorted = l1.faults.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(l1.faults, sorted, "list must be sorted + deduped");
+        }
     }
 }

@@ -43,7 +43,7 @@ use std::sync::mpsc;
 use std::time::Instant;
 use zeus_elab::{Design, Fault, Limits};
 use zeus_sema::Value;
-use zeus_sim::{PackedSim, Simulator, VectorStream, LANES};
+use zeus_sim::{PackedSim, Simulator, LANES};
 use zeus_syntax::diag::Diagnostic;
 use zeus_syntax::span::Span;
 
@@ -171,6 +171,7 @@ pub fn run_campaign_packed_with(
              rerun without --packed/--jobs or with --engine graph",
         ));
     }
+    cfg.validate(design)?;
     let limits = cfg.effective_limits();
     let golden = record_golden(design, cfg, &limits)?;
 
@@ -271,7 +272,7 @@ fn record_golden(
     let out_names: Vec<String> = design.outputs().map(|p| p.name.clone()).collect();
     let mut golden = Simulator::with_limits(design.clone(), limits)?;
     golden.reseed(cfg.seed);
-    let mut stream = VectorStream::new(design, cfg.seed);
+    let mut stream = cfg.stream(design);
     let mut trace = GoldenTrace {
         ticks: Vec::with_capacity(cfg.vectors as usize + 1),
         stopped: None,
@@ -328,7 +329,7 @@ fn run_word(
     for (lane, &fault) in faults.iter().enumerate() {
         sim.inject_lanes(fault, 1u64 << lane)?;
     }
-    let mut stream = VectorStream::new(design, cfg.seed);
+    let mut stream = cfg.stream(design);
     let order = sim.order_len() as u64;
     let started = Instant::now();
 

@@ -58,4 +58,4 @@ pub use event::EventSimulator;
 pub use packed::{PackedConflict, PackedCycleReport, PackedSim, PackedWord, LANES};
 pub use sim::{Conflict, CycleReport, Simulator};
 pub use trace::Recorder;
-pub use vectors::VectorStream;
+pub use vectors::{Assignment, VectorSet, VectorStream};

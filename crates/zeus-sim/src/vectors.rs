@@ -1,4 +1,4 @@
-//! Deterministic pseudo-random input vector streams.
+//! Deterministic input vector streams: seeded pseudo-random and explicit.
 //!
 //! Fault campaigns and sequential differential checks both need the same
 //! property: given a [`Design`] and a seed, the sequence of input
@@ -7,22 +7,339 @@
 //! contract — the port order is the design's declared IN-port order and
 //! bits are drawn LSB-first per port, so two streams built from equal
 //! designs and seeds yield identical assignments.
+//!
+//! [`VectorSet`] is the explicit counterpart: a finite, concrete list of
+//! input assignments with a canonical text serialization (the format
+//! shared by `zeusc atpg --emit-vectors` and `zeusc fault
+//! --vectors-file`). A stream built with [`VectorStream::replay`] yields
+//! the set's vectors in order, so a generated test set can be re-graded
+//! with exactly the campaign machinery that grades random streams.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use zeus_elab::Design;
 use zeus_sema::value::Value;
+use zeus_syntax::diag::{codes, Diagnostic};
+use zeus_syntax::span::Span;
+
+/// One input assignment: the bits (LSB-first) for each IN port, in the
+/// design's declared port order.
+pub type Assignment = Vec<(String, Vec<Value>)>;
+
+/// Magic first token of the vector-file text format.
+const MAGIC: &str = "zeus-vectors";
+/// Format version emitted and accepted.
+const VERSION: &str = "v1";
+
+/// An explicit, finite set of input vectors with a canonical text form.
+///
+/// # Text format
+///
+/// ```text
+/// zeus-vectors v1 top=rippleCarry4 seed=42
+/// ports cin:1 x:4 y:4
+/// 0 1010 0011
+/// 1 0000 1111
+/// ```
+///
+/// Line 1 is the header (magic, version, top type, generator seed); line
+/// 2 declares the IN ports as `name:width` in declaration order; every
+/// following non-empty line is one vector, one whitespace-separated bit
+/// group per port, bits LSB-first, each bit `0`, `1`, `U` (undefined) or
+/// `Z` (no influence). Lines starting with `#` are comments. The
+/// serialization is canonical: parsing and re-serializing a well-formed
+/// file reproduces it byte-for-byte, which is what lets campaign digests
+/// fold the text itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorSet {
+    /// Name of the top component type the set was generated for.
+    pub top: String,
+    /// The seed of the generator that produced the set (echoed so a
+    /// replay campaign can reseed RANDOM nodes identically).
+    pub seed: u64,
+    ports: Vec<(String, usize)>,
+    vectors: Vec<Vec<Vec<Value>>>,
+}
+
+fn format_error(msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(Span::new(0, 0), msg).with_code(codes::SIM)
+}
+
+impl VectorSet {
+    /// An empty set over `design`'s IN ports.
+    pub fn new(design: &Design, seed: u64) -> VectorSet {
+        VectorSet {
+            top: design.top_type.clone(),
+            seed,
+            ports: design
+                .inputs()
+                .map(|p| (p.name.clone(), p.width()))
+                .collect(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// The `(name, width)` pairs of the IN ports, in declaration order.
+    pub fn ports(&self) -> &[(String, usize)] {
+        &self.ports
+    }
+
+    /// Number of vectors in the set.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the set holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Appends one vector given as per-port bit groups in port order.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, when the shape disagrees with the port list.
+    pub fn push(&mut self, bits_per_port: Vec<Vec<Value>>) {
+        debug_assert_eq!(bits_per_port.len(), self.ports.len());
+        for (bits, (_, w)) in bits_per_port.iter().zip(&self.ports) {
+            debug_assert_eq!(bits.len(), *w);
+        }
+        self.vectors.push(bits_per_port);
+    }
+
+    /// Appends one vector given in [`Assignment`] shape (names checked in
+    /// debug builds).
+    pub fn push_assignment(&mut self, assignment: &Assignment) {
+        debug_assert!(assignment
+            .iter()
+            .zip(&self.ports)
+            .all(|((n, _), (p, _))| n == p));
+        self.vectors
+            .push(assignment.iter().map(|(_, bits)| bits.clone()).collect());
+    }
+
+    /// The `i`-th vector rendered as an [`Assignment`].
+    pub fn assignment(&self, i: usize) -> Assignment {
+        self.ports
+            .iter()
+            .zip(&self.vectors[i])
+            .map(|((name, _), bits)| (name.clone(), bits.clone()))
+            .collect()
+    }
+
+    /// The raw bit groups of the `i`-th vector (per port, LSB-first).
+    pub fn bits(&self, i: usize) -> &[Vec<Value>] {
+        &self.vectors[i]
+    }
+
+    /// Retains only the vectors whose index satisfies `keep` (used by
+    /// ATPG compaction).
+    pub fn retain_indices(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let mut i = 0;
+        self.vectors.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
+    }
+
+    /// Truncates the set to its first `n` vectors.
+    pub fn truncate(&mut self, n: usize) {
+        self.vectors.truncate(n);
+    }
+
+    /// Checks that the set's interface matches `design`'s: same top type
+    /// and the same IN `name:width` list in the same order.
+    ///
+    /// # Errors
+    ///
+    /// A `Z301` diagnostic naming the first mismatch.
+    pub fn matches_design(&self, design: &Design) -> Result<(), Diagnostic> {
+        if self.top != design.top_type {
+            return Err(format_error(format!(
+                "vector set was generated for top `{}`, not `{}`",
+                self.top, design.top_type
+            )));
+        }
+        let want: Vec<(String, usize)> = design
+            .inputs()
+            .map(|p| (p.name.clone(), p.width()))
+            .collect();
+        if self.ports != want {
+            let render = |ps: &[(String, usize)]| {
+                ps.iter()
+                    .map(|(n, w)| format!("{n}:{w}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            return Err(format_error(format!(
+                "vector set ports `{}` do not match design ports `{}`",
+                render(&self.ports),
+                render(&want)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Renders the canonical text form (see the type docs).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("{MAGIC} {VERSION} top={} seed={}\n", self.top, self.seed);
+        out.push_str("ports");
+        for (name, width) in &self.ports {
+            out.push_str(&format!(" {name}:{width}"));
+        }
+        out.push('\n');
+        for vector in &self.vectors {
+            let groups: Vec<String> = vector
+                .iter()
+                .map(|bits| bits.iter().map(|b| b.to_string()).collect())
+                .collect();
+            out.push_str(&groups.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// A `Z301` diagnostic with the offending line number for any
+    /// malformed header, port list, or vector line.
+    pub fn parse(text: &str) -> Result<VectorSet, Diagnostic> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| format_error("empty vector file"))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some(MAGIC) {
+            return Err(format_error(format!(
+                "vector file must start with `{MAGIC} {VERSION}`"
+            )));
+        }
+        match parts.next() {
+            Some(VERSION) => {}
+            Some(v) => {
+                return Err(format_error(format!(
+                    "unsupported vector file version `{v}` (expected `{VERSION}`)"
+                )))
+            }
+            None => return Err(format_error("vector file header missing version")),
+        }
+        let mut top = None;
+        let mut seed = None;
+        for field in parts {
+            if let Some(t) = field.strip_prefix("top=") {
+                top = Some(t.to_string());
+            } else if let Some(s) = field.strip_prefix("seed=") {
+                seed = Some(s.parse::<u64>().map_err(|_| {
+                    format_error(format!("malformed seed `{s}` in vector file header"))
+                })?);
+            } else {
+                return Err(format_error(format!(
+                    "unknown vector file header field `{field}`"
+                )));
+            }
+        }
+        let top = top.ok_or_else(|| format_error("vector file header missing `top=`"))?;
+        let seed = seed.ok_or_else(|| format_error("vector file header missing `seed=`"))?;
+
+        let (_, ports_line) = lines
+            .next()
+            .ok_or_else(|| format_error("vector file missing `ports` line"))?;
+        let mut fields = ports_line.split_whitespace();
+        if fields.next() != Some("ports") {
+            return Err(format_error("vector file line 2 must start with `ports`"));
+        }
+        let mut ports = Vec::new();
+        for field in fields {
+            let (name, width) = field.split_once(':').ok_or_else(|| {
+                format_error(format!(
+                    "malformed port declaration `{field}` (want name:width)"
+                ))
+            })?;
+            let width: usize = width.parse().map_err(|_| {
+                format_error(format!(
+                    "malformed port width in `{field}` (want name:width)"
+                ))
+            })?;
+            ports.push((name.to_string(), width));
+        }
+
+        let mut vectors = Vec::new();
+        for (n, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let groups: Vec<&str> = line.split_whitespace().collect();
+            if groups.len() != ports.len() {
+                return Err(format_error(format!(
+                    "line {}: {} bit group(s) for {} port(s)",
+                    n + 1,
+                    groups.len(),
+                    ports.len()
+                )));
+            }
+            let mut vector = Vec::with_capacity(ports.len());
+            for (group, (name, width)) in groups.iter().zip(&ports) {
+                if group.chars().count() != *width {
+                    return Err(format_error(format!(
+                        "line {}: port `{name}` expects {width} bit(s), got `{group}`",
+                        n + 1
+                    )));
+                }
+                let mut bits = Vec::with_capacity(*width);
+                for c in group.chars() {
+                    bits.push(match c {
+                        '0' => Value::Zero,
+                        '1' => Value::One,
+                        'U' => Value::Undef,
+                        'Z' => Value::NoInfl,
+                        other => {
+                            return Err(format_error(format!(
+                                "line {}: invalid bit character `{other}` (want 0/1/U/Z)",
+                                n + 1
+                            )))
+                        }
+                    });
+                }
+                vector.push(bits);
+            }
+            vectors.push(vector);
+        }
+        Ok(VectorSet {
+            top,
+            seed,
+            ports,
+            vectors,
+        })
+    }
+}
+
+/// Where a [`VectorStream`]'s vectors come from.
+#[derive(Debug, Clone)]
+enum Source {
+    /// Independent fair coin flips from a seeded generator (unbounded).
+    Random(StdRng),
+    /// Replay of an explicit [`VectorSet`] (all-zero past the end).
+    Explicit {
+        vectors: Vec<Vec<Vec<Value>>>,
+        pos: usize,
+    },
+}
 
 /// A reproducible stream of input vectors for a fixed design interface.
 #[derive(Debug, Clone)]
 pub struct VectorStream {
     ports: Vec<(String, usize)>,
-    rng: StdRng,
+    source: Source,
     seed: u64,
 }
 
 impl VectorStream {
-    /// Builds a stream over `design`'s IN ports, seeded with `seed`.
+    /// Builds a pseudo-random stream over `design`'s IN ports, seeded
+    /// with `seed`.
     pub fn new(design: &Design, seed: u64) -> VectorStream {
         let ports = design
             .inputs()
@@ -30,12 +347,28 @@ impl VectorStream {
             .collect();
         VectorStream {
             ports,
-            rng: StdRng::seed_from_u64(seed),
+            source: Source::Random(StdRng::seed_from_u64(seed)),
             seed,
         }
     }
 
-    /// The seed the stream was built with.
+    /// Builds a stream that replays `set`'s vectors in order. Past the
+    /// end of the set the stream yields all-zero assignments (a campaign
+    /// replaying a set runs exactly `set.len()` vectors, so this only
+    /// matters for over-long manual drives).
+    pub fn replay(set: &VectorSet) -> VectorStream {
+        VectorStream {
+            ports: set.ports.clone(),
+            source: Source::Explicit {
+                vectors: set.vectors.clone(),
+                pos: 0,
+            },
+            seed: set.seed,
+        }
+    }
+
+    /// The seed the stream was built with (for a replay stream, the
+    /// seed echoed in the set's header).
     pub fn seed(&self) -> u64 {
         self.seed
     }
@@ -47,26 +380,48 @@ impl VectorStream {
 
     /// Rewinds the stream to its first vector.
     pub fn restart(&mut self) {
-        self.rng = StdRng::seed_from_u64(self.seed);
+        match &mut self.source {
+            Source::Random(rng) => *rng = StdRng::seed_from_u64(self.seed),
+            Source::Explicit { pos, .. } => *pos = 0,
+        }
     }
 
     /// The next input assignment: one `(port, bits LSB-first)` entry per
-    /// IN port, each bit an independent fair coin flip.
-    pub fn next_vector(&mut self) -> Vec<(String, Vec<Value>)> {
-        self.ports
-            .iter()
-            .map(|(name, width)| {
-                let bits = (0..*width)
-                    .map(|_| Value::from_bool(self.rng.gen()))
-                    .collect();
-                (name.clone(), bits)
-            })
-            .collect()
+    /// IN port — an independent fair coin flip per bit for a random
+    /// stream, the next stored vector for a replay stream.
+    pub fn next_vector(&mut self) -> Assignment {
+        match &mut self.source {
+            Source::Random(rng) => self
+                .ports
+                .iter()
+                .map(|(name, width)| {
+                    let bits = (0..*width).map(|_| Value::from_bool(rng.gen())).collect();
+                    (name.clone(), bits)
+                })
+                .collect(),
+            Source::Explicit { vectors, pos } => {
+                let assignment = match vectors.get(*pos) {
+                    Some(vector) => self
+                        .ports
+                        .iter()
+                        .zip(vector)
+                        .map(|((name, _), bits)| (name.clone(), bits.clone()))
+                        .collect(),
+                    None => self
+                        .ports
+                        .iter()
+                        .map(|(name, width)| (name.clone(), vec![Value::Zero; *width]))
+                        .collect(),
+                };
+                *pos += 1;
+                assignment
+            }
+        }
     }
 
     /// An all-zero assignment with the stream's port shape (used for the
     /// quiescent reset cycle before a campaign run).
-    pub fn zero_vector(&self) -> Vec<(String, Vec<Value>)> {
+    pub fn zero_vector(&self) -> Assignment {
         self.ports
             .iter()
             .map(|(name, width)| (name.clone(), vec![Value::Zero; *width]))
@@ -125,5 +480,100 @@ mod tests {
         let a: Vec<_> = (0..16).map(|_| s1.next_vector()).collect();
         let b: Vec<_> = (0..16).map(|_| s2.next_vector()).collect();
         assert_ne!(a, b);
+    }
+
+    /// Satellite: restart determinism across *many* draws, and the seed
+    /// echo survives a restart (a replayed campaign recovers the header
+    /// seed unchanged).
+    #[test]
+    fn restart_replays_exact_sequence_and_preserves_seed() {
+        let d = design(SRC, "t");
+        let mut s = VectorStream::new(&d, 0xDEAD_BEEF);
+        let first: Vec<_> = (0..256).map(|_| s.next_vector()).collect();
+        assert_eq!(s.seed(), 0xDEAD_BEEF);
+        s.restart();
+        assert_eq!(
+            s.seed(),
+            0xDEAD_BEEF,
+            "restart must not change the seed echo"
+        );
+        let second: Vec<_> = (0..256).map(|_| s.next_vector()).collect();
+        assert_eq!(first, second, "restart must replay the exact sequence");
+        // zero_vector is a pure function of the port shape: identical
+        // before, between, and after draws.
+        let z1 = s.zero_vector();
+        s.next_vector();
+        assert_eq!(z1, s.zero_vector());
+    }
+
+    #[test]
+    fn vector_set_round_trips_canonical_text() {
+        let d = design(SRC, "t");
+        let mut set = VectorSet::new(&d, 42);
+        let mut stream = VectorStream::new(&d, 42);
+        for _ in 0..5 {
+            set.push_assignment(&stream.next_vector());
+        }
+        set.push(vec![
+            vec![Value::Undef],
+            vec![Value::NoInfl, Value::Zero, Value::One],
+        ]);
+        let text = set.to_text();
+        let parsed = VectorSet::parse(&text).unwrap();
+        assert_eq!(parsed, set);
+        assert_eq!(parsed.to_text(), text, "serialization must be canonical");
+        assert!(text.starts_with("zeus-vectors v1 top=t seed=42\nports a:1 b:3\n"));
+    }
+
+    #[test]
+    fn replay_stream_yields_set_vectors_then_zeros() {
+        let d = design(SRC, "t");
+        let mut set = VectorSet::new(&d, 7);
+        let mut random = VectorStream::new(&d, 7);
+        let originals: Vec<_> = (0..4).map(|_| random.next_vector()).collect();
+        for a in &originals {
+            set.push_assignment(a);
+        }
+        let mut replay = VectorStream::replay(&set);
+        assert_eq!(replay.seed(), 7, "replay echoes the header seed");
+        for a in &originals {
+            assert_eq!(&replay.next_vector(), a);
+        }
+        assert_eq!(replay.next_vector(), replay.zero_vector());
+        replay.restart();
+        assert_eq!(&replay.next_vector(), &originals[0]);
+    }
+
+    #[test]
+    fn vector_set_validates_against_design() {
+        let d = design(SRC, "t");
+        let set = VectorSet::new(&d, 0);
+        assert!(set.matches_design(&d).is_ok());
+        let other = design(
+            "TYPE u = COMPONENT (IN a: boolean; OUT q: boolean) IS BEGIN q := a END;",
+            "u",
+        );
+        assert!(set.matches_design(&other).is_err(), "top name differs");
+    }
+
+    #[test]
+    fn vector_set_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "zeus-vectors v2 top=t seed=0\nports a:1\n",
+            "zeus-vectors v1 seed=0\nports a:1\n",
+            "zeus-vectors v1 top=t\nports a:1\n",
+            "zeus-vectors v1 top=t seed=x\nports a:1\n",
+            "zeus-vectors v1 top=t seed=0\nport a:1\n",
+            "zeus-vectors v1 top=t seed=0\nports a:one\n",
+            "zeus-vectors v1 top=t seed=0\nports a:1\n00\n",
+            "zeus-vectors v1 top=t seed=0\nports a:1\n0 1\n",
+            "zeus-vectors v1 top=t seed=0\nports a:1\n2\n",
+        ] {
+            assert!(VectorSet::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+        // Comments and blank lines are tolerated.
+        let ok = VectorSet::parse("zeus-vectors v1 top=t seed=0\nports a:1\n\n# c\n1\n").unwrap();
+        assert_eq!(ok.len(), 1);
     }
 }

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub use zeus_atpg::{run_atpg, AtpgConfig, AtpgReport, AtpgStats, Mode as AtpgMode};
 pub use zeus_elab::{
     to_dot, Design, Direction, ElabOptions, Fault, FaultKind, InstanceNode, LayoutItem, Limits,
     Net, NetId, Netlist, Node, NodeId, NodeOp, Orientation, Port, Shape,
@@ -46,7 +47,7 @@ pub use zeus_sema::{BasicKind, ConstEnv, ConstVal, Resolution, Value};
 pub use zeus_sim::{
     check_equivalent, check_equivalent_sequential, check_equivalent_with, run_differential,
     Conflict, CounterExample, CycleReport, Divergence, EventSimulator, PackedConflict,
-    PackedCycleReport, PackedSim, PackedWord, Recorder, Simulator, VectorStream, LANES,
+    PackedCycleReport, PackedSim, PackedWord, Recorder, Simulator, VectorSet, VectorStream, LANES,
 };
 pub use zeus_switch::{SwitchSim, Synth};
 pub use zeus_syntax::{
