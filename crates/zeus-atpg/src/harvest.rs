@@ -87,6 +87,7 @@ pub(crate) fn packed_harvest(
         && set.len() < cfg.max_vectors
         && dry < DRY_LIMIT
         && out.rounds < max_rounds
+        && !crate::is_cancelled(cfg)
     {
         let pending = total - ndet;
         // One golden step plus one faulty step per pending fault, each

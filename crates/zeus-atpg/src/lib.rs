@@ -42,6 +42,8 @@ mod report;
 
 pub use report::{AtpgReport, AtpgStats};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use zeus_elab::{Design, Limits, NodeOp};
 use zeus_fault::{
     enumerate_faults, run_campaign, run_campaign_packed, CampaignConfig, Engine, FaultKind,
@@ -94,6 +96,12 @@ pub struct AtpgConfig {
     pub limits: Limits,
     /// Which fault universe to target.
     pub fault_opts: FaultListOptions,
+    /// Cooperative cancellation (Ctrl-C, daemon drain): polled between
+    /// harvest rounds and PODEM faults. When it goes high, generation
+    /// stops after the current fault, the vectors found so far are
+    /// still graded, and the report is marked
+    /// [`partial`](AtpgReport::partial).
+    pub cancel: Option<&'static AtomicBool>,
 }
 
 impl Default for AtpgConfig {
@@ -105,8 +113,14 @@ impl Default for AtpgConfig {
             backtrack_limit: 256,
             limits: Limits::default(),
             fault_opts: FaultListOptions::default(),
+            cancel: None,
         }
     }
+}
+
+/// True once the config's cancellation flag has been raised.
+pub(crate) fn is_cancelled(cfg: &AtpgConfig) -> bool {
+    cfg.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
 }
 
 /// Runs ATPG and returns the graded report.
@@ -124,6 +138,7 @@ pub fn run_atpg(design: &Design, cfg: &AtpgConfig) -> Result<AtpgReport, Diagnos
     let mut redundant = Vec::new();
     let mut aborted = Vec::new();
     let mut gov = cfg.limits.governor();
+    let mut partial = false;
 
     let set = match mode {
         Mode::Combinational => {
@@ -131,12 +146,17 @@ pub fn run_atpg(design: &Design, cfg: &AtpgConfig) -> Result<AtpgReport, Diagnos
             let mut detected = vec![false; list.faults.len()];
             let h = harvest::packed_harvest(design, &list, cfg, &mut set, &mut detected, &mut gov)?;
             stats.absorb(h, set.len());
+            partial |= is_cancelled(cfg);
 
             // PODEM over what the harvest missed, in fault-list order.
             let mut podem = Podem::new(design)?;
             let total = list.faults.len();
             let mut ndet = detected.iter().filter(|&&d| d).count();
             for (fi, &fault) in list.faults.iter().enumerate() {
+                if is_cancelled(cfg) {
+                    partial = true;
+                    break;
+                }
                 if detected[fi] {
                     continue;
                 }
@@ -165,15 +185,24 @@ pub fn run_atpg(design: &Design, cfg: &AtpgConfig) -> Result<AtpgReport, Diagnos
                 }
             }
 
-            let pre = set.len();
-            let c = compact::reverse_compact(design, &list, &mut set, &mut gov)?;
-            stats.absorb_compaction(pre, c);
+            if partial {
+                // Interrupted: emit the uncompacted vectors found so
+                // far rather than spend more wall clock minimizing
+                // them.
+                stats.pre_compaction = set.len();
+            } else {
+                let pre = set.len();
+                let c = compact::reverse_compact(design, &list, &mut set, &mut gov)?;
+                stats.absorb_compaction(pre, c);
+            }
             set
         }
         Mode::Sequence => {
             let mut hcfg = CampaignConfig::new(Engine::Graph, cfg.max_vectors as u32, cfg.seed);
             hcfg.limits = cfg.limits.clone();
+            hcfg.cancel = cfg.cancel;
             let campaign = run_campaign_packed(design, &list, &hcfg, 1)?;
+            partial |= campaign.partial.is_some();
             // The shortest stream prefix preserving every detection:
             // replaying it reproduces each fault's first divergence.
             let prefix = campaign
@@ -212,6 +241,7 @@ pub fn run_atpg(design: &Design, cfg: &AtpgConfig) -> Result<AtpgReport, Diagnos
         redundant,
         aborted,
         grade,
+        partial,
     })
 }
 

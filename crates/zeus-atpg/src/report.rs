@@ -81,6 +81,11 @@ pub struct AtpgReport {
     /// final vector set. `zeusc fault --vectors-file` on the emitted
     /// set reproduces this report byte for byte.
     pub grade: CoverageReport,
+    /// True when generation was cancelled (Ctrl-C, daemon drain) before
+    /// it finished: the vector set covers only the work completed so
+    /// far (uncompacted on the structural path), but it is still fully
+    /// graded and replayable.
+    pub partial: bool,
 }
 
 impl AtpgReport {
@@ -123,6 +128,12 @@ impl AtpgReport {
             self.mode.name(),
             self.seed
         );
+        if self.partial {
+            let _ = writeln!(
+                s,
+                "  PARTIAL: generation interrupted; set covers work completed so far"
+            );
+        }
         let _ = writeln!(
             s,
             "  universe: {} faults enumerated, {} collapsed, {} targeted",
@@ -150,7 +161,9 @@ impl AtpgReport {
                     String::new()
                 }
             );
-            if self.stats.compaction_skipped {
+            if self.partial {
+                let _ = writeln!(s, "  compaction: skipped (interrupted)");
+            } else if self.stats.compaction_skipped {
                 let _ = writeln!(s, "  compaction: skipped (fuel exhausted)");
             } else {
                 let _ = writeln!(
@@ -199,6 +212,9 @@ impl AtpgReport {
         let _ = write!(s, ",\"top\":{}", json_str(&self.top));
         let _ = write!(s, ",\"mode\":{}", json_str(self.mode.name()));
         let _ = write!(s, ",\"seed\":{}", self.seed);
+        if self.partial {
+            let _ = write!(s, ",\"partial\":true");
+        }
         let _ = write!(
             s,
             ",\"universe\":{{\"enumerated\":{},\"collapsed\":{},\"targeted\":{}}}",

@@ -1,966 +1,84 @@
 //! `zeusc` — command-line driver for the Zeus HDL toolchain.
 //!
-//! ```text
-//! zeusc check <file.zeus>                      parse + static checks
-//! zeusc print <file.zeus>                      canonical pretty-print
-//! zeusc elab  <file.zeus> <top> [args...]      elaborate, print stats
-//! zeusc sim   <file.zeus> <top> [args...] [--cycles N] [--set port=value ...]
-//!             [--seed S] [--packed]            simulate N cycles
-//! zeusc layout <file.zeus> <top> [args...]     floorplan + ASCII art
-//! zeusc svg   <file.zeus> <top> [args...]      floorplan as SVG (stdout)
-//! zeusc graph <file.zeus> <top> [args...]      semantics graph as Graphviz dot
-//! zeusc synth <file.zeus> <top> [args...]      CMOS transistor budget
-//! zeusc equiv <file.zeus> <topA> [args] --vs <topB> [args]
-//!                                              exhaustive equivalence check
-//! zeusc fault <file.zeus> <top> [args...] [--vectors N] [--seed S]
-//!             [--engine graph|switch] [--bridges] [--transients C] [--json]
-//!             [--packed] [--jobs N] [--checkpoint FILE] [--resume]
-//!             [--campaign-timeout MS] [--vectors-file FILE]
-//!                                              differential fault campaign
-//! zeusc atpg  <file.zeus> <top> [args...] [--seed S] [--coverage-target PCT]
-//!             [--max-vectors N] [--emit-vectors FILE] [--json]
-//!             [--bridges] [--transients C]     generate a compact test set
-//! zeusc examples                               list the bundled examples
-//! zeusc help [command]                         this text, or one command's
-//! ```
+//! A thin shell over the [`zeus_cli`] library, which holds all the
+//! parsing, dispatch and formatting (shared with the `zeusd` daemon):
+//! this binary only decides *where* the command runs.
 //!
-//! Flags may appear anywhere after the subcommand (`zeusc sim a.zeus
-//! --cycles 4 top` and `zeusc sim a.zeus top --cycles 4` are the same
-//! invocation); unknown flags are usage errors. Commands taking a top
-//! component also accept it as `--top <name>`. `sim` and `fault` print
-//! the random seed actually used on stderr when `--seed` is omitted.
-//! `fault --packed` runs the bit-parallel campaign engine (64 faults per
-//! simulation pass); `--jobs N` shards it over N worker threads and
-//! implies `--packed`. Reports are byte-identical to the scalar engine.
+//! * By default, locally: a [`zeus_cli::Session`] captures the output,
+//!   which is flushed to stdout/stderr at the end (broken pipes are
+//!   ignored — `zeusc ... | head` must not panic).
+//! * With `--remote SOCKET`, against a running `zeusd`: the command
+//!   line and any referenced files are shipped over the socket, and the
+//!   daemon's answer (bytes, exit code, emitted files) is mirrored
+//!   exactly. Transient failures (`overloaded`, connection refused) are
+//!   retried with exponential backoff; see `zeus_cli::remote`.
+//! * With `--remote-or-local SOCKET`, the same, but an unreachable
+//!   daemon degrades to a local run with a warning instead of an error.
 //!
-//! Resource-limit flags accepted by every compiling command:
-//!
-//! ```text
-//! --max-instances N    cap on component instances (default 1000000)
-//! --max-nets N         cap on netlist nets (default 2000000)
-//! --fuel N             abstract work budget for elaboration + simulation
-//! --timeout MS         wall-clock deadline in milliseconds
-//! ```
-//!
-//! Exit codes: `0` success (including `help`/`--help`), `1` usage or I/O
-//! error, `2` the program has diagnostics, `3` a resource limit was hit
-//! (`error[Z9xx]`), `130` a fault campaign was interrupted by Ctrl-C
-//! after reporting partially.
-//!
-//! `fault --checkpoint FILE` journals completed fault words so a crashed
-//! or interrupted campaign can continue with `--resume` (see `zeusc help
-//! fault`); the resumed report is byte-identical to an uninterrupted
-//! run.
-//!
-//! A file argument of `@name` loads the bundled example of that name
-//! (e.g. `zeusc layout @trees htree 16`).
+//! Run `zeusc help` for the command list and the exit-code contract
+//! (0 success, 1 usage/IO, 2 diagnostics, 3 resource limit, 130
+//! interrupted).
 
-use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Duration;
-use zeus::{examples, Limits, Zeus};
 
-/// Prints a line, ignoring broken pipes (`zeusc ... | head` must not
-/// panic).
-macro_rules! outln {
-    ($($t:tt)*) => {{
-        use std::io::Write;
-        let _ = writeln!(std::io::stdout(), $($t)*);
-    }};
+/// Writes captured bytes to a stream, ignoring broken pipes.
+fn flush_to(stream: &mut dyn std::io::Write, bytes: &str) {
+    let _ = stream.write_all(bytes.as_bytes());
 }
 
-/// Prints without a newline, ignoring broken pipes.
-macro_rules! out {
-    ($($t:tt)*) => {{
-        use std::io::Write;
-        let _ = write!(std::io::stdout(), $($t)*);
-    }};
-}
-
-/// Why `zeusc` failed; each variant maps to a documented exit code.
-enum Failure {
-    /// Bad invocation or I/O problem → exit 1.
-    Usage(String),
-    /// The Zeus program has diagnostics (or a check found a difference)
-    /// → exit 2.
-    Diags(String),
-    /// A resource limit (`Z9xx`) was hit → exit 3.
-    Limit(String),
-    /// A fault campaign was interrupted (Ctrl-C) after reporting
-    /// partially → exit 130 (128 + SIGINT), the shell convention.
-    Interrupted(String),
-}
-
-impl Failure {
-    fn message(&self) -> &str {
-        match self {
-            Failure::Usage(m) | Failure::Diags(m) | Failure::Limit(m) | Failure::Interrupted(m) => {
-                m
-            }
-        }
+fn run_local(args: &[String]) -> ExitCode {
+    let mut sess = zeus_cli::Session::local();
+    #[cfg(unix)]
+    if matches!(
+        args.first().map(String::as_str),
+        Some("fault") | Some("atpg")
+    ) {
+        zeus_cli::sigint::install();
+        sess.cancel = Some(&zeus_cli::sigint::INTERRUPTED);
     }
-
-    fn exit_code(&self) -> ExitCode {
-        match self {
-            Failure::Usage(_) => ExitCode::from(1),
-            Failure::Diags(_) => ExitCode::from(2),
-            Failure::Limit(_) => ExitCode::from(3),
-            Failure::Interrupted(_) => ExitCode::from(130),
-        }
-    }
-}
-
-impl From<String> for Failure {
-    fn from(m: String) -> Failure {
-        Failure::Usage(m)
-    }
-}
-
-impl From<&str> for Failure {
-    fn from(m: &str) -> Failure {
-        Failure::Usage(m.to_string())
-    }
-}
-
-/// Classifies rendered diagnostics: resource-limit errors exit 3, all
-/// other diagnostics exit 2.
-fn diags_failure(e: &zeus::Diagnostics, rendered: String) -> Failure {
-    if e.has_resource_limit() {
-        Failure::Limit(rendered)
-    } else {
-        Failure::Diags(rendered)
-    }
-}
-
-/// Same classification for a single diagnostic (simulator errors).
-fn diag_failure(e: &zeus::Diagnostic) -> Failure {
-    if e.is_resource_limit() {
-        Failure::Limit(e.to_string())
-    } else {
-        Failure::Diags(e.to_string())
-    }
+    let code = zeus_cli::run_to_completion(args, &mut sess);
+    flush_to(&mut std::io::stdout(), &sess.out);
+    flush_to(&mut std::io::stderr(), &sess.err);
+    ExitCode::from(code)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(f) => {
-            eprintln!("{}", f.message());
-            f.exit_code()
-        }
-    }
-}
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
 
-// ---------------------------------------------------------------------
-// Argument parsing
-// ---------------------------------------------------------------------
-
-/// The resource-limit flags, accepted by every compiling command.
-const LIMIT_FLAGS: [(&str, bool); 4] = [
-    ("--max-instances", true),
-    ("--max-nets", true),
-    ("--fuel", true),
-    ("--timeout", true),
-];
-
-/// Per-command flag table: `(name, takes a value)`. Flags may appear in
-/// any position after the subcommand; anything not in the table is a
-/// usage error.
-fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
-    let mut flags: Vec<(&'static str, bool)> = Vec::new();
-    if !matches!(cmd, "examples" | "help") {
-        flags.extend(LIMIT_FLAGS);
-    }
-    match cmd {
-        "elab" | "layout" | "svg" | "graph" | "synth" => flags.push(("--top", true)),
-        "sim" => flags.extend([
-            ("--top", true),
-            ("--cycles", true),
-            ("--seed", true),
-            ("--set", true),
-            ("--packed", false),
-        ]),
-        "fault" => flags.extend([
-            ("--top", true),
-            ("--vectors", true),
-            ("--seed", true),
-            ("--engine", true),
-            ("--bridges", false),
-            ("--transients", true),
-            ("--json", false),
-            ("--packed", false),
-            ("--jobs", true),
-            ("--checkpoint", true),
-            ("--resume", false),
-            ("--campaign-timeout", true),
-            ("--vectors-file", true),
-        ]),
-        "atpg" => flags.extend([
-            ("--top", true),
-            ("--seed", true),
-            ("--coverage-target", true),
-            ("--max-vectors", true),
-            ("--backtrack-limit", true),
-            ("--emit-vectors", true),
-            ("--json", false),
-            ("--bridges", false),
-            ("--transients", true),
-        ]),
-        _ => {}
-    }
-    flags
-}
-
-/// One-line synopsis per command, shown by `help` and on usage errors.
-fn synopsis(cmd: &str) -> &'static str {
-    match cmd {
-        "check" => "zeusc check <file.zeus> [limit flags]",
-        "print" => "zeusc print <file.zeus> [limit flags]",
-        "elab" => "zeusc elab <file.zeus> <top> [type args...] [limit flags]",
-        "sim" => {
-            "zeusc sim <file.zeus> <top> [type args...] [--cycles N] [--seed S] \
-             [--set port=value ...] [--packed] [limit flags]"
-        }
-        "layout" => "zeusc layout <file.zeus> <top> [type args...] [limit flags]",
-        "svg" => "zeusc svg <file.zeus> <top> [type args...] [limit flags]",
-        "graph" => "zeusc graph <file.zeus> <top> [type args...] [limit flags]",
-        "synth" => "zeusc synth <file.zeus> <top> [type args...] [limit flags]",
-        "equiv" => "zeusc equiv <file.zeus> <topA> [args] --vs <topB> [args] [limit flags]",
-        "fault" => {
-            "zeusc fault <file.zeus> <top> [type args...] [--vectors N] [--seed S] \
-             [--engine graph|switch] [--bridges] [--transients C] [--json] \
-             [--packed] [--jobs N] [--checkpoint FILE] [--resume] \
-             [--campaign-timeout MS] [--vectors-file FILE] [limit flags]"
-        }
-        "atpg" => {
-            "zeusc atpg <file.zeus> <top> [type args...] [--seed S] \
-             [--coverage-target PCT] [--max-vectors N] [--backtrack-limit N] \
-             [--emit-vectors FILE] [--json] [--bridges] [--transients C] \
-             [limit flags]"
-        }
-        "examples" => "zeusc examples",
-        "help" => "zeusc help [command]",
-        _ => "",
-    }
-}
-
-/// Longer per-command help for `zeusc help <cmd>` / `zeusc <cmd> --help`.
-fn detail(cmd: &str) -> &'static str {
-    match cmd {
-        "check" => "Parses the program and runs the static checks of paper §6.",
-        "print" => "Parses the program and pretty-prints it in canonical form.",
-        "elab" => "Elaborates <top> and prints netlist statistics and ports.",
-        "sim" => {
-            "Simulates <top> for --cycles clock cycles (default 8) and prints the\n\
-             final port values. --set forces an IN port each cycle; --seed seeds\n\
-             the RANDOM source (default 0x2E051983). --packed runs the 64-lane\n\
-             bit-parallel engine (same output; used for cross-checking)."
-        }
-        "layout" => "Computes the §7 floorplan and draws it as ASCII art.",
-        "svg" => "Computes the §7 floorplan and emits it as SVG on stdout.",
-        "graph" => "Emits the elaborated semantics graph as Graphviz dot.",
-        "synth" => "Synthesizes to the CMOS switch network and prints its size.",
-        "equiv" => {
-            "Elaborates both tops and checks exhaustive input equivalence.\n\
-             Exit 0 when equivalent, 2 with a counterexample when not."
-        }
-        "fault" => {
-            "Enumerates stuck-at (--bridges, --transients add more) faults,\n\
-             runs a differential campaign against the fault-free design, and\n\
-             prints a coverage report (--json for machine-readable output).\n\
-             --packed simulates 64 faults per pass with the bit-parallel\n\
-             engine; --jobs N shards the fault list over N threads (implies\n\
-             --packed). Reports are byte-identical to the scalar engine for\n\
-             the same seed.\n\
-             --checkpoint FILE journals completed work after every 64-fault\n\
-             word; --resume skips the journaled words (the final report is\n\
-             byte-identical to an uninterrupted run, and the seed is\n\
-             recovered from the checkpoint when --seed is omitted).\n\
-             --campaign-timeout MS bounds the whole campaign's wall clock.\n\
-             Ctrl-C drains in-flight words, flushes the checkpoint and\n\
-             reports partially (exit 130); a second Ctrl-C aborts.\n\
-             --vectors-file FILE replays an explicit vector set written by\n\
-             `zeusc atpg --emit-vectors` instead of a random stream; the\n\
-             seed is recovered from the file when --seed is omitted, and\n\
-             the file's content is folded into the checkpoint digest."
-        }
-        "atpg" => {
-            "Generates a compact deterministic test-vector set for the stuck-at\n\
-             fault universe (--bridges/--transients extend it): a packed random\n\
-             harvest, then a PODEM structural search for the faults random\n\
-             vectors missed (proving untestable faults redundant), then\n\
-             reverse-order compaction. The emitted set is re-graded by a full\n\
-             fault campaign; the reported coverage is exactly what `zeusc\n\
-             fault --vectors-file` reproduces on the emitted file.\n\
-             --coverage-target PCT stops generation early and makes the exit\n\
-             status enforce the target (exit 2 below it); --max-vectors caps\n\
-             the set (default 256); --backtrack-limit bounds each PODEM\n\
-             search (default 256); --emit-vectors FILE writes the canonical\n\
-             vector file. Same seed + design + limits reproduce the set and\n\
-             report byte for byte (default seed 0x2E051983)."
-        }
-        "examples" => "Lists the bundled example programs (usable as @name).",
-        "help" => "Prints the command list, or one command's flags.",
-        _ => "",
-    }
-}
-
-const COMMANDS: [&str; 13] = [
-    "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "fault", "atpg",
-    "examples", "help",
-];
-
-fn general_usage() -> String {
-    let mut s = String::from("usage: zeusc <command> [...]\n\ncommands:\n");
-    for cmd in COMMANDS {
-        s.push_str(&format!("  {}\n", synopsis(cmd)));
-    }
-    s.push_str(
-        "\nlimit flags (any compiling command): --max-instances N, --max-nets N,\n\
-         --fuel N, --timeout MS\n\
-         file arguments of the form @name load a bundled example\n\
-         run `zeusc help <command>` for details",
-    );
-    s
-}
-
-fn command_usage(cmd: &str) -> String {
-    format!("usage: {}\n\n{}", synopsis(cmd), detail(cmd))
-}
-
-/// A parsed command line: flag values by name plus bare positionals in
-/// order. `--flag=value` and `--flag value` are equivalent; repeated
-/// value flags accumulate.
-struct Parsed {
-    cmd: String,
-    flags: HashMap<&'static str, Vec<String>>,
-    positionals: Vec<String>,
-}
-
-impl Parsed {
-    fn has(&self, flag: &str) -> bool {
-        self.flags.contains_key(flag)
-    }
-
-    fn str_value(&self, flag: &str) -> Option<&str> {
-        self.flags
-            .get(flag)
-            .and_then(|v| v.last())
-            .map(String::as_str)
-    }
-
-    fn u64_value(&self, flag: &str) -> Result<Option<u64>, Failure> {
-        match self.str_value(flag) {
-            None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| Failure::Usage(format!("bad value '{v}' for {flag}"))),
-        }
-    }
-
-    fn values(&self, flag: &str) -> &[String] {
-        self.flags.get(flag).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// The resource budget from the limit flags.
-    fn limits(&self) -> Result<Limits, Failure> {
-        let mut limits = Limits::default();
-        if let Some(n) = self.u64_value("--max-instances")? {
-            limits.max_instances = n as usize;
-        }
-        if let Some(n) = self.u64_value("--max-nets")? {
-            limits.max_nets = n as usize;
-        }
-        if let Some(n) = self.u64_value("--fuel")? {
-            limits.fuel = Some(n);
-        }
-        if let Some(ms) = self.u64_value("--timeout")? {
-            limits.deadline = Some(Duration::from_millis(ms));
-        }
-        Ok(limits)
-    }
-}
-
-/// Splits `args` (everything after the subcommand) into flags and
-/// positionals, in any order. `--vs` is kept as a positional marker for
-/// `equiv`; an unknown `--flag` is a usage error.
-fn parse_command_line(cmd: &str, args: &[String]) -> Result<Parsed, Failure> {
-    let known = known_flags(cmd);
-    let mut flags: HashMap<&'static str, Vec<String>> = HashMap::new();
-    let mut positionals = Vec::new();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        if cmd == "equiv" && arg == "--vs" {
-            positionals.push(arg.clone());
-            continue;
-        }
-        if let Some(body) = arg.strip_prefix("--") {
-            let (name, inline) = match body.split_once('=') {
-                Some((n, v)) => (format!("--{n}"), Some(v.to_string())),
-                None => (arg.clone(), None),
-            };
-            let Some(&(canonical, takes_value)) = known.iter().find(|(n, _)| *n == name) else {
-                return Err(Failure::Usage(format!(
-                    "unknown flag '{name}' for `zeusc {cmd}`\n\n{}",
-                    command_usage(cmd)
-                )));
-            };
-            let value = match (takes_value, inline) {
-                (true, Some(v)) => v,
-                (true, None) => iter
-                    .next()
-                    .cloned()
-                    .ok_or_else(|| Failure::Usage(format!("{canonical} needs a value")))?,
-                (false, Some(_)) => {
-                    return Err(Failure::Usage(format!("{canonical} does not take a value")))
-                }
-                (false, None) => String::new(),
-            };
-            flags.entry(canonical).or_default().push(value);
-        } else {
-            positionals.push(arg.clone());
-        }
-    }
-    Ok(Parsed {
-        cmd: cmd.to_string(),
-        flags,
-        positionals,
-    })
-}
-
-/// Numeric type parameters following the top component name.
-fn top_args(rest: &[String]) -> Result<Vec<i64>, Failure> {
-    rest.iter()
-        .map(|a| {
-            a.parse::<i64>()
-                .map_err(|_| Failure::Usage(format!("'{a}' is not a numeric type parameter")))
-        })
-        .collect()
-}
-
-/// Resolves `<file> [<top>] [type args...]` from the positionals, with
-/// the top component optionally supplied as `--top` instead.
-fn file_top_args(p: &Parsed) -> Result<(&str, &str, Vec<i64>), Failure> {
-    let mut pos = p.positionals.iter();
-    let file = pos
-        .next()
-        .ok_or_else(|| Failure::Usage(command_usage(&p.cmd)))?;
-    let (top, rest_at) = match p.str_value("--top") {
-        Some(t) => (t, 1),
-        None => (
-            pos.next().map(String::as_str).ok_or_else(|| {
-                Failure::Usage(format!(
-                    "missing top component type\n\n{}",
-                    command_usage(&p.cmd)
-                ))
-            })?,
-            2,
-        ),
-    };
-    let targs = top_args(&p.positionals[rest_at..])?;
-    Ok((file, top, targs))
-}
-
-fn load_source(path: &str) -> Result<String, Failure> {
-    if let Some(name) = path.strip_prefix('@') {
-        for (n, src, _) in examples::ALL {
-            if *n == name {
-                return Ok((*src).to_string());
-            }
-        }
-        return Err(Failure::Usage(format!(
-            "no bundled example '{name}' (try `zeusc examples`)"
-        )));
-    }
-    std::fs::read_to_string(path).map_err(|e| Failure::Usage(format!("cannot read {path}: {e}")))
-}
-
-fn parse(src: &str) -> Result<Zeus, Failure> {
-    Zeus::parse(src).map_err(|e| {
-        let map = zeus::SourceMap::new(src);
-        let rendered = e.render(&map);
-        diags_failure(&e, rendered)
-    })
-}
-
-// ---------------------------------------------------------------------
-// Command dispatch
-// ---------------------------------------------------------------------
-
-fn run(args: &[String]) -> Result<(), Failure> {
-    let cmd = args.first().ok_or_else(general_usage)?;
-
-    // `--help`/`-h` anywhere prints usage and exits 0; `zeusc help
-    // [cmd]` is the spelled-out form.
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        let topic = if COMMANDS.contains(&cmd.as_str()) {
-            Some(cmd.as_str())
-        } else {
-            None
-        };
-        match topic {
-            Some(c) if c != "help" => outln!("{}", command_usage(c)),
-            _ => outln!("{}", general_usage()),
-        }
-        return Ok(());
-    }
-    if cmd == "help" {
-        match args.get(1).map(String::as_str) {
-            None => outln!("{}", general_usage()),
-            Some(c) if COMMANDS.contains(&c) => outln!("{}", command_usage(c)),
-            Some(other) => {
-                return Err(Failure::Usage(format!(
-                    "unknown command '{other}'\n\n{}",
-                    general_usage()
-                )))
-            }
-        }
-        return Ok(());
-    }
-    if !COMMANDS.contains(&cmd.as_str()) {
-        return Err(Failure::Usage(format!(
-            "unknown command '{cmd}'\n\n{}",
-            general_usage()
-        )));
-    }
-
-    let p = parse_command_line(cmd, &args[1..])?;
-    match cmd.as_str() {
-        "examples" => {
-            for (name, src, top) in examples::ALL {
-                outln!("@{name:<14} top={top:<16} ({} bytes)", src.len());
-            }
-            Ok(())
-        }
-        "check" => {
-            let file = p
-                .positionals
-                .first()
-                .ok_or_else(|| Failure::Usage(command_usage("check")))?;
-            parse(&load_source(file)?)?;
-            outln!("ok");
-            Ok(())
-        }
-        "print" => {
-            let file = p
-                .positionals
-                .first()
-                .ok_or_else(|| Failure::Usage(command_usage("print")))?;
-            let z = parse(&load_source(file)?)?;
-            out!("{}", z.to_canonical_text());
-            Ok(())
-        }
-        "equiv" => cmd_equiv(&p),
-        _ => cmd_elaborating(&p),
-    }
-}
-
-fn cmd_equiv(p: &Parsed) -> Result<(), Failure> {
-    let split = p
-        .positionals
-        .iter()
-        .position(|a| a == "--vs")
-        .ok_or("missing --vs separator")?;
-    let (left, right) = p.positionals.split_at(split);
-    let right = &right[1..];
-    let file = left
-        .first()
-        .ok_or_else(|| Failure::Usage(command_usage("equiv")))?;
-    let top_a = left.get(1).ok_or("missing first top")?;
-    let args_a = top_args(&left[2..])?;
-    let top_b = right.first().ok_or("missing second top")?;
-    let args_b = top_args(&right[1..])?;
-    let src = load_source(file)?;
-    let z = parse(&src)?;
-    let map = zeus::SourceMap::new(&src);
-    let mut limits = p.limits()?;
-    // The historical CLI cap (slightly above the library default).
-    limits.max_input_bits = 22;
-    let elab = |top: &str, targs: &[i64]| {
-        z.elaborate_limited(top, targs, &limits)
-            .map_err(|e| diags_failure(&e, e.render(&map)))
-    };
-    let da = elab(top_a, &args_a)?;
-    let db = elab(top_b, &args_b)?;
-    match zeus::check_equivalent_with(&da, &db, &limits).map_err(|e| diag_failure(&e))? {
-        None => {
-            outln!("equivalent (exhaustive)");
-            Ok(())
-        }
-        Some(ce) => Err(Failure::Diags(format!("NOT equivalent: {ce}"))),
-    }
-}
-
-/// The commands that elaborate a design first: `elab`, `sim`, `layout`,
-/// `svg`, `graph`, `synth`, `fault`.
-fn cmd_elaborating(p: &Parsed) -> Result<(), Failure> {
-    let (file, top, targs) = file_top_args(p)?;
-    let src = load_source(file)?;
-    let z = parse(&src)?;
-    let limits = p.limits()?;
-    let design = z.elaborate_limited(top, &targs, &limits).map_err(|e| {
-        let map = zeus::SourceMap::new(&src);
-        let rendered = e.render(&map);
-        diags_failure(&e, rendered)
-    })?;
-    for w in &design.warnings {
-        eprintln!("{}", w.render(&zeus::SourceMap::new(&src)));
-    }
-    match p.cmd.as_str() {
-        "elab" => {
-            outln!("top       : {}", design.top_type);
-            outln!("nets      : {}", design.netlist.net_count());
-            outln!("nodes     : {}", design.netlist.node_count());
-            outln!("registers : {}", design.netlist.registers().count());
-            outln!("instances : {}", design.instances.size());
-            for p in &design.ports {
-                outln!("port      : {} {} [{} bit]", p.mode, p.name, p.width());
-            }
-            Ok(())
-        }
-        "sim" => cmd_sim(p, design, &limits),
-        "svg" => {
-            let plan = zeus::floorplan(&design);
-            out!("{}", plan.render_svg(16));
-            Ok(())
-        }
-        "graph" => {
-            out!("{}", zeus::to_dot(&design.netlist));
-            Ok(())
-        }
-        "layout" => {
-            let plan = zeus::floorplan(&design);
-            outln!(
-                "bounding box: {} x {} (area {})",
-                plan.width,
-                plan.height,
-                plan.area()
-            );
-            outln!("leaf cells  : {}", plan.leaf_count());
-            let art = plan.render_ascii();
-            if !art.is_empty() {
-                outln!("{art}");
-            }
-            Ok(())
-        }
-        "fault" => cmd_fault(p, design, &limits),
-        "atpg" => cmd_atpg(p, design, &limits),
-        _ => {
-            let sw = zeus::SwitchSim::with_limits(&design, &limits);
-            outln!("transistors : {}", sw.transistor_count());
-            outln!("nodes       : {}", sw.node_count());
-            Ok(())
-        }
-    }
-}
-
-fn cmd_sim(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
-    let cycles = p.u64_value("--cycles")?.unwrap_or(8);
-    let seed = p.u64_value("--seed")?;
-    if seed.is_none() {
-        // The fixed default seed keeps runs reproducible; say which one
-        // was used (satisfying scripted reproduction) without polluting
-        // stdout.
-        eprintln!(
-            "seed      : {} (default; pass --seed to vary)",
-            0x2E05_1983u64
-        );
-    }
-    let forcings: Vec<(String, u64)> = p
-        .values("--set")
-        .iter()
-        .map(|kv| {
-            let (port, val) = kv
-                .split_once('=')
-                .ok_or_else(|| Failure::Usage(format!("bad --set '{kv}', want port=value")))?;
-            let val: u64 = val
-                .parse()
-                .map_err(|_| Failure::Usage(format!("bad value in --set '{kv}'")))?;
-            Ok((port.to_string(), val))
-        })
-        .collect::<Result<_, Failure>>()?;
-
-    let ports = design.ports.clone();
-    let mut violations = 0u64;
-    let mut values: Vec<(String, String)> = Vec::new();
-    if p.has("--packed") {
-        // The 64-lane engine with every lane driven identically: output
-        // must be byte-identical to the scalar run below.
-        let mut sim = zeus::PackedSim::with_limits(design, limits).map_err(|e| diag_failure(&e))?;
-        if let Some(s) = seed {
-            sim.reseed(s);
-        }
-        for (port, val) in &forcings {
-            sim.set_port_num(port, *val)
-                .map_err(|e| Failure::Usage(e.to_string()))?;
-        }
-        for _ in 0..cycles {
-            let r = sim.try_step().map_err(|e| diag_failure(&e))?;
-            violations += r.conflicts.iter().filter(|c| c.lanes & 1 == 1).count() as u64;
-        }
-        for port in &ports {
-            let vals: String = sim
-                .port_lane(&port.name, 0)
-                .iter()
-                .map(|v| v.to_string())
-                .collect();
-            values.push((port.name.clone(), vals));
-        }
-    } else {
-        let mut sim = zeus::Simulator::with_limits(design, limits).map_err(|e| diag_failure(&e))?;
-        if let Some(s) = seed {
-            sim.reseed(s);
-        }
-        for (port, val) in &forcings {
-            sim.set_port_num(port, *val)
-                .map_err(|e| Failure::Usage(e.to_string()))?;
-        }
-        for _ in 0..cycles {
-            let r = sim.try_step().map_err(|e| diag_failure(&e))?;
-            violations += r.conflicts.len() as u64;
-        }
-        for port in &ports {
-            let vals: String = sim.port(&port.name).iter().map(|v| v.to_string()).collect();
-            values.push((port.name.clone(), vals));
-        }
-    }
-    outln!("cycles    : {cycles}");
-    outln!("conflicts : {violations}");
-    for (name, vals) in values {
-        outln!("{name:<10}: {vals}");
-    }
-    Ok(())
-}
-
-fn cmd_fault(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
-    let vectors = p.u64_value("--vectors")?.unwrap_or(64) as u32;
-    let vector_set = match p.str_value("--vectors-file") {
-        None => None,
-        Some(path) => {
-            if p.has("--vectors") {
-                return Err(Failure::Usage(
-                    "--vectors-file supplies the vectors; don't also pass --vectors".to_string(),
-                ));
-            }
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| Failure::Usage(format!("cannot read {path}: {e}")))?;
-            Some(zeus::VectorSet::parse(&text).map_err(|e| diag_failure(&e))?)
-        }
-    };
-    let checkpoint = match (p.str_value("--checkpoint"), p.has("--resume")) {
-        (None, true) => {
-            return Err(Failure::Usage(
-                "--resume needs --checkpoint FILE to resume from".to_string(),
-            ))
-        }
-        (None, false) => None,
-        (Some(path), resume) => Some(zeus::CheckpointOptions {
-            path: path.into(),
-            resume,
-        }),
-    };
-    let seed = match (p.u64_value("--seed")?, &vector_set) {
-        (Some(s), _) => s,
-        (None, Some(set)) => {
-            // An explicit vector file carries the seed it was generated
-            // with in its header; reuse it so a bare `--vectors-file`
-            // replay reproduces the ATPG grade exactly.
-            eprintln!("seed      : {} (recovered from vector file)", set.seed);
-            set.seed
-        }
-        (None, None) => {
-            // When resuming, the original seed lives in the checkpoint
-            // header: recover it so `--resume` never needs `--seed`
-            // repeated (a resumed campaign with a different seed would
-            // be rejected by the digest check anyway).
-            let recovered = checkpoint
-                .as_ref()
-                .filter(|c| c.resume && c.path.exists())
-                .and_then(|c| zeus::read_header(&c.path).ok())
-                .map(|h| h.seed);
-            match recovered {
-                Some(s) => {
-                    eprintln!("seed      : {s} (recovered from checkpoint)");
-                    s
-                }
-                None => {
-                    let s = std::time::SystemTime::now()
-                        .duration_since(std::time::UNIX_EPOCH)
-                        .map(|d| d.as_nanos() as u64)
-                        .unwrap_or(0);
-                    eprintln!("seed      : {s} (pass --seed {s} to reproduce)");
-                    s
-                }
-            }
-        }
-    };
-    let engine = match p.str_value("--engine") {
-        None | Some("graph") => zeus::Engine::Graph,
-        Some("switch") => zeus::Engine::Switch,
-        Some(e) => {
-            return Err(Failure::Usage(format!(
-                "unknown engine '{e}' (expected graph or switch)"
-            )))
-        }
-    };
-    // --jobs implies the packed engine (sharding is a packed feature).
-    let packed = p.has("--packed") || p.has("--jobs");
-    if packed && engine == zeus::Engine::Switch {
-        return Err(Failure::Usage(
-            "--packed/--jobs support the graph engine only".to_string(),
-        ));
-    }
-    let jobs = match p.u64_value("--jobs")? {
-        Some(0) => return Err(Failure::Usage("--jobs must be at least 1".to_string())),
-        Some(n) => n as usize,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    };
-    let opts = zeus::FaultListOptions {
-        bridges: p.has("--bridges"),
-        transients: p.u64_value("--transients")?,
-        ..zeus::FaultListOptions::default()
-    };
-    let list = zeus::enumerate_faults(&design, &opts);
-    let mut cfg = match vector_set {
-        Some(set) => {
-            let mut c = zeus::CampaignConfig::replay(engine, set);
-            c.seed = seed;
-            c
-        }
-        None => zeus::CampaignConfig::new(engine, vectors, seed),
-    };
-    cfg.limits = limits.clone();
-    if let Some(ms) = p.u64_value("--campaign-timeout")? {
-        cfg.campaign_deadline = Some(Duration::from_millis(ms));
-    }
     #[cfg(unix)]
     {
-        sigint::install();
-        cfg.cancel = Some(&sigint::INTERRUPTED);
-    }
-    let report = if packed {
-        zeus::run_campaign_packed_with(&design, &list, &cfg, jobs, checkpoint.as_ref())
-            .map_err(|e| diag_failure(&e))?
-    } else {
-        zeus::run_campaign_with(&design, &list, &cfg, checkpoint.as_ref())
-            .map_err(|e| diag_failure(&e))?
-    };
-    if p.has("--json") {
-        outln!("{}", report.to_json());
-    } else {
-        out!("{}", report.to_text());
-    }
-    match report.partial {
-        None => Ok(()),
-        Some(zeus::PartialReason::Interrupted) => Err(Failure::Interrupted(
-            "fault campaign interrupted; partial results reported above".to_string(),
-        )),
-        Some(zeus::PartialReason::DeadlineExceeded) => Err(Failure::Limit(
-            "fault campaign stopped at --campaign-timeout; partial results reported above"
-                .to_string(),
-        )),
-    }
-}
-
-fn cmd_atpg(p: &Parsed, design: zeus::Design, limits: &Limits) -> Result<(), Failure> {
-    let mut cfg = zeus::AtpgConfig {
-        limits: limits.clone(),
-        ..zeus::AtpgConfig::default()
-    };
-    cfg.seed = match p.u64_value("--seed")? {
-        Some(s) => s,
-        None => {
-            // Unlike `fault`, the default is fixed, not time-based:
-            // reproducible vector sets are the whole point of ATPG.
-            eprintln!(
-                "seed      : {} (default; pass --seed to vary)",
-                0x2E05_1983u64
-            );
-            0x2E05_1983
-        }
-    };
-    let target = match p.str_value("--coverage-target") {
-        None => None,
-        Some(v) => {
-            let pct: f64 = v
-                .parse()
-                .map_err(|_| Failure::Usage(format!("bad value '{v}' for --coverage-target")))?;
-            if !(0.0..=100.0).contains(&pct) {
-                return Err(Failure::Usage(
-                    "--coverage-target must be a percentage between 0 and 100".to_string(),
-                ));
+        let remote = match zeus_cli::remote::extract_remote_flags(&mut args) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(1);
             }
-            Some(pct / 100.0)
-        }
-    };
-    if let Some(t) = target {
-        cfg.coverage_target = t;
-    }
-    if let Some(n) = p.u64_value("--max-vectors")? {
-        cfg.max_vectors = n as usize;
-    }
-    if let Some(n) = p.u64_value("--backtrack-limit")? {
-        cfg.backtrack_limit = n;
-    }
-    cfg.fault_opts = zeus::FaultListOptions {
-        bridges: p.has("--bridges"),
-        transients: p.u64_value("--transients")?,
-        ..zeus::FaultListOptions::default()
-    };
-    let report = zeus::run_atpg(&design, &cfg).map_err(|e| diag_failure(&e))?;
-    if let Some(path) = p.str_value("--emit-vectors") {
-        std::fs::write(path, report.vectors.to_text())
-            .map_err(|e| Failure::Usage(format!("cannot write {path}: {e}")))?;
-    }
-    if p.has("--json") {
-        outln!("{}", report.to_json());
-    } else {
-        out!("{}", report.to_text());
-    }
-    // An explicit target is a pass/fail contract, not just a stopping
-    // heuristic: fall below it and the exit status says so.
-    match target {
-        Some(t) if report.coverage() + 1e-12 < t => Err(Failure::Diags(format!(
-            "coverage {:.2}% is below the target {:.2}%",
-            report.coverage() * 100.0,
-            t * 100.0
-        ))),
-        _ => Ok(()),
-    }
-}
-
-/// Graceful Ctrl-C for fault campaigns, without a libc dependency: the
-/// first SIGINT raises [`INTERRUPTED`] (the campaign drains in-flight
-/// words, flushes its checkpoint and reports partially) and restores the
-/// default disposition so a second Ctrl-C kills the process immediately.
-#[cfg(unix)]
-mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    /// Set by the first SIGINT; polled by the campaign between words.
-    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
-
-    const SIGINT: i32 = 2;
-    const SIG_DFL: usize = 0;
-
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-
-    extern "C" fn on_sigint(_signum: i32) {
-        INTERRUPTED.store(true, Ordering::Relaxed);
-        // Async-signal-safe: one atomic store and one signal(2) call.
-        unsafe {
-            signal(SIGINT, SIG_DFL);
+        };
+        if let Some(opts) = remote {
+            match zeus_cli::remote::run_remote(&opts, &args) {
+                zeus_cli::remote::RemoteOutcome::Done {
+                    code,
+                    out,
+                    err,
+                    files,
+                } => {
+                    for (path, content) in &files {
+                        if let Err(e) = std::fs::write(path, content) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                    flush_to(&mut std::io::stdout(), &out);
+                    flush_to(&mut std::io::stderr(), &err);
+                    return ExitCode::from(code);
+                }
+                zeus_cli::remote::RemoteOutcome::Fallback(warning) => {
+                    eprintln!("{warning}");
+                    // Fall through to the local path below.
+                }
+            }
         }
     }
 
-    /// Installs the handler (idempotent).
-    pub fn install() {
-        unsafe {
-            signal(SIGINT, on_sigint as *const () as usize);
-        }
-    }
+    run_local(&args)
 }

@@ -992,3 +992,146 @@ fn fault_rejects_vector_file_for_wrong_design() {
     assert!(stderr.contains("Z301"), "{stderr}");
     let _ = std::fs::remove_file(&vec_path);
 }
+
+// -------------------------------------------------------------------
+// Flag hygiene: zero is rejected for counts, legal for budgets.
+// -------------------------------------------------------------------
+
+#[test]
+fn zero_valued_count_flags_are_usage_errors() {
+    // A count of zero is always a typo: rejecting it with the usage
+    // exit beats silently clamping to something the user didn't ask
+    // for.
+    let cases: &[&[&str]] = &[
+        &["fault", "@adders", "rippleCarry4", "--vectors", "0"],
+        &["sim", "@adders", "rippleCarry4", "--cycles", "0"],
+        &["elab", "@adders", "rippleCarry4", "--max-instances", "0"],
+        &["elab", "@adders", "rippleCarry4", "--max-nets", "0"],
+        &["fault", "@adders", "rippleCarry4", "--jobs", "0"],
+    ];
+    for args in cases {
+        let (code, _, stderr) = zeusc_code(args);
+        assert_eq!(code, 1, "{args:?}: {stderr}");
+        assert!(stderr.contains("must be at least 1"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn vectors_flag_rejects_values_past_u32() {
+    let (code, _, stderr) = zeusc_code(&[
+        "fault",
+        "@adders",
+        "rippleCarry4",
+        "--vectors",
+        "4294967296",
+    ]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("too large"), "{stderr}");
+}
+
+#[test]
+fn zero_budget_flags_stay_legal() {
+    // Budgets (time, fuel) mean "immediately exhausted" at zero, not
+    // "invalid": they keep their historical exit-3 behavior.
+    let (code, _, stderr) =
+        zeusc_code(&["elab", "@routing", "routingnetwork", "8", "--timeout", "0"]);
+    assert_eq!(code, 3, "{stderr}");
+}
+
+// -------------------------------------------------------------------
+// Remote routing flags (the daemon itself is tested in zeus-daemon).
+// -------------------------------------------------------------------
+
+#[test]
+fn remote_flag_requires_a_socket_value() {
+    let (code, _, stderr) = zeusc_code(&["elab", "@adders", "rippleCarry4", "--remote"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("--remote"), "{stderr}");
+}
+
+#[cfg(unix)]
+#[test]
+fn remote_without_daemon_fails_after_retries() {
+    let (code, _, stderr) = zeusc_code(&[
+        "elab",
+        "@adders",
+        "rippleCarry4",
+        "--remote",
+        "/tmp/zeusc-test-no-such-daemon.sock",
+    ]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("after 5 attempts"), "{stderr}");
+}
+
+#[cfg(unix)]
+#[test]
+fn remote_or_local_falls_back_with_a_warning() {
+    let (code, stdout, stderr) = zeusc_code(&[
+        "sim",
+        "@adders",
+        "rippleCarry4",
+        "--cycles",
+        "2",
+        "--seed",
+        "1",
+        "--remote-or-local",
+        "/tmp/zeusc-test-no-such-daemon.sock",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("cycles"), "{stdout}");
+    assert!(stderr.contains("running locally"), "{stderr}");
+}
+
+#[test]
+fn sigint_mid_atpg_emits_the_partial_vector_set() {
+    use std::io::Read;
+    use std::time::Duration;
+
+    let vec_path =
+        std::env::temp_dir().join(format!("zeusc-test-atpg-sigint-{}.vec", std::process::id()));
+    let _ = std::fs::remove_file(&vec_path);
+    let args = &[
+        "atpg",
+        "@adders",
+        "--top",
+        "rippleCarry",
+        "64",
+        "--seed",
+        "5",
+        "--emit-vectors",
+        vec_path.to_str().unwrap(),
+    ];
+    let mut child = Command::new(env!("CARGO_BIN_EXE_zeusc"))
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn zeusc");
+    std::thread::sleep(Duration::from_millis(500));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let status = child.wait().unwrap();
+
+    match status.code() {
+        // ATPG outran the signal: a complete run, no partial marker.
+        Some(0) => assert!(!stdout.contains("PARTIAL"), "{stdout}"),
+        Some(130) => {
+            assert!(stdout.contains("PARTIAL"), "{stdout}");
+            // The vectors generated so far were still emitted, flagged
+            // as incomplete but replayable.
+            let emitted = std::fs::read_to_string(&vec_path).expect("partial set emitted");
+            assert!(emitted.starts_with("zeus-vectors"), "{emitted}");
+            assert!(emitted.contains("# PARTIAL"), "{emitted}");
+        }
+        other => panic!("unexpected exit: {other:?}\n{stdout}"),
+    }
+    let _ = std::fs::remove_file(&vec_path);
+}

@@ -1,0 +1,439 @@
+//! The daemon's content-addressed on-disk cache.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! objects/<kind>-<key:016x>   one cache entry (header line + body)
+//! quarantine/<name>.<n>       entries that failed verification
+//! journals/<digest:016x>.journal   auto-checkpoints of in-flight campaigns
+//! ```
+//!
+//! Every entry is written through [`zeus::write_durable`] (temp file,
+//! `fsync`, atomic rename, parent-directory `fsync`), and carries a
+//! self-describing header:
+//!
+//! ```text
+//! zeus-store v1 kind=<kind> key=<016x> len=<bytes> sum=<fnv:016x>
+//! <body...>
+//! ```
+//!
+//! A read verifies all four fields before returning the body; an entry
+//! that is torn, truncated, bit-flipped or misnamed is moved to
+//! `quarantine/` (never deleted — it is evidence) and treated as a
+//! miss, so the worst corruption can do is cost a rebuild. The same
+//! verification runs as a sweep over every entry at startup, which is
+//! how a daemon restarted after a crash recovers: intact entries are
+//! kept, torn ones are quarantined, and the store reports the counts.
+//!
+//! Elaborated designs get a second verification layer for free: the
+//! serialized form embeds the design digest and
+//! [`zeus::design_from_text`] recomputes it after reconstruction.
+//!
+//! All writes are best-effort — an I/O error costs a future cache hit,
+//! never the request. The chaos knobs ([`Store::chaos_fail_every`],
+//! [`Store::chaos_tear_every`]) inject write failures and torn final
+//! writes deterministically for the crash-recovery tests.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use zeus::{Design, StableHasher};
+
+/// The magic + version on every entry's header line. Bump the version
+/// when the entry layout changes: old entries then fail the header
+/// check and are rebuilt rather than misread.
+const MAGIC: &str = "zeus-store v1";
+
+/// What a startup recovery sweep found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entries that passed verification.
+    pub ok: usize,
+    /// Entries moved to `quarantine/`.
+    pub quarantined: usize,
+    /// Leftover `*.tmp` files removed (a write died before its rename).
+    pub tmp_removed: usize,
+}
+
+/// Counters the daemon exposes for observability and tests.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Disk (or memory) hits.
+    pub hits: AtomicU64,
+    /// Misses (no entry).
+    pub misses: AtomicU64,
+    /// Entries quarantined after failing verification at read time.
+    pub quarantined: AtomicU64,
+    /// Writes dropped by an I/O error (including injected ones).
+    pub failed_writes: AtomicU64,
+}
+
+/// The content-addressed store plus an in-memory layer for elaborated
+/// designs (deserializing a big netlist is cheap, but sharing the
+/// `Arc` is cheaper).
+pub struct Store {
+    root: PathBuf,
+    designs: Mutex<HashMap<u64, Arc<Design>>>,
+    /// Fail every Nth write with an injected I/O error (0 = off).
+    chaos_fail: AtomicU64,
+    /// Tear every Nth write: write only half the bytes, non-atomically,
+    /// simulating power loss mid-write (0 = off).
+    chaos_tear: AtomicU64,
+    writes: AtomicU64,
+    /// Hit/miss/quarantine counters.
+    pub stats: StoreStats,
+}
+
+fn unpoisoned<T>(r: Result<T, PoisonError<T>>) -> T {
+    // A worker panic while holding the lock must not wedge the store:
+    // the guarded data (a cache map) stays structurally valid.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root` and runs the
+    /// recovery sweep over existing entries.
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation failures; a corrupt entry is never an
+    /// error (it is quarantined).
+    pub fn open(root: &Path) -> io::Result<(Store, RecoveryReport)> {
+        let store = Store {
+            root: root.to_path_buf(),
+            designs: Mutex::new(HashMap::new()),
+            chaos_fail: AtomicU64::new(0),
+            chaos_tear: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            stats: StoreStats::default(),
+        };
+        std::fs::create_dir_all(store.objects_dir())?;
+        std::fs::create_dir_all(store.quarantine_dir())?;
+        std::fs::create_dir_all(store.journal_dir())?;
+        let report = store.recover();
+        Ok((store, report))
+    }
+
+    /// Where auto-checkpoint journals for in-flight campaigns live.
+    pub fn journal_dir(&self) -> PathBuf {
+        self.root.join("journals")
+    }
+
+    fn objects_dir(&self) -> PathBuf {
+        self.root.join("objects")
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    fn entry_path(&self, kind: &str, key: u64) -> PathBuf {
+        self.objects_dir().join(format!("{kind}-{key:016x}"))
+    }
+
+    /// Injects an I/O failure on every `n`th write (`0` disables).
+    pub fn chaos_fail_every(&self, n: u64) {
+        self.chaos_fail.store(n, Ordering::Relaxed);
+    }
+
+    /// Tears every `n`th write (`0` disables): half the bytes land,
+    /// non-atomically, as if power was lost mid-write.
+    pub fn chaos_tear_every(&self, n: u64) {
+        self.chaos_tear.store(n, Ordering::Relaxed);
+    }
+
+    /// Verifies every on-disk entry, quarantining failures and sweeping
+    /// orphaned temp files. Called by [`Store::open`]; harmless to call
+    /// again.
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Ok(entries) = std::fs::read_dir(self.objects_dir()) else {
+            return report;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                // A durable write that died between create and rename;
+                // the entry it was replacing (if any) is still intact.
+                let _ = std::fs::remove_file(&path);
+                report.tmp_removed += 1;
+                continue;
+            }
+            match read_verified(&path) {
+                Some(_) => report.ok += 1,
+                None => {
+                    self.quarantine(&path);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Moves a failed entry aside, keeping it for post-mortems.
+    fn quarantine(&self, path: &Path) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_string());
+        for i in 0.. {
+            let dest = self.quarantine_dir().join(format!("{name}.{i}"));
+            if !dest.exists() {
+                let _ = std::fs::rename(path, &dest);
+                break;
+            }
+        }
+        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads and verifies one entry; quarantines it on any mismatch.
+    fn get_bytes(&self, kind: &str, key: u64) -> Option<String> {
+        let path = self.entry_path(kind, key);
+        if !path.exists() {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match read_verified(&path) {
+            Some((k, got_key, body)) if k == kind && got_key == key => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            _ => {
+                // Torn, flipped, or filed under the wrong name: never
+                // serve it, never trust it again.
+                self.quarantine(&path);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Durably writes one entry (best-effort; errors are counted and
+    /// swallowed).
+    fn put_bytes(&self, kind: &str, key: u64, body: &str) {
+        let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        let path = self.entry_path(kind, key);
+        let text = encode_entry(kind, key, body);
+
+        let fail = self.chaos_fail.load(Ordering::Relaxed);
+        if fail != 0 && n.is_multiple_of(fail) {
+            self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let tear = self.chaos_tear.load(Ordering::Relaxed);
+        if tear != 0 && n.is_multiple_of(tear) {
+            // Simulated power loss: a direct, truncated, non-durable
+            // write to the final path. Verification must catch it.
+            let _ = std::fs::write(&path, &text.as_bytes()[..text.len() / 2]);
+            self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        if zeus::write_durable(&path, text.as_bytes()).is_err() {
+            self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Header + checksummed body for one entry.
+fn encode_entry(kind: &str, key: u64, body: &str) -> String {
+    let mut h = StableHasher::new();
+    h.write_bytes(body.as_bytes());
+    format!(
+        "{MAGIC} kind={kind} key={key:016x} len={} sum={:016x}\n{body}",
+        body.len(),
+        h.finish()
+    )
+}
+
+/// Parses and verifies one entry file: magic, length, checksum. Returns
+/// `(kind, key, body)` or `None` on any mismatch.
+fn read_verified(path: &Path) -> Option<(String, u64, String)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let (header, body) = text.split_once('\n')?;
+    let mut fields = header.split(' ');
+    if fields.next()? != "zeus-store" || fields.next()? != "v1" {
+        return None;
+    }
+    let mut kind = None;
+    let mut key = None;
+    let mut len = None;
+    let mut sum = None;
+    for field in fields {
+        let (name, value) = field.split_once('=')?;
+        match name {
+            "kind" => kind = Some(value.to_string()),
+            "key" => key = u64::from_str_radix(value, 16).ok(),
+            "len" => len = value.parse::<usize>().ok(),
+            "sum" => sum = u64::from_str_radix(value, 16).ok(),
+            _ => return None,
+        }
+    }
+    let (kind, key, len, sum) = (kind?, key?, len?, sum?);
+    if body.len() != len {
+        return None;
+    }
+    let mut h = StableHasher::new();
+    h.write_bytes(body.as_bytes());
+    if h.finish() != sum {
+        return None;
+    }
+    Some((kind, key, body.to_string()))
+}
+
+impl zeus_cli::Cache for Store {
+    fn get_design(&self, key: u64) -> Option<Arc<Design>> {
+        if let Some(d) = unpoisoned(self.designs.lock()).get(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(d));
+        }
+        let text = self.get_bytes("design", key)?;
+        // Digest-verified reconstruction: flipped bits that slip past
+        // the entry checksum still cannot produce a wrong design.
+        let design = Arc::new(zeus::design_from_text(&text).ok()?);
+        unpoisoned(self.designs.lock()).insert(key, Arc::clone(&design));
+        Some(design)
+    }
+
+    fn put_design(&self, key: u64, design: &Design) {
+        self.put_bytes("design", key, &zeus::design_to_text(design));
+        unpoisoned(self.designs.lock()).insert(key, Arc::new(design.clone()));
+    }
+
+    fn get_text(&self, kind: &str, key: u64) -> Option<String> {
+        self.get_bytes(kind, key)
+    }
+
+    fn put_text(&self, kind: &str, key: u64, text: &str) {
+        self.put_bytes(kind, key, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_cli::Cache;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("zeus-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_survives_reopen() {
+        let root = tmp_root("roundtrip");
+        let (store, _) = Store::open(&root).unwrap();
+        store.put_text("sim", 7, "cycles    : 2\n");
+        assert_eq!(store.get_text("sim", 7).as_deref(), Some("cycles    : 2\n"));
+
+        let (reopened, report) = Store::open(&root).unwrap();
+        assert_eq!(
+            report,
+            RecoveryReport {
+                ok: 1,
+                quarantined: 0,
+                tmp_removed: 0
+            }
+        );
+        assert_eq!(
+            reopened.get_text("sim", 7).as_deref(),
+            Some("cycles    : 2\n")
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_not_served() {
+        let root = tmp_root("flip");
+        let (store, _) = Store::open(&root).unwrap();
+        store.put_text("fault", 3, "coverage: 68/68 detected\n");
+        let path = store.entry_path("fault", 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(store.get_text("fault", 3), None, "corrupt entry served");
+        assert!(!path.exists(), "corrupt entry left in objects/");
+        assert_eq!(
+            std::fs::read_dir(store.quarantine_dir()).unwrap().count(),
+            1,
+            "corrupt entry not quarantined"
+        );
+        // The slot is rebuildable immediately.
+        store.put_text("fault", 3, "rebuilt\n");
+        assert_eq!(store.get_text("fault", 3).as_deref(), Some("rebuilt\n"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_write_is_quarantined_on_startup() {
+        let root = tmp_root("torn");
+        let (store, _) = Store::open(&root).unwrap();
+        store.put_text("atpg", 1, "intact entry\n");
+        store.chaos_tear_every(1);
+        store.put_text("atpg", 2, "this write will be torn in half\n");
+        store.chaos_tear_every(0);
+
+        // Same process: the torn entry reads as a miss and is
+        // quarantined on access.
+        assert_eq!(store.get_text("atpg", 2), None);
+
+        // Restart: the sweep finds the intact entry and nothing else.
+        let (reopened, report) = Store::open(&root).unwrap();
+        assert_eq!(report.ok, 1, "{report:?}");
+        assert_eq!(
+            reopened.get_text("atpg", 1).as_deref(),
+            Some("intact entry\n")
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_write_failure_is_a_silent_miss() {
+        let root = tmp_root("fail");
+        let (store, _) = Store::open(&root).unwrap();
+        store.chaos_fail_every(1);
+        store.put_text("sim", 9, "dropped\n");
+        store.chaos_fail_every(0);
+        assert_eq!(store.get_text("sim", 9), None);
+        assert_eq!(store.stats.failed_writes.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wrong_slot_entry_is_rejected() {
+        // An entry whose header says key=A but which sits in slot B
+        // (e.g. a bad copy) must not be served for B.
+        let root = tmp_root("slot");
+        let (store, _) = Store::open(&root).unwrap();
+        store.put_text("sim", 0xA, "for slot A\n");
+        std::fs::copy(store.entry_path("sim", 0xA), store.entry_path("sim", 0xB)).unwrap();
+        assert_eq!(store.get_text("sim", 0xB), None);
+        assert_eq!(store.get_text("sim", 0xA).as_deref(), Some("for slot A\n"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn designs_round_trip_through_the_store() {
+        let root = tmp_root("design");
+        let (store, _) = Store::open(&root).unwrap();
+        let design = zeus::compile(zeus::examples::ADDERS, "rippleCarry4", &[]).unwrap();
+        let digest = zeus::design_digest(&design);
+        store.put_design(42, &design);
+
+        // Memory layer.
+        let d1 = store.get_design(42).expect("memory hit");
+        assert_eq!(zeus::design_digest(&d1), digest);
+
+        // Disk layer (fresh store, same root).
+        let (cold, _) = Store::open(&root).unwrap();
+        let d2 = cold.get_design(42).expect("disk hit");
+        assert_eq!(zeus::design_digest(&d2), digest);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

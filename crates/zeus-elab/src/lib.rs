@@ -40,6 +40,7 @@ pub mod fault;
 pub mod hash;
 pub mod limits;
 pub mod netlist;
+pub mod serdes;
 pub mod shape;
 
 pub use design::{Design, Direction, InstanceNode, LayoutItem, Orientation, Port};
@@ -48,4 +49,5 @@ pub use fault::{Fault, FaultKind};
 pub use hash::{design_digest, StableHasher};
 pub use limits::{Governor, Limits};
 pub use netlist::{to_dot, GroupConstraint, Net, NetId, Netlist, Node, NodeId, NodeOp};
+pub use serdes::{design_from_text, design_to_text};
 pub use shape::{BuiltinComponent, FieldShape, RecordShape, Shape};

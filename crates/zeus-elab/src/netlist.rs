@@ -238,6 +238,33 @@ impl Netlist {
         self.finished
     }
 
+    /// The raw union-find parent vector, for the cache serializer.
+    pub(crate) fn alias_raw(&self) -> &[u32] {
+        &self.alias
+    }
+
+    /// Reassembles a netlist from stored raw parts (the cache
+    /// deserializer). The caller is responsible for the parts being a
+    /// faithful copy of a previously finished netlist; the digest check
+    /// in [`crate::serdes`] enforces that end to end.
+    pub(crate) fn from_raw_parts(
+        nets: Vec<Net>,
+        nodes: Vec<Node>,
+        group_constraints: Vec<GroupConstraint>,
+        group_parents: Vec<u32>,
+        alias: Vec<u32>,
+        finished: bool,
+    ) -> Netlist {
+        Netlist {
+            nets,
+            nodes,
+            group_constraints,
+            group_parents,
+            alias,
+            finished,
+        }
+    }
+
     /// Canonicalizes all node references to alias representatives and
     /// checks that the combinational graph (registers removed) is acyclic.
     ///

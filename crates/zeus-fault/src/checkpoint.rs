@@ -182,29 +182,24 @@ impl Journal {
         self.flush()
     }
 
-    /// Writes the journal to `<path>.tmp` and renames it over `<path>`.
+    /// Writes the journal to `<path>.tmp`, fsyncs it, renames it over
+    /// `<path>` and fsyncs the parent directory — see
+    /// [`crate::durable::write_durable`]. Without the fsyncs a power
+    /// loss could persist the rename but not the data, producing an
+    /// empty journal that still "exists" and defeats `--resume`.
     fn flush(&self) -> Result<(), Diagnostic> {
-        let tmp = tmp_path(&self.path);
         let mut text = String::new();
         for line in &self.lines {
             text.push_str(line);
             text.push('\n');
         }
-        std::fs::write(&tmp, text)
-            .map_err(|e| err(format!("cannot write checkpoint {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| {
+        crate::durable::write_durable(&self.path, text.as_bytes()).map_err(|e| {
             err(format!(
-                "cannot move checkpoint into place at {}: {e}",
+                "cannot write checkpoint {}: {e}",
                 self.path.display()
             ))
         })
     }
-}
-
-fn tmp_path(path: &Path) -> PathBuf {
-    let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
-    path.with_file_name(name)
 }
 
 /// Reads and parses the header line of a checkpoint journal.

@@ -1,0 +1,94 @@
+//! Crash-durable atomic file replacement.
+//!
+//! The checkpoint journal (and the `zeusd` cache store built on top of
+//! it) promise that a reader never observes a half-written file: writes
+//! go to `<path>.tmp` and are renamed over the destination. Rename
+//! alone is not enough for *durability*, though — on a power loss the
+//! filesystem may persist the rename before the tmp file's data blocks,
+//! leaving a correctly-named file full of zeros (or empty) that still
+//! "exists". [`write_durable`] closes that hole: the temporary file is
+//! `fsync`ed before the rename, and the parent directory is `fsync`ed
+//! after it so the rename itself is on stable storage.
+//!
+//! The contract is the standard one:
+//!
+//! 1. write all bytes to `<path>.tmp`;
+//! 2. `File::sync_all` the tmp file (data + metadata reach the disk);
+//! 3. `rename(tmp, path)` (atomic replacement, POSIX);
+//! 4. `fsync` the parent directory (the rename reaches the disk).
+//!
+//! After a crash at any point the destination holds either the complete
+//! old content or the complete new content, never a torn mixture and
+//! never an empty file that passes existence checks.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temporary name used for atomic replacement of `path`.
+///
+/// Kept in the same directory so the final `rename` never crosses a
+/// filesystem boundary (cross-device renames are not atomic).
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically and durably replaces `path` with `bytes`.
+///
+/// See the module docs for the write protocol. On non-Unix platforms
+/// the directory fsync (step 4) is skipped — directories cannot be
+/// opened for synchronization there — which weakens durability but not
+/// atomicity.
+///
+/// # Errors
+///
+/// Any I/O failure along the way; on error the destination is
+/// untouched (a stale `<path>.tmp` may remain and is overwritten by
+/// the next attempt).
+pub fn write_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, making a completed rename
+/// durable. No-op outside Unix.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = dir {
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces_without_leaving_tmp() {
+        let dir = std::env::temp_dir().join(format!("zeus-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.txt");
+        write_durable(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_durable(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        assert!(!tmp_path(&path).exists(), "tmp file must not survive");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

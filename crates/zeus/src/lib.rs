@@ -33,12 +33,13 @@
 
 pub use zeus_atpg::{run_atpg, AtpgConfig, AtpgReport, AtpgStats, Mode as AtpgMode};
 pub use zeus_elab::{
-    to_dot, Design, Direction, ElabOptions, Fault, FaultKind, InstanceNode, LayoutItem, Limits,
-    Net, NetId, Netlist, Node, NodeId, NodeOp, Orientation, Port, Shape,
+    design_digest, design_from_text, design_to_text, to_dot, Design, Direction, ElabOptions, Fault,
+    FaultKind, InstanceNode, LayoutItem, Limits, Net, NetId, Netlist, Node, NodeId, NodeOp,
+    Orientation, Port, Shape, StableHasher,
 };
 pub use zeus_fault::{
     campaign_digest, enumerate_faults, read_header, run_campaign, run_campaign_packed,
-    run_campaign_packed_with, run_campaign_with, CampaignConfig, CheckpointHeader,
+    run_campaign_packed_with, run_campaign_with, write_durable, CampaignConfig, CheckpointHeader,
     CheckpointOptions, CoverageReport, Engine, FaultList, FaultListOptions, FaultResult, Outcome,
     PartialReason, UndetectedReason,
 };
