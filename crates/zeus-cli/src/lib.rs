@@ -309,6 +309,18 @@ fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
             ("--bridges", false),
             ("--transients", true),
         ]),
+        "fuzz" => flags.extend([
+            ("--seed", true),
+            ("--budget", true),
+            ("--jobs", true),
+            ("--size", true),
+            ("--cycles", true),
+            ("--vectors", true),
+            ("--corpus", true),
+            ("--replay", true),
+            ("--chaos", true),
+            ("--shrink-evals", true),
+        ]),
         _ => {}
     }
     flags
@@ -340,6 +352,11 @@ fn synopsis(cmd: &str) -> &'static str {
              [--coverage-target PCT] [--max-vectors N] [--backtrack-limit N] \
              [--emit-vectors FILE] [--json] [--bridges] [--transients C] \
              [limit flags]"
+        }
+        "fuzz" => {
+            "zeusc fuzz [--seed S] [--budget N] [--jobs N] [--size CLASS] \
+             [--cycles N] [--vectors N] [--corpus DIR] [--replay FILE ...] \
+             [--chaos ORACLE] [--shrink-evals N] [limit flags]"
         }
         "examples" => "zeusc examples",
         "help" => "zeusc help [command]",
@@ -405,15 +422,38 @@ fn detail(cmd: &str) -> &'static str {
              are still graded, emitted with a PARTIAL marker, and the exit\n\
              status is 130."
         }
+        "fuzz" => {
+            "Differential fuzzing: generates --budget seeded well-typed programs\n\
+             (default 100) and cross-checks the engines against each other —\n\
+             scalar vs packed simulation lane-for-lane, graph vs switch-level\n\
+             on the combinational subset, fault-campaign resume-from-every-\n\
+             prefix vs fresh run, and ATPG replay-equality — with every panic\n\
+             caught and classified. Failures are deduplicated by signature\n\
+             (oracle + Z-code + divergence site), shrunk by delta debugging,\n\
+             and written to --corpus (default fuzz-corpus/) as standalone\n\
+             .zeus reproducers whose comment header replays the exact check;\n\
+             reproducer paths are printed on stdout. Exit 0 on a clean\n\
+             budget, 2 when failures were found.\n\
+             Same --seed and --budget reproduce findings, reproducers and\n\
+             report byte for byte; --jobs only changes wall-clock time\n\
+             (default seed 0x2E051983).\n\
+             --replay FILE re-runs a reproducer: exit 0 when the failure no\n\
+             longer reproduces, 2 when it still does (repeatable).\n\
+             --chaos ORACLE plants an artificial divergence in one oracle\n\
+             (scalar-vs-packed, graph-vs-switch, resume-prefix, atpg-replay)\n\
+             to prove the plumbing detects, shrinks and persists it.\n\
+             --size (0..=2, default 2) bounds program complexity; --cycles,\n\
+             --vectors and --shrink-evals tune per-case effort."
+        }
         "examples" => "Lists the bundled example programs (usable as @name).",
         "help" => "Prints the command list, or one command's flags.",
         _ => "",
     }
 }
 
-const COMMANDS: [&str; 13] = [
+const COMMANDS: [&str; 14] = [
     "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "fault", "atpg",
-    "examples", "help",
+    "fuzz", "examples", "help",
 ];
 
 fn general_usage() -> String {
@@ -805,6 +845,7 @@ pub fn run(args: &[String], sess: &mut Session) -> Result<(), Failure> {
             Ok(())
         }
         "equiv" => cmd_equiv(&p, sess),
+        "fuzz" => cmd_fuzz(&p, sess),
         _ => cmd_elaborating(&p, sess),
     }
 }
@@ -1379,4 +1420,120 @@ fn cmd_atpg(
             Ok(())
         }
     }
+}
+
+/// Scratch directory for fuzz checkpoint journals, keyed by seed so
+/// concurrent campaigns with different seeds never collide.
+fn fuzz_scratch(seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("zeusc-fuzz-{seed:016x}"))
+}
+
+fn cmd_fuzz(p: &Parsed, sess: &mut Session) -> Result<(), Failure> {
+    if !p.positionals.is_empty() {
+        return Err(Failure::Usage(format!(
+            "`zeusc fuzz` takes no positional arguments\n\n{}",
+            command_usage("fuzz")
+        )));
+    }
+
+    // --replay mode: re-run reproducer files instead of a fresh budget.
+    let replays = p.values("--replay");
+    if !replays.is_empty() {
+        let mut reproduced = 0usize;
+        for path in replays {
+            let text = load_source(sess, path)?;
+            let seed_hint = 0x2E05_1983u64;
+            let outcome = zeus_fuzz::replay(&text, fuzz_scratch(seed_hint))
+                .map_err(|e| Failure::Usage(format!("{path}: {e}")))?;
+            let verdict = if outcome.reproduced {
+                reproduced += 1;
+                "REPRODUCED"
+            } else {
+                "clean"
+            };
+            wln!(
+                sess.out,
+                "{verdict:<10} {} {path}",
+                outcome.header.signature()
+            );
+        }
+        if reproduced > 0 {
+            return Err(Failure::Diags(format!(
+                "fuzz: {reproduced} reproducer(s) still fail"
+            )));
+        }
+        return Ok(());
+    }
+
+    let seed = match p.u64_value("--seed")? {
+        Some(s) => s,
+        None => {
+            // Fixed default, like sim/atpg: reproducible campaigns are
+            // the point, and the echo satisfies scripted reproduction.
+            wln!(
+                sess.err,
+                "seed      : {} (default; pass --seed to vary)",
+                0x2E05_1983u64
+            );
+            0x2E05_1983
+        }
+    };
+    let mut cfg = zeus_fuzz::FuzzConfig::new(
+        seed,
+        p.u64_nonzero("--budget")?.unwrap_or(100),
+        fuzz_scratch(seed),
+    );
+    cfg.jobs = match p.u64_value("--jobs")? {
+        Some(0) => return Err(Failure::Usage("--jobs must be at least 1".to_string())),
+        Some(n) => n as usize,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    if let Some(n) = p.u64_value("--size")? {
+        cfg.size = n as u32;
+    }
+    if let Some(n) = p.u64_nonzero("--cycles")? {
+        cfg.cycles = n as u32;
+    }
+    if let Some(n) = p.u64_nonzero("--vectors")? {
+        cfg.campaign_vectors = n as u32;
+    }
+    if let Some(n) = p.u64_nonzero("--shrink-evals")? {
+        cfg.max_shrink_evals = n as u32;
+    }
+    if let Some(name) = p.str_value("--chaos") {
+        let oracle = zeus_fuzz::Oracle::from_name(name).ok_or_else(|| {
+            Failure::Usage(format!(
+                "unknown --chaos oracle '{name}' (expected one of: scalar-vs-packed, \
+                 graph-vs-switch, resume-prefix, atpg-replay)"
+            ))
+        })?;
+        cfg.chaos = Some(oracle);
+    }
+    let mut limits = p.limits()?;
+    sess.merge_deadline(&mut limits);
+    cfg.limits = limits;
+
+    let report = zeus_fuzz::run_fuzz(&cfg);
+    w!(sess.out, "{}", report.render());
+
+    if report.failures.is_empty() {
+        return Ok(());
+    }
+    // Persist reproducers and print their paths on stdout — the exit-2
+    // contract scripts rely on.
+    let corpus = p.str_value("--corpus").unwrap_or("fuzz-corpus");
+    if sess.sources.is_none() {
+        std::fs::create_dir_all(corpus)
+            .map_err(|e| Failure::Usage(format!("cannot create {corpus}: {e}")))?;
+    }
+    wln!(sess.out, "");
+    for f in &report.failures {
+        let path = format!("{corpus}/{}", f.file_name);
+        sess.write_file(&path, &f.contents)?;
+        wln!(sess.out, "reproducer: {path}");
+    }
+    Err(Failure::Diags(format!(
+        "fuzz: {} unique failure(s) found; reproducers written to {corpus}/",
+        report.failures.len()
+    )))
 }

@@ -26,6 +26,29 @@ use crate::proto::{Request, Response};
 /// Total tries per request (1 initial + 4 retries).
 pub const MAX_ATTEMPTS: u32 = 5;
 
+/// The longest usable `AF_UNIX` socket path on this platform, in bytes:
+/// `sun_path` is 108 bytes on Linux and 104 on the BSD family (macOS),
+/// one of which the kernel needs for the NUL terminator. Checked up
+/// front so an over-long `--remote` path is a clear usage error instead
+/// of a confusing `connect()` failure from the OS.
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd"
+))]
+pub const MAX_SOCKET_PATH: usize = 103;
+/// The longest usable `AF_UNIX` socket path on this platform, in bytes.
+#[cfg(not(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd"
+)))]
+pub const MAX_SOCKET_PATH: usize = 107;
+
 /// First backoff delay; doubles each retry (25, 50, 100, 200 ms).
 pub const BASE_BACKOFF_MS: u64 = 25;
 
@@ -93,6 +116,14 @@ pub fn extract_remote_flags(args: &mut Vec<String>) -> Result<Option<RemoteOpts>
                 v
             }
         };
+        if socket.len() > MAX_SOCKET_PATH {
+            return Err(format!(
+                "error[Z401]: socket path is {} bytes, but AF_UNIX paths are limited to \
+                 {MAX_SOCKET_PATH} bytes on this platform; use a shorter path (e.g. under /tmp): \
+                 '{socket}'",
+                socket.len()
+            ));
+        }
         found = Some(RemoteOpts {
             socket: PathBuf::from(socket),
             fallback_local: name == "--remote-or-local",
@@ -277,6 +308,24 @@ mod tests {
         assert!(extract_remote_flags(&mut a).is_err());
         let mut b = argv(&["sim", "--remote"]);
         assert!(extract_remote_flags(&mut b).is_err());
+    }
+
+    #[test]
+    fn overlong_socket_path_is_a_clear_usage_error() {
+        // One byte past the platform limit: must be rejected up front
+        // with a Z-coded message, not handed to connect(2).
+        let long = format!("/tmp/{}", "s".repeat(MAX_SOCKET_PATH - 4));
+        assert_eq!(long.len(), MAX_SOCKET_PATH + 1);
+        let mut a = argv(&["sim", "--remote", &long, "@adders", "halfadder"]);
+        let err = extract_remote_flags(&mut a).expect_err("over-long path rejected");
+        assert!(err.contains("Z401"), "{err}");
+        assert!(err.contains("AF_UNIX"), "{err}");
+        assert!(err.contains(&format!("{MAX_SOCKET_PATH} bytes")), "{err}");
+        // Exactly at the limit is fine (the parse layer's job ends here;
+        // whether the socket exists is connect()'s business).
+        let ok = format!("/tmp/{}", "s".repeat(MAX_SOCKET_PATH - 5));
+        let mut b = argv(&["sim", "--remote", &ok, "@adders", "halfadder"]);
+        assert!(extract_remote_flags(&mut b).unwrap().is_some());
     }
 
     #[test]

@@ -1135,3 +1135,114 @@ fn sigint_mid_atpg_emits_the_partial_vector_set() {
     }
     let _ = std::fs::remove_file(&vec_path);
 }
+
+// ---------------------------------------------------------------------
+// zeusc fuzz
+// ---------------------------------------------------------------------
+
+#[test]
+fn fuzz_prints_default_seed_on_stderr() {
+    let (code, _, stderr) = zeusc_code(&["fuzz", "--budget", "1"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stderr.contains("seed      : 772086147 (default; pass --seed to vary)"),
+        "{stderr}"
+    );
+    // With an explicit seed there is nothing to announce.
+    let (code, _, stderr) = zeusc_code(&["fuzz", "--budget", "1", "--seed", "5"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(!stderr.contains("seed"), "{stderr}");
+}
+
+#[test]
+fn fuzz_clean_budget_exits_zero() {
+    let (code, stdout, stderr) = zeusc_code(&["fuzz", "--budget", "4", "--seed", "3"]);
+    assert_eq!(code, 0, "{stdout}\n{stderr}");
+    assert!(stdout.contains("failures  : 0 raw, 0 unique"), "{stdout}");
+}
+
+#[test]
+fn fuzz_chaos_finds_persists_and_replays() {
+    let corpus = std::env::temp_dir().join("zeusc-fuzz-test-chaos");
+    let _ = std::fs::remove_dir_all(&corpus);
+    let corpus_s = corpus.to_str().unwrap();
+    let (code, stdout, stderr) = zeusc_code(&[
+        "fuzz",
+        "--seed",
+        "9",
+        "--budget",
+        "4",
+        "--chaos",
+        "scalar-vs-packed",
+        "--shrink-evals",
+        "16",
+        "--corpus",
+        corpus_s,
+    ]);
+    assert_eq!(code, 2, "{stdout}\n{stderr}");
+    assert!(stdout.contains("scalar-vs-packed:Z301:"), "{stdout}");
+    // The reproducer path is on stdout and the file exists.
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("reproducer: "))
+        .expect("reproducer path on stdout");
+    let path = line.trim_start_matches("reproducer: ");
+    let text = std::fs::read_to_string(path).expect("reproducer written");
+    assert!(text.starts_with("<* zeus-fuzz reproducer v1"), "{text}");
+    // Replaying it still fails (exit 2)...
+    let (code, stdout, _) = zeusc_code(&["fuzz", "--replay", path]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("REPRODUCED"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+#[test]
+fn fuzz_is_byte_deterministic_across_runs_and_jobs() {
+    let run = |jobs: &str, tag: &str| {
+        let corpus = std::env::temp_dir().join(format!("zeusc-fuzz-test-det-{tag}"));
+        let _ = std::fs::remove_dir_all(&corpus);
+        let corpus_s = corpus.to_str().unwrap().to_string();
+        let (code, stdout, _) = zeusc_code(&[
+            "fuzz",
+            "--seed",
+            "11",
+            "--budget",
+            "6",
+            "--jobs",
+            jobs,
+            "--chaos",
+            "scalar-vs-packed",
+            "--shrink-evals",
+            "16",
+            "--corpus",
+            &corpus_s,
+        ]);
+        assert_eq!(code, 2, "{stdout}");
+        let mut files: Vec<(String, String)> = std::fs::read_dir(&corpus)
+            .expect("corpus dir")
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        let _ = std::fs::remove_dir_all(&corpus);
+        // The report is deterministic; the corpus path is not part of it.
+        let report = stdout.replace(&corpus_s, "CORPUS");
+        (report, files)
+    };
+    let a = run("1", "a");
+    let b = run("4", "b");
+    assert_eq!(a.0, b.0, "report differs between --jobs 1 and --jobs 4");
+    assert_eq!(a.1, b.1, "reproducers differ between --jobs 1 and --jobs 4");
+}
+
+#[test]
+fn fuzz_rejects_unknown_chaos_oracle() {
+    let (code, _, stderr) = zeusc_code(&["fuzz", "--budget", "1", "--chaos", "bogus"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("unknown --chaos oracle"), "{stderr}");
+}

@@ -82,7 +82,12 @@ pub struct Store {
     /// Tear every Nth write: write only half the bytes, non-atomically,
     /// simulating power loss mid-write (0 = off).
     chaos_tear: AtomicU64,
+    /// Treat every Nth swept entry as unreadable (0 = off). The tests
+    /// run with privileges that read through `chmod 0`, so permission
+    /// loss has to be injected rather than staged on disk.
+    chaos_unreadable: AtomicU64,
     writes: AtomicU64,
+    swept: AtomicU64,
     /// Hit/miss/quarantine counters.
     pub stats: StoreStats,
 }
@@ -107,12 +112,14 @@ impl Store {
             designs: Mutex::new(HashMap::new()),
             chaos_fail: AtomicU64::new(0),
             chaos_tear: AtomicU64::new(0),
+            chaos_unreadable: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            swept: AtomicU64::new(0),
             stats: StoreStats::default(),
         };
-        std::fs::create_dir_all(store.objects_dir())?;
-        std::fs::create_dir_all(store.quarantine_dir())?;
-        std::fs::create_dir_all(store.journal_dir())?;
+        ensure_dir(&store.objects_dir())?;
+        ensure_dir(&store.quarantine_dir())?;
+        ensure_dir(&store.journal_dir())?;
         let report = store.recover();
         Ok((store, report))
     }
@@ -145,6 +152,13 @@ impl Store {
         self.chaos_tear.store(n, Ordering::Relaxed);
     }
 
+    /// Makes every `n`th entry swept by [`Store::recover`] read as
+    /// unreadable (`0` disables), as if its permissions were lost. The
+    /// sweep must quarantine it and keep serving the rest.
+    pub fn chaos_unreadable_every(&self, n: u64) {
+        self.chaos_unreadable.store(n, Ordering::Relaxed);
+    }
+
     /// Verifies every on-disk entry, quarantining failures and sweeping
     /// orphaned temp files. Called by [`Store::open`]; harmless to call
     /// again.
@@ -162,9 +176,21 @@ impl Store {
                 report.tmp_removed += 1;
                 continue;
             }
-            match read_verified(&path) {
+            let n = self.swept.fetch_add(1, Ordering::Relaxed) + 1;
+            let unreadable = self.chaos_unreadable.load(Ordering::Relaxed);
+            let verified = if unreadable != 0 && n.is_multiple_of(unreadable) {
+                None
+            } else {
+                read_verified(&path)
+            };
+            match verified {
                 Some(_) => report.ok += 1,
                 None => {
+                    // Covers torn and bit-flipped entries, but also
+                    // unreadable files and whole subdirectories that
+                    // appeared under objects/: rename needs only write
+                    // access to the parents, so quarantining works even
+                    // when reading the entry does not.
                     self.quarantine(&path);
                     report.quarantined += 1;
                 }
@@ -236,6 +262,23 @@ impl Store {
             self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// Creates a store directory, moving aside anything that is squatting
+/// on the path as a non-directory (e.g. a stray `objects` file left by
+/// a misbehaving tool). The squatter is kept as `<name>.corrupt.<n>` —
+/// like quarantine, it is evidence, not garbage.
+fn ensure_dir(path: &Path) -> io::Result<()> {
+    if path.exists() && !path.is_dir() {
+        for i in 0.. {
+            let dest = path.with_extension(format!("corrupt.{i}"));
+            if !dest.exists() {
+                std::fs::rename(path, &dest)?;
+                break;
+            }
+        }
+    }
+    std::fs::create_dir_all(path)
 }
 
 /// Header + checksummed body for one entry.
@@ -415,6 +458,98 @@ mod tests {
         std::fs::copy(store.entry_path("sim", 0xA), store.entry_path("sim", 0xB)).unwrap();
         assert_eq!(store.get_text("sim", 0xB), None);
         assert_eq!(store.get_text("sim", 0xA).as_deref(), Some("for slot A\n"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn hostile_subdirectory_in_objects_is_quarantined() {
+        let root = tmp_root("subdir");
+        let (store, _) = Store::open(&root).unwrap();
+        store.put_text("sim", 1, "good entry\n");
+
+        // A directory (readonly, non-empty) appears under objects/ —
+        // say a botched restore from backup. The sweep cannot read it
+        // as an entry; it must move it aside and keep serving.
+        let evil = store.objects_dir().join("evil");
+        std::fs::create_dir(&evil).unwrap();
+        std::fs::write(evil.join("junk"), b"not an entry").unwrap();
+        let mut perms = std::fs::metadata(&evil).unwrap().permissions();
+        perms.set_readonly(true);
+        std::fs::set_permissions(&evil, perms).unwrap();
+
+        let (reopened, report) = Store::open(&root).unwrap();
+        assert_eq!(
+            report,
+            RecoveryReport {
+                ok: 1,
+                quarantined: 1,
+                tmp_removed: 0
+            }
+        );
+        assert!(!evil.exists(), "hostile subdirectory left in objects/");
+        let moved = reopened.quarantine_dir().join("evil.0");
+        assert!(moved.is_dir(), "hostile subdirectory not kept as evidence");
+        assert_eq!(reopened.get_text("sim", 1).as_deref(), Some("good entry\n"));
+        reopened.put_text("sim", 2, "still writable\n");
+        assert_eq!(
+            reopened.get_text("sim", 2).as_deref(),
+            Some("still writable\n")
+        );
+
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&moved, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn chaos_unreadable_sweep_quarantines_and_keeps_serving() {
+        let root = tmp_root("unreadable");
+        let (store, _) = Store::open(&root).unwrap();
+        store.put_text("sim", 1, "one\n");
+        store.put_text("sim", 2, "two\n");
+
+        // Every second swept entry reads as unreadable: exactly one of
+        // the two is quarantined, whichever order the sweep visits.
+        store.chaos_unreadable_every(2);
+        let report = store.recover();
+        store.chaos_unreadable_every(0);
+        assert_eq!(report.ok, 1, "{report:?}");
+        assert_eq!(report.quarantined, 1, "{report:?}");
+        assert_eq!(
+            std::fs::read_dir(store.quarantine_dir()).unwrap().count(),
+            1,
+            "unreadable entry not kept as evidence"
+        );
+
+        // The survivor is still served and the quarantined slot is
+        // rebuildable: the store kept serving through permission loss.
+        let survivors = (1..=2u64)
+            .filter(|k| store.get_text("sim", *k).is_some())
+            .count();
+        assert_eq!(survivors, 1);
+        store.put_text("sim", 3, "after\n");
+        assert_eq!(store.get_text("sim", 3).as_deref(), Some("after\n"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn objects_path_squatted_by_a_file_is_moved_aside() {
+        let root = tmp_root("squat");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("objects"), b"i am not a directory").unwrap();
+
+        let (store, report) = Store::open(&root).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(
+            std::fs::read(root.join("objects.corrupt.0")).unwrap(),
+            b"i am not a directory",
+            "squatting file not kept as evidence"
+        );
+        store.put_text("sim", 5, "works\n");
+        assert_eq!(store.get_text("sim", 5).as_deref(), Some("works\n"));
         let _ = std::fs::remove_dir_all(&root);
     }
 

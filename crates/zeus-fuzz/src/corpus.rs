@@ -1,0 +1,248 @@
+//! Reproducer files: standalone `.zeus` programs with a replay header.
+//!
+//! A reproducer is a normal Zeus source file whose leading comment
+//! (`<* … *>`) records everything needed to re-run the failing check
+//! without the original fuzz campaign:
+//!
+//! ```text
+//! <* zeus-fuzz reproducer v1
+//!    seed      : 42
+//!    case      : 17
+//!    vec-seed  : 9857773963747261489
+//!    oracle    : scalar-vs-packed
+//!    code      : Z301
+//!    site      : o0@c3
+//!    top       : c2
+//!    cycles    : 6
+//!    vectors   : 8
+//!    atpg-max  : 16
+//!    chaos     : -
+//! *>
+//! TYPE c2 = COMPONENT … ;
+//! ```
+//!
+//! `zeusc fuzz --replay FILE` parses the header, runs
+//! [`run_case`](crate::oracle::run_case) on the program below it with
+//! the recorded knobs, and reports whether the recorded signature still
+//! reproduces. Because the header is a comment, the file also remains
+//! directly usable with every other `zeusc` subcommand.
+//!
+//! File names are content-addressed by signature —
+//! `zf-<fnv64(signature)>.zeus` — so re-finding a known failure
+//! overwrites its reproducer instead of multiplying files.
+
+use zeus::StableHasher;
+
+use crate::oracle::Oracle;
+
+/// The parsed replay header of a reproducer file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayHeader {
+    /// Campaign seed the failure was found under.
+    pub seed: u64,
+    /// Case index within the campaign.
+    pub case: u64,
+    /// Derived seed for the oracle input-vector streams.
+    pub vec_seed: u64,
+    /// The oracle that fired.
+    pub oracle: Oracle,
+    /// Z-code class of the failure.
+    pub code: String,
+    /// Divergence site.
+    pub site: String,
+    /// Top component to elaborate.
+    pub top: String,
+    /// Simulation cycles per differential oracle.
+    pub cycles: u32,
+    /// Campaign vectors per fault.
+    pub vectors: u32,
+    /// ATPG vector cap.
+    pub atpg_max: usize,
+    /// Chaos injection the failure was recorded under (`-` = none).
+    pub chaos: Option<Oracle>,
+}
+
+impl ReplayHeader {
+    /// The deduplication signature this reproducer must re-trigger.
+    pub fn signature(&self) -> String {
+        format!("{}:{}:{}", self.oracle.name(), self.code, self.site)
+    }
+
+    /// Content-addressed file name for this failure class.
+    pub fn file_name(&self) -> String {
+        let mut h = StableHasher::new();
+        h.write_bytes(self.signature().as_bytes());
+        format!("zf-{:016x}.zeus", h.finish())
+    }
+
+    /// Renders the reproducer file: header comment plus program text.
+    pub fn render(&self, program: &str) -> String {
+        let chaos = self.chaos.map(Oracle::name).unwrap_or("-");
+        format!(
+            "<* zeus-fuzz reproducer v1\n   \
+             seed      : {}\n   \
+             case      : {}\n   \
+             vec-seed  : {}\n   \
+             oracle    : {}\n   \
+             code      : {}\n   \
+             site      : {}\n   \
+             top       : {}\n   \
+             cycles    : {}\n   \
+             vectors   : {}\n   \
+             atpg-max  : {}\n   \
+             chaos     : {}\n\
+             *>\n{}",
+            self.seed,
+            self.case,
+            self.vec_seed,
+            self.oracle.name(),
+            self.code,
+            self.site,
+            self.top,
+            self.cycles,
+            self.vectors,
+            self.atpg_max,
+            chaos,
+            program,
+        )
+    }
+
+    /// Parses a reproducer file back into `(header, program text)`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing or malformed field;
+    /// never panics, whatever the input.
+    pub fn parse(text: &str) -> Result<(ReplayHeader, String), String> {
+        let rest = text
+            .strip_prefix("<* zeus-fuzz reproducer v1")
+            .ok_or("not a zeus-fuzz reproducer (missing '<* zeus-fuzz reproducer v1' header)")?;
+        let end = rest
+            .find("*>")
+            .ok_or("unterminated reproducer header (no '*>')")?;
+        let (head, tail) = rest.split_at(end);
+        let program = tail["*>".len()..].trim_start_matches('\n').to_string();
+
+        let field = |key: &str| -> Result<String, String> {
+            for line in head.lines() {
+                let line = line.trim();
+                if let Some(v) = line.strip_prefix(key) {
+                    let v = v.trim_start();
+                    if let Some(v) = v.strip_prefix(':') {
+                        return Ok(v.trim().to_string());
+                    }
+                }
+            }
+            Err(format!("reproducer header is missing '{key}'"))
+        };
+        let uint = |key: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("reproducer field '{key}' is not a number: '{v}'"))
+        };
+
+        let seed = uint("seed", field("seed")?)?;
+        let case = uint("case", field("case")?)?;
+        let vec_seed = uint("vec-seed", field("vec-seed")?)?;
+        let oracle_name = field("oracle")?;
+        let oracle = Oracle::from_name(&oracle_name)
+            .ok_or_else(|| format!("unknown oracle '{oracle_name}' in reproducer header"))?;
+        let code = field("code")?;
+        let site = field("site")?;
+        let top = field("top")?;
+        let cycles = uint("cycles", field("cycles")?)? as u32;
+        let vectors = uint("vectors", field("vectors")?)? as u32;
+        let atpg_max = uint("atpg-max", field("atpg-max")?)? as usize;
+        let chaos_name = field("chaos")?;
+        let chaos = if chaos_name == "-" {
+            None
+        } else {
+            Some(
+                Oracle::from_name(&chaos_name)
+                    .ok_or_else(|| format!("unknown chaos oracle '{chaos_name}'"))?,
+            )
+        };
+        Ok((
+            ReplayHeader {
+                seed,
+                case,
+                vec_seed,
+                oracle,
+                code,
+                site,
+                top,
+                cycles,
+                vectors,
+                atpg_max,
+                chaos,
+            },
+            program,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReplayHeader {
+        ReplayHeader {
+            seed: 42,
+            case: 17,
+            vec_seed: 985777,
+            oracle: Oracle::ScalarVsPacked,
+            code: "Z301".to_string(),
+            site: "o0@c3".to_string(),
+            top: "c2".to_string(),
+            cycles: 6,
+            vectors: 8,
+            atpg_max: 16,
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = sample();
+        let text =
+            h.render("TYPE c2 = COMPONENT (IN a: boolean; OUT o: boolean) IS\nBEGIN o := a END;\n");
+        let (h2, program) = ReplayHeader::parse(&text).expect("parses");
+        assert_eq!(h, h2);
+        assert!(program.starts_with("TYPE c2"));
+        // The header is a legal Zeus comment: the whole file parses.
+        zeus::Zeus::parse(&text).expect("reproducer is valid Zeus source");
+    }
+
+    #[test]
+    fn chaos_field_round_trips() {
+        let mut h = sample();
+        h.chaos = Some(Oracle::AtpgReplay);
+        let text = h.render("X");
+        let (h2, _) = ReplayHeader::parse(&text).expect("parses");
+        assert_eq!(h2.chaos, Some(Oracle::AtpgReplay));
+    }
+
+    #[test]
+    fn file_name_depends_only_on_signature() {
+        let a = sample();
+        let mut b = sample();
+        b.seed = 999;
+        b.case = 0;
+        assert_eq!(a.file_name(), b.file_name());
+        let mut c = sample();
+        c.site = "o1@c0".to_string();
+        assert_ne!(a.file_name(), c.file_name());
+    }
+
+    #[test]
+    fn hostile_headers_error_without_panicking() {
+        for bad in [
+            "",
+            "<* zeus-fuzz reproducer v1",
+            "<* zeus-fuzz reproducer v1 *>",
+            "<* zeus-fuzz reproducer v1\n   seed : x\n*>",
+            "garbage",
+        ] {
+            assert!(ReplayHeader::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

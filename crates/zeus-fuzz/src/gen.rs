@@ -1,0 +1,453 @@
+//! Seeded grammar-based generator of well-typed Zeus programs.
+//!
+//! The generator builds [`zeus_syntax::ast`] trees directly — never raw
+//! text — so every emitted program is well-formed by construction and
+//! the canonical printer ([`zeus_syntax::print_program`]) turns it into
+//! source that must round-trip through the real parser. Determinism is
+//! absolute: the same `(seed, case)` pair produces the same program on
+//! every run, platform and thread count, because the only entropy
+//! source is the in-tree `StdRng` (xoshiro256**, splitmix-seeded).
+//!
+//! The grammar is a conservative, *semantically safe* subset of Zeus:
+//!
+//! * one `TYPE` section holding 1..=3 component definitions; the last
+//!   one is the top,
+//! * boolean and `ARRAY [1..w] OF boolean` ports (IN and OUT),
+//! * single-assignment bodies: each local wire and each OUT bit has
+//!   exactly one driver, built from `AND`/`OR`/`XOR`/`NAND`/`NOR`
+//!   call expressions and prefix `NOT` over earlier-defined signals
+//!   (no combinational cycles by construction),
+//! * optional `REG` state with reset-clearable inputs
+//!   (`r.in := AND(e, NOT RSET)`, the paper's counter idiom), so the
+//!   post-reset state is defined in every engine,
+//! * optional instantiation of a previously defined boolean-only
+//!   component through a connection statement,
+//! * optional `FOR` replication over same-width array ports.
+//!
+//! The *budget* knob of `zeusc fuzz` is the number of cases, not the
+//! size of one case: each case derives its private RNG from
+//! `(seed, case)` and draws a fresh program.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeus_syntax::ast::{
+    AssignOp, ComponentBody, ComponentType, ConstExpr, Decl, Expr, FParams, Ident, Mode, Program,
+    Selector, Signal, SignalDef, SignalRef, Stmt, Type, TypeDef,
+};
+use zeus_syntax::Span;
+
+/// How large one generated case may grow. `0` is minimal (one small
+/// combinational component); higher classes unlock state, instances,
+/// replication and wider ports. The CLI default is 2.
+pub const DEFAULT_SIZE: u32 = 2;
+
+/// A generated case: the AST, its printed form's top component name.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The program tree (kept for the minimizer).
+    pub program: Program,
+    /// Name of the component type to elaborate.
+    pub top: String,
+}
+
+/// Mixes the campaign seed and case index into one 64-bit stream seed.
+/// `lane` separates independent consumers (generator vs input vectors)
+/// so shrinking one never perturbs the other.
+pub fn case_seed(seed: u64, case: u64, lane: u64) -> u64 {
+    // splitmix64-style finalizer over the three inputs.
+    let mut z = seed
+        .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(lane.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn ident(name: impl Into<String>) -> Ident {
+    Ident::synthetic(name)
+}
+
+fn num(n: i64) -> ConstExpr {
+    ConstExpr::Num(n, Span::dummy())
+}
+
+fn boolean() -> Type {
+    Type::Named {
+        name: ident("boolean"),
+        args: Vec::new(),
+    }
+}
+
+fn bool_array(width: i64) -> Type {
+    Type::Array {
+        lo: num(1),
+        hi: num(width),
+        elem: Box::new(boolean()),
+        span: Span::dummy(),
+    }
+}
+
+fn sig(base: &str, sels: Vec<Selector>) -> SignalRef {
+    SignalRef {
+        base: ident(base),
+        sels,
+        span: Span::dummy(),
+    }
+}
+
+fn sig_expr(r: &SignalRef) -> Expr {
+    Expr::Sig(r.clone())
+}
+
+/// One port of a generated component.
+#[derive(Debug, Clone)]
+struct GenPort {
+    name: String,
+    /// 0 = plain boolean, otherwise the array width.
+    width: i64,
+}
+
+impl GenPort {
+    fn ty(&self) -> Type {
+        if self.width == 0 {
+            boolean()
+        } else {
+            bool_array(self.width)
+        }
+    }
+
+    /// All 1-bit references this port contributes to the operand pool.
+    fn bit_refs(&self) -> Vec<SignalRef> {
+        if self.width == 0 {
+            vec![sig(&self.name, Vec::new())]
+        } else {
+            (1..=self.width)
+                .map(|i| sig(&self.name, vec![Selector::Index(num(i))]))
+                .collect()
+        }
+    }
+}
+
+/// Interface summary of an already-generated component, used when a
+/// later component instantiates it.
+#[derive(Debug, Clone)]
+struct GenComponent {
+    name: String,
+    ins: Vec<GenPort>,
+    outs: Vec<GenPort>,
+}
+
+impl GenComponent {
+    /// Only boolean-only components are instantiated (keeps actual
+    /// parameter lists trivially well-typed).
+    fn instantiable(&self) -> bool {
+        self.ins.iter().chain(&self.outs).all(|p| p.width == 0)
+    }
+}
+
+const GATES: [&str; 5] = ["AND", "OR", "XOR", "NAND", "NOR"];
+
+/// A random expression over the operand pool, at most `depth` gates deep.
+fn gen_expr(rng: &mut StdRng, pool: &[SignalRef], depth: u32) -> Expr {
+    if depth == 0 || pool.is_empty() || rng.gen_bool(0.35) {
+        let r = &pool[rng.gen_range(0..pool.len())];
+        return sig_expr(r);
+    }
+    if rng.gen_bool(0.2) {
+        return Expr::Not(Box::new(gen_expr(rng, pool, depth - 1)), Span::dummy());
+    }
+    let gate = GATES[rng.gen_range(0..GATES.len())];
+    let args = vec![
+        gen_expr(rng, pool, depth - 1),
+        gen_expr(rng, pool, depth - 1),
+    ];
+    Expr::Call {
+        name: ident(gate),
+        type_args: Vec::new(),
+        args,
+        span: Span::dummy(),
+    }
+}
+
+/// `AND(e, NOT RSET)` — the reset-clearable register input idiom.
+fn reset_clearable(e: Expr) -> Expr {
+    let rset = Expr::Sig(sig("RSET", Vec::new()));
+    Expr::Call {
+        name: ident("AND"),
+        type_args: Vec::new(),
+        args: vec![e, Expr::Not(Box::new(rset), Span::dummy())],
+        span: Span::dummy(),
+    }
+}
+
+fn assign(lhs: SignalRef, rhs: Expr) -> Stmt {
+    Stmt::Assign {
+        lhs: Signal::Ref(lhs),
+        op: AssignOp::Define,
+        rhs,
+        span: Span::dummy(),
+    }
+}
+
+/// Generates one component, returning its TypeDef and interface.
+fn gen_component(
+    rng: &mut StdRng,
+    name: &str,
+    size: u32,
+    earlier: &[GenComponent],
+) -> (TypeDef, GenComponent) {
+    let widths_allowed = size >= 1;
+    let n_in = rng.gen_range(1..=3usize);
+    let ins: Vec<GenPort> = (0..n_in)
+        .map(|i| GenPort {
+            name: format!("i{i}"),
+            width: if widths_allowed && rng.gen_bool(0.3) {
+                rng.gen_range(2..=4i64)
+            } else {
+                0
+            },
+        })
+        .collect();
+    let n_out = rng.gen_range(1..=2usize);
+    let outs: Vec<GenPort> = (0..n_out)
+        .map(|i| GenPort {
+            name: format!("o{i}"),
+            width: if widths_allowed && rng.gen_bool(0.25) {
+                rng.gen_range(2..=3i64)
+            } else {
+                0
+            },
+        })
+        .collect();
+
+    // Operand pool: every input bit, then register outputs, then locals
+    // as they acquire drivers (no forward references → no cycles).
+    let mut pool: Vec<SignalRef> = ins.iter().flat_map(|p| p.bit_refs()).collect();
+
+    let n_reg = if size >= 1 && rng.gen_bool(0.4) {
+        rng.gen_range(1..=2usize)
+    } else {
+        0
+    };
+    for r in 0..n_reg {
+        pool.push(sig(&format!("r{r}"), vec![Selector::Field(ident("out"))]));
+    }
+
+    let mut decls: Vec<SignalDef> = Vec::new();
+    if n_reg > 0 {
+        decls.push(SignalDef {
+            names: (0..n_reg).map(|r| ident(format!("r{r}"))).collect(),
+            ty: Type::Named {
+                name: ident("REG"),
+                args: Vec::new(),
+            },
+        });
+    }
+
+    let mut stmts: Vec<Stmt> = Vec::new();
+
+    // Optional instance of an earlier boolean-only component.
+    let candidates: Vec<&GenComponent> = earlier.iter().filter(|c| c.instantiable()).collect();
+    if size >= 2 && !candidates.is_empty() && rng.gen_bool(0.5) {
+        let inst_of = candidates[rng.gen_range(0..candidates.len())];
+        decls.push(SignalDef {
+            names: vec![ident("g0")],
+            ty: Type::Named {
+                name: ident(inst_of.name.clone()),
+                args: Vec::new(),
+            },
+        });
+        // IN actuals come from the current pool; OUT actuals are fresh
+        // local wires that join the pool afterwards.
+        let mut actuals: Vec<Expr> = Vec::new();
+        for _ in &inst_of.ins {
+            let r = &pool[rng.gen_range(0..pool.len())];
+            actuals.push(sig_expr(r));
+        }
+        let mut fresh = Vec::new();
+        for (j, _) in inst_of.outs.iter().enumerate() {
+            let w = sig(&format!("t{j}"), Vec::new());
+            actuals.push(sig_expr(&w));
+            fresh.push(w);
+        }
+        decls.push(SignalDef {
+            names: fresh.iter().map(|w| w.base.clone()).collect(),
+            ty: boolean(),
+        });
+        stmts.push(Stmt::Connection {
+            target: sig("g0", Vec::new()),
+            args: Some(Expr::Tuple(actuals, Span::dummy())),
+            span: Span::dummy(),
+        });
+        pool.extend(fresh);
+    }
+
+    // Local wires, each driven once, joining the pool in order.
+    let n_local = rng.gen_range(0..=3usize);
+    if n_local > 0 {
+        decls.push(SignalDef {
+            names: (0..n_local).map(|l| ident(format!("w{l}"))).collect(),
+            ty: boolean(),
+        });
+        for l in 0..n_local {
+            let w = sig(&format!("w{l}"), Vec::new());
+            let rhs = gen_expr(rng, &pool, 2);
+            stmts.push(assign(w.clone(), rhs));
+            pool.push(w);
+        }
+    }
+
+    // Register inputs: reset-clearable so the post-reset state is
+    // defined, and self-feeding (`OR(e, r.out)`) so every register's
+    // `out` port is provably used — Zeus rejects instances with open
+    // unconnected ports.
+    for r in 0..n_reg {
+        let lhs = sig(&format!("r{r}"), vec![Selector::Field(ident("in"))]);
+        let own_out = sig_expr(&sig(&format!("r{r}"), vec![Selector::Field(ident("out"))]));
+        let fed = Expr::Call {
+            name: ident("OR"),
+            type_args: Vec::new(),
+            args: vec![gen_expr(rng, &pool, 2), own_out],
+            span: Span::dummy(),
+        };
+        stmts.push(assign(lhs, reset_clearable(fed)));
+    }
+
+    // Every OUT bit gets exactly one driver. Same-width array-in /
+    // array-out pairs may use a FOR replication instead.
+    for out in &outs {
+        if out.width == 0 {
+            stmts.push(assign(sig(&out.name, Vec::new()), gen_expr(rng, &pool, 2)));
+            continue;
+        }
+        let matching: Vec<&GenPort> = ins.iter().filter(|p| p.width == out.width).collect();
+        if size >= 1 && !matching.is_empty() && rng.gen_bool(0.5) {
+            let src = matching[rng.gen_range(0..matching.len())];
+            let i = ident("i");
+            let idx = ConstExpr::Name(i.clone());
+            let body = vec![assign(
+                sig(&out.name, vec![Selector::Index(idx.clone())]),
+                Expr::Not(
+                    Box::new(sig_expr(&sig(&src.name, vec![Selector::Index(idx)]))),
+                    Span::dummy(),
+                ),
+            )];
+            stmts.push(Stmt::For {
+                var: i,
+                from: num(1),
+                to: num(out.width),
+                downto: false,
+                sequentially: false,
+                body,
+                span: Span::dummy(),
+            });
+        } else {
+            for b in 1..=out.width {
+                stmts.push(assign(
+                    sig(&out.name, vec![Selector::Index(num(b))]),
+                    gen_expr(rng, &pool, 2),
+                ));
+            }
+        }
+    }
+
+    let mut params = Vec::new();
+    for p in &ins {
+        params.push(FParams {
+            mode: Mode::In,
+            names: vec![ident(p.name.clone())],
+            ty: p.ty(),
+        });
+    }
+    for p in &outs {
+        params.push(FParams {
+            mode: Mode::Out,
+            names: vec![ident(p.name.clone())],
+            ty: p.ty(),
+        });
+    }
+
+    let body = ComponentBody {
+        uses: None,
+        decls: if decls.is_empty() {
+            Vec::new()
+        } else {
+            vec![Decl::Signal(decls)]
+        },
+        layout: Vec::new(),
+        stmts,
+    };
+    let def = TypeDef {
+        name: ident(name),
+        params: Vec::new(),
+        ty: Type::Component(Box::new(ComponentType {
+            params,
+            header_layout: Vec::new(),
+            result: None,
+            body: Some(body),
+            span: Span::dummy(),
+        })),
+    };
+    let iface = GenComponent {
+        name: name.to_string(),
+        ins,
+        outs,
+    };
+    (def, iface)
+}
+
+/// Generates the program for one fuzz case.
+pub fn generate(seed: u64, case: u64, size: u32) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(case_seed(seed, case, 0));
+    let n_comps = 1 + rng.gen_range(0..=size.min(2)) as usize;
+    let mut defs = Vec::new();
+    let mut comps: Vec<GenComponent> = Vec::new();
+    for k in 0..n_comps {
+        let name = format!("c{k}");
+        let (def, iface) = gen_component(&mut rng, &name, size, &comps);
+        defs.push(def);
+        comps.push(iface);
+    }
+    let top = comps.last().expect("at least one component").name.clone();
+    GenProgram {
+        program: Program {
+            decls: vec![Decl::Type(defs)],
+        },
+        top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_syntax::print_program;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for case in 0..16 {
+            let a = generate(42, case, DEFAULT_SIZE);
+            let b = generate(42, case, DEFAULT_SIZE);
+            assert_eq!(print_program(&a.program), print_program(&b.program));
+            assert_eq!(a.top, b.top);
+        }
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let a = print_program(&generate(42, 0, DEFAULT_SIZE).program);
+        let b = print_program(&generate(42, 1, DEFAULT_SIZE).program);
+        assert_ne!(a, b, "case index must perturb the program");
+    }
+
+    #[test]
+    fn generated_programs_parse_check_and_elaborate() {
+        for case in 0..32 {
+            let g = generate(7, case, DEFAULT_SIZE);
+            let text = print_program(&g.program);
+            let z = zeus::Zeus::parse(&text)
+                .unwrap_or_else(|e| panic!("case {case} does not re-parse:\n{text}\n{e}"));
+            z.elaborate(&g.top, &[])
+                .unwrap_or_else(|e| panic!("case {case} does not elaborate:\n{text}\n{e}"));
+        }
+    }
+}

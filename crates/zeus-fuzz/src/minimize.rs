@@ -1,0 +1,360 @@
+//! Delta-debugging minimizer.
+//!
+//! Shrinks a failing program while preserving its failure *signature*
+//! (oracle + Z-code + divergence site — see
+//! [`Finding::signature`](crate::oracle::Finding::signature)). The
+//! caller supplies the predicate; this module only enumerates candidate
+//! edits and drives the greedy first-improvement loop, so it stays
+//! byte-deterministic: candidates are tried in a fixed structural order
+//! and the first one that still fails with the same signature wins each
+//! round.
+//!
+//! Candidate edits, coarse to fine:
+//!
+//! 1. drop a whole `TYPE` definition,
+//! 2. drop a statement (recursing into `FOR` bodies),
+//! 3. inline an instance (replace a connection statement with a direct
+//!    assignment of its first actual to its last),
+//! 4. drop a `SIGNAL` declaration, or one name from a multi-name one,
+//! 5. narrow an array bound (`[1..4]` → `[1..1]`, then `[1..3]`),
+//! 6. hoist a subexpression over its operator (`AND(a,b)` → `a`,
+//!    `NOT a` → `a`).
+//!
+//! Invalid candidates need no special casing: a program that no longer
+//! parses or elaborates produces a *different* signature when re-run,
+//! so the predicate rejects it.
+
+use zeus_syntax::ast::{
+    AssignOp, ComponentBody, ConstExpr, Decl, Expr, Program, Signal, Stmt, Type,
+};
+use zeus_syntax::Span;
+
+/// Greedy first-improvement delta debugging. Applies the first
+/// candidate edit that `keeps_failing` accepts, restarts from the
+/// smaller program, and stops when a full round yields nothing or
+/// `max_evals` predicate calls have been spent.
+pub fn minimize(
+    program: &Program,
+    max_evals: u32,
+    keeps_failing: &mut dyn FnMut(&Program) -> bool,
+) -> Program {
+    let mut best = program.clone();
+    let mut evals = 0u32;
+    'outer: loop {
+        for cand in shrink_candidates(&best) {
+            if evals >= max_evals {
+                break 'outer;
+            }
+            evals += 1;
+            if keeps_failing(&cand) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}
+
+/// All single-step shrink candidates of `p`, in a fixed order.
+pub fn shrink_candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    drop_typedefs(p, &mut out);
+    edit_bodies(p, &mut out, &mut drop_stmt_candidates);
+    edit_bodies(p, &mut out, &mut inline_instance_candidates);
+    edit_bodies(p, &mut out, &mut drop_signal_candidates);
+    narrow_widths(p, &mut out);
+    edit_bodies(p, &mut out, &mut hoist_expr_candidates);
+    out
+}
+
+/// Drops one `TYPE` definition at a time (only when more than one
+/// exists somewhere — an empty program can't reproduce anything).
+fn drop_typedefs(p: &Program, out: &mut Vec<Program>) {
+    let total: usize = p
+        .decls
+        .iter()
+        .map(|d| match d {
+            Decl::Type(defs) => defs.len(),
+            _ => 0,
+        })
+        .sum();
+    if total <= 1 {
+        return;
+    }
+    for (di, d) in p.decls.iter().enumerate() {
+        let Decl::Type(defs) = d else { continue };
+        for ti in 0..defs.len() {
+            let mut q = p.clone();
+            let Decl::Type(defs) = &mut q.decls[di] else {
+                unreachable!()
+            };
+            defs.remove(ti);
+            out.push(q);
+        }
+    }
+}
+
+/// Runs `f` over every component body, collecting one candidate program
+/// per edit `f` reports. `f` receives the body and pushes edited copies
+/// of it; this wrapper splices each copy back into a clone of `p`.
+fn edit_bodies(
+    p: &Program,
+    out: &mut Vec<Program>,
+    f: &mut dyn FnMut(&ComponentBody, &mut Vec<ComponentBody>),
+) {
+    for (di, d) in p.decls.iter().enumerate() {
+        let Decl::Type(defs) = d else { continue };
+        for (ti, def) in defs.iter().enumerate() {
+            let Type::Component(ct) = &def.ty else {
+                continue;
+            };
+            let Some(body) = &ct.body else { continue };
+            let mut edited = Vec::new();
+            f(body, &mut edited);
+            for b in edited {
+                let mut q = p.clone();
+                let Decl::Type(defs) = &mut q.decls[di] else {
+                    unreachable!()
+                };
+                let Type::Component(ct) = &mut defs[ti].ty else {
+                    unreachable!()
+                };
+                ct.body = Some(b);
+                out.push(q);
+            }
+        }
+    }
+}
+
+/// Paths of every statement, depth-first, recursing into `FOR` bodies.
+fn stmt_paths(stmts: &[Stmt], prefix: &[usize], out: &mut Vec<Vec<usize>>) {
+    for (i, s) in stmts.iter().enumerate() {
+        let mut path = prefix.to_vec();
+        path.push(i);
+        if let Stmt::For { body, .. } = s {
+            stmt_paths(body, &path, out);
+        }
+        out.push(path);
+    }
+}
+
+fn stmt_at_mut<'a>(stmts: &'a mut Vec<Stmt>, path: &[usize]) -> Option<&'a mut Vec<Stmt>> {
+    if path.len() == 1 {
+        return Some(stmts);
+    }
+    match &mut stmts[path[0]] {
+        Stmt::For { body, .. } => stmt_at_mut(body, &path[1..]),
+        _ => None,
+    }
+}
+
+fn drop_stmt_candidates(body: &ComponentBody, out: &mut Vec<ComponentBody>) {
+    let mut paths = Vec::new();
+    stmt_paths(&body.stmts, &[], &mut paths);
+    for path in paths {
+        let mut b = body.clone();
+        if let Some(list) = stmt_at_mut(&mut b.stmts, &path) {
+            list.remove(*path.last().expect("non-empty path"));
+            out.push(b);
+        }
+    }
+}
+
+/// Replaces `g0(a, ..., t)` with `t := a`: severs the instance while
+/// keeping its last actual (an output wire in generated programs)
+/// driven, so downstream readers stay legal.
+fn inline_instance_candidates(body: &ComponentBody, out: &mut Vec<ComponentBody>) {
+    for (i, s) in body.stmts.iter().enumerate() {
+        let Stmt::Connection {
+            args: Some(Expr::Tuple(actuals, _)),
+            ..
+        } = s
+        else {
+            continue;
+        };
+        if actuals.len() < 2 {
+            continue;
+        }
+        let Expr::Sig(last) = actuals.last().expect("len >= 2") else {
+            continue;
+        };
+        let mut b = body.clone();
+        b.stmts[i] = Stmt::Assign {
+            lhs: Signal::Ref(last.clone()),
+            op: AssignOp::Define,
+            rhs: actuals[0].clone(),
+            span: Span::dummy(),
+        };
+        out.push(b);
+    }
+}
+
+fn drop_signal_candidates(body: &ComponentBody, out: &mut Vec<ComponentBody>) {
+    for (di, d) in body.decls.iter().enumerate() {
+        let Decl::Signal(defs) = d else { continue };
+        for (si, def) in defs.iter().enumerate() {
+            // Drop the whole declaration line.
+            let mut b = body.clone();
+            let Decl::Signal(defs) = &mut b.decls[di] else {
+                unreachable!()
+            };
+            defs.remove(si);
+            if defs.is_empty() {
+                b.decls.remove(di);
+            }
+            out.push(b);
+            // Drop one name from a multi-name line.
+            if def.names.len() > 1 {
+                for ni in 0..def.names.len() {
+                    let mut b = body.clone();
+                    let Decl::Signal(defs) = &mut b.decls[di] else {
+                        unreachable!()
+                    };
+                    defs[si].names.remove(ni);
+                    out.push(b);
+                }
+            }
+        }
+    }
+}
+
+/// Collects every `ARRAY [Num..Num]` site (params and locals) and emits
+/// one candidate per site per narrowing step: first collapse to the low
+/// bound, then shave one element.
+fn narrow_widths(p: &Program, out: &mut Vec<Program>) {
+    let sites = count_array_sites(p);
+    for site in 0..sites {
+        for collapse in [true, false] {
+            let mut q = p.clone();
+            let mut k = 0usize;
+            let mut changed = false;
+            visit_types_mut(&mut q, &mut |ty| {
+                if let Type::Array { lo, hi, .. } = ty {
+                    if let (ConstExpr::Num(l, _), ConstExpr::Num(h, hs)) = (&*lo, &mut *hi) {
+                        if *h > *l {
+                            if k == site {
+                                *h = if collapse { *l } else { *h - 1 };
+                                let _ = hs;
+                                changed = true;
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            });
+            if changed {
+                out.push(q);
+            }
+        }
+    }
+}
+
+fn count_array_sites(p: &Program) -> usize {
+    let mut q = p.clone();
+    let mut k = 0usize;
+    visit_types_mut(&mut q, &mut |ty| {
+        if let Type::Array { lo, hi, .. } = ty {
+            if let (ConstExpr::Num(l, _), ConstExpr::Num(h, _)) = (&*lo, &*hi) {
+                if *h > *l {
+                    k += 1;
+                }
+            }
+        }
+    });
+    k
+}
+
+/// Visits every type node in the program, including array elements and
+/// component parameter/local types, in declaration order.
+fn visit_types_mut(p: &mut Program, f: &mut dyn FnMut(&mut Type)) {
+    fn visit_ty(ty: &mut Type, f: &mut dyn FnMut(&mut Type)) {
+        f(ty);
+        match ty {
+            Type::Array { elem, .. } => visit_ty(elem, f),
+            Type::Component(ct) => {
+                for param in &mut ct.params {
+                    visit_ty(&mut param.ty, f);
+                }
+                if let Some(body) = &mut ct.body {
+                    visit_decls(&mut body.decls, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn visit_decls(decls: &mut [Decl], f: &mut dyn FnMut(&mut Type)) {
+        for d in decls {
+            match d {
+                Decl::Type(defs) => {
+                    for def in defs {
+                        visit_ty(&mut def.ty, f);
+                    }
+                }
+                Decl::Signal(defs) => {
+                    for def in defs {
+                        visit_ty(&mut def.ty, f);
+                    }
+                }
+                Decl::Const(_) => {}
+            }
+        }
+    }
+    visit_decls(&mut p.decls, f);
+}
+
+/// `AND(a,b) := …` right-hand sides shrink toward their first operand;
+/// `NOT e` unwraps. One candidate per assignment with a shrinkable rhs.
+fn hoist_expr_candidates(body: &ComponentBody, out: &mut Vec<ComponentBody>) {
+    let mut paths = Vec::new();
+    stmt_paths(&body.stmts, &[], &mut paths);
+    for path in paths {
+        let mut b = body.clone();
+        let Some(list) = stmt_at_mut(&mut b.stmts, &path) else {
+            continue;
+        };
+        let idx = *path.last().expect("non-empty path");
+        let Stmt::Assign { rhs, .. } = &mut list[idx] else {
+            continue;
+        };
+        let smaller = match rhs {
+            Expr::Call { args, .. } if !args.is_empty() => args[0].clone(),
+            Expr::Not(inner, _) => (**inner).clone(),
+            _ => continue,
+        };
+        *rhs = smaller;
+        out.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DEFAULT_SIZE};
+    use zeus_syntax::print_program;
+
+    #[test]
+    fn candidates_are_deterministic_and_strictly_smaller_or_equal() {
+        let g = generate(3, 5, DEFAULT_SIZE);
+        let a = shrink_candidates(&g.program);
+        let b = shrink_candidates(&g.program);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(print_program(x), print_program(y));
+        }
+        assert!(!a.is_empty(), "a generated program offers shrink steps");
+    }
+
+    #[test]
+    fn minimize_reaches_a_local_minimum_under_a_text_predicate() {
+        // Predicate: "the text still mentions o0". The minimizer must
+        // keep shrinking while preserving it, deterministically.
+        let g = generate(11, 2, DEFAULT_SIZE);
+        let mut pred = |p: &Program| print_program(p).contains("o0");
+        let small = minimize(&g.program, 512, &mut pred);
+        let small2 = minimize(&g.program, 512, &mut pred);
+        assert_eq!(print_program(&small), print_program(&small2));
+        assert!(print_program(&small).len() <= print_program(&g.program).len());
+        assert!(print_program(&small).contains("o0"));
+    }
+}

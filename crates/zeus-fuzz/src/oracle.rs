@@ -1,0 +1,543 @@
+//! The differential oracles and the per-case pipeline.
+//!
+//! One fuzz case flows through six checks, each of which can emit a
+//! [`Finding`]:
+//!
+//! 1. **roundtrip** — the printed program must re-parse and re-print to
+//!    the identical bytes (printer fixpoint).
+//! 2. **compile** — parse/check/elaborate must accept the generated
+//!    program (the generator only emits well-typed subsets); resource
+//!    limits (`Z9xx`) are *skips*, not findings.
+//! 3. **scalar-vs-packed** — the levelized [`zeus::Simulator`] and the
+//!    64-lane [`zeus::PackedSim`], driven with identical vectors, must
+//!    agree on every port, lane for lane, every cycle.
+//! 4. **graph-vs-switch** — on the comparable subset (combinational
+//!    designs), the semantics-graph simulator and the Bryant-style
+//!    switch-level simulator must agree on every port every cycle.
+//! 5. **resume-prefix** — a fault campaign resumed from *every* prefix
+//!    of its checkpoint journal must reproduce the fresh report byte
+//!    for byte.
+//! 6. **atpg-replay** — the coverage a [`zeus::run_atpg`] report claims
+//!    must equal a fresh campaign replaying the emitted vector set
+//!    (after a text round-trip of the set itself).
+//!
+//! Every oracle body runs behind [`zeus::catch_panic`]: a panic inside
+//! any engine is downgraded to a `Z999` finding with the oracle name as
+//! the divergence site instead of tearing the fuzzer down.
+//!
+//! The **chaos** knob artificially injects one divergence per oracle
+//! (flipping an observed bit, corrupting a replayed report). It exists
+//! so the oracles themselves are testable: a seeded regression proves
+//! each one detects the planted divergence (mutation-style self-test).
+
+use std::path::PathBuf;
+
+use zeus::{
+    catch_panic, enumerate_faults, run_atpg, run_campaign, run_campaign_with, AtpgConfig,
+    CampaignConfig, CheckpointOptions, Design, Engine, FaultListOptions, Limits, PackedSim,
+    Simulator, SwitchSim, Value, VectorSet, VectorStream, Zeus, LANES,
+};
+
+use crate::gen::case_seed;
+
+/// Which check produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Oracle {
+    /// Printer fixpoint through the real parser.
+    Roundtrip,
+    /// Parse/check/elaborate acceptance.
+    Compile,
+    /// Scalar vs 64-lane packed simulation.
+    ScalarVsPacked,
+    /// Graph vs switch-level simulation (combinational subset).
+    GraphVsSwitch,
+    /// Campaign resume-from-every-prefix vs fresh run.
+    ResumePrefix,
+    /// ATPG claimed grade vs replayed campaign.
+    AtpgReplay,
+}
+
+impl Oracle {
+    /// Stable name used in signatures, reports and replay headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Roundtrip => "roundtrip",
+            Oracle::Compile => "compile",
+            Oracle::ScalarVsPacked => "scalar-vs-packed",
+            Oracle::GraphVsSwitch => "graph-vs-switch",
+            Oracle::ResumePrefix => "resume-prefix",
+            Oracle::AtpgReplay => "atpg-replay",
+        }
+    }
+
+    /// Parses a stable name back (replay headers, `--chaos`).
+    pub fn from_name(name: &str) -> Option<Oracle> {
+        Some(match name {
+            "roundtrip" => Oracle::Roundtrip,
+            "compile" => Oracle::Compile,
+            "scalar-vs-packed" => Oracle::ScalarVsPacked,
+            "graph-vs-switch" => Oracle::GraphVsSwitch,
+            "resume-prefix" => Oracle::ResumePrefix,
+            "atpg-replay" => Oracle::AtpgReplay,
+            _ => return None,
+        })
+    }
+
+    /// The chaos-injectable differential oracles, for self-tests.
+    pub const DIFFERENTIAL: [Oracle; 4] = [
+        Oracle::ScalarVsPacked,
+        Oracle::GraphVsSwitch,
+        Oracle::ResumePrefix,
+        Oracle::AtpgReplay,
+    ];
+}
+
+/// One deduplicable failure.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The oracle that fired.
+    pub oracle: Oracle,
+    /// Z-code class: the diagnostic's code for compile failures, `Z999`
+    /// for caught panics, `Z301` for value/report divergences, `Z001`
+    /// for round-trip breaks.
+    pub code: String,
+    /// Divergence site, e.g. `o0@c3`, `prefix@1`, `grade`.
+    pub site: String,
+    /// Human-readable one-liner.
+    pub detail: String,
+    /// The case that first produced it (set by the driver).
+    pub case: u64,
+}
+
+impl Finding {
+    /// The deduplication key: Z-code + oracle + divergence site.
+    pub fn signature(&self) -> String {
+        format!("{}:{}:{}", self.oracle.name(), self.code, self.site)
+    }
+}
+
+/// Per-case execution knobs (shared by fresh runs, minimization and
+/// corpus replay, so a reproducer reruns under identical conditions).
+#[derive(Debug, Clone)]
+pub struct CaseConfig {
+    /// Simulation cycles per differential oracle.
+    pub cycles: u32,
+    /// Random vectors per fault for the campaign oracle.
+    pub campaign_vectors: u32,
+    /// Vector cap for the ATPG oracle.
+    pub atpg_max_vectors: usize,
+    /// Resource budget for elaboration and simulation.
+    pub limits: Limits,
+    /// Inject an artificial divergence into this oracle.
+    pub chaos: Option<Oracle>,
+    /// Directory for scratch checkpoint journals.
+    pub scratch: PathBuf,
+    /// Unique tag for this case's scratch files.
+    pub tag: String,
+}
+
+impl CaseConfig {
+    /// Defaults used by the CLI; `tag` must be unique per live case.
+    pub fn new(scratch: PathBuf, tag: String) -> CaseConfig {
+        CaseConfig {
+            cycles: 6,
+            campaign_vectors: 8,
+            atpg_max_vectors: 16,
+            limits: Limits::default(),
+            chaos: None,
+            scratch,
+            tag,
+        }
+    }
+}
+
+/// What one case produced.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// Ran to completion; findings may be empty.
+    Findings(Vec<Finding>),
+    /// Hit a resource limit (`Z9xx`) — not a bug, counted separately.
+    SkippedLimit(String),
+}
+
+/// Runs the whole pipeline on one program text. `vec_seed` seeds the
+/// input-vector streams (derived from `(seed, case)` by the driver, but
+/// kept explicit so replays are self-contained).
+pub fn run_case(text: &str, top: &str, vec_seed: u64, cc: &CaseConfig) -> CaseOutcome {
+    let mut findings = Vec::new();
+
+    // 1+2: parse / fixpoint / elaborate. `Zeus::parse` runs behind the
+    // facade firewall, so engine panics surface as Z999 diagnostics.
+    let z = match Zeus::parse(text) {
+        Ok(z) => z,
+        Err(e) => {
+            if e.has_resource_limit() {
+                return CaseOutcome::SkippedLimit("parse".to_string());
+            }
+            let code = first_code(&e).unwrap_or("Z001");
+            findings.push(Finding {
+                oracle: Oracle::Compile,
+                code: code.to_string(),
+                site: "parse".to_string(),
+                detail: "generated program rejected by the parser/checker".to_string(),
+                case: 0,
+            });
+            return CaseOutcome::Findings(findings);
+        }
+    };
+    let reprinted = z.to_canonical_text();
+    if reprinted != text {
+        findings.push(Finding {
+            oracle: Oracle::Roundtrip,
+            code: "Z001".to_string(),
+            site: "printer".to_string(),
+            detail: "canonical print is not a fixpoint under re-parsing".to_string(),
+            case: 0,
+        });
+    }
+    let design = match z.elaborate_limited(top, &[], &cc.limits) {
+        Ok(d) => d,
+        Err(e) => {
+            if e.has_resource_limit() {
+                return CaseOutcome::SkippedLimit("elab".to_string());
+            }
+            let code = first_code(&e).unwrap_or("Z201");
+            findings.push(Finding {
+                oracle: Oracle::Compile,
+                code: code.to_string(),
+                site: "elab".to_string(),
+                detail: "generated program rejected by elaboration".to_string(),
+                case: 0,
+            });
+            return CaseOutcome::Findings(findings);
+        }
+    };
+
+    // 3..6: the differential oracles, each behind the panic firewall.
+    let oracles: [(Oracle, OracleFn); 4] = [
+        (Oracle::ScalarVsPacked, scalar_vs_packed),
+        (Oracle::GraphVsSwitch, graph_vs_switch),
+        (Oracle::ResumePrefix, resume_prefix),
+        (Oracle::AtpgReplay, atpg_replay),
+    ];
+    for (oracle, f) in oracles {
+        match catch_panic(|| f(&design, vec_seed, cc)) {
+            Ok(OracleVerdict::Agree) => {}
+            Ok(OracleVerdict::Skip) => {}
+            Ok(OracleVerdict::Diverged { code, site, detail }) => findings.push(Finding {
+                oracle,
+                code,
+                site,
+                detail,
+                case: 0,
+            }),
+            Err(d) => findings.push(Finding {
+                oracle,
+                code: "Z999".to_string(),
+                site: "panic".to_string(),
+                detail: format!("engine panicked inside the {} oracle: {d}", oracle.name()),
+                case: 0,
+            }),
+        }
+    }
+    CaseOutcome::Findings(findings)
+}
+
+fn first_code(e: &zeus::Diagnostics) -> Option<&'static str> {
+    e.iter().find_map(|d| d.code.map(|c| c.as_str()))
+}
+
+enum OracleVerdict {
+    Agree,
+    /// Not applicable to this design (or a resource limit inside the
+    /// oracle) — silently inconclusive.
+    Skip,
+    Diverged {
+        code: String,
+        site: String,
+        detail: String,
+    },
+}
+
+type OracleFn = fn(&Design, u64, &CaseConfig) -> OracleVerdict;
+
+fn render(bits: &[Value]) -> String {
+    bits.iter().map(|v| v.to_string()).collect()
+}
+
+/// Oracle 3: scalar vs packed, lane for lane.
+fn scalar_vs_packed(design: &Design, vec_seed: u64, cc: &CaseConfig) -> OracleVerdict {
+    let mut sc = match Simulator::with_limits(design.clone(), &cc.limits) {
+        Ok(s) => s,
+        Err(_) => return OracleVerdict::Skip,
+    };
+    let mut pk = match PackedSim::with_limits(design.clone(), &cc.limits) {
+        Ok(s) => s,
+        Err(_) => return OracleVerdict::Skip,
+    };
+    let mut stream = VectorStream::new(design, case_seed(vec_seed, 0, 1));
+    // Reset cycle, then the seeded vectors.
+    sc.set_rset(true);
+    pk.set_rset(true);
+    for cycle in 0..=cc.cycles {
+        let vector = if cycle == 0 {
+            stream.zero_vector()
+        } else {
+            sc.set_rset(false);
+            pk.set_rset(false);
+            stream.next_vector()
+        };
+        for (port, bits) in &vector {
+            if sc.set_port(port, bits).is_err() || pk.set_port(port, bits).is_err() {
+                return OracleVerdict::Skip;
+            }
+        }
+        let (ra, rb) = (sc.try_step(), pk.try_step());
+        match (&ra, &rb) {
+            (Ok(_), Ok(_)) => {}
+            (Err(a), Err(b)) if a.code == b.code => return OracleVerdict::Skip,
+            (a, b) => {
+                let ca = a.as_ref().err().and_then(|d| d.code).map(|c| c.as_str());
+                let cb = b.as_ref().err().and_then(|d| d.code).map(|c| c.as_str());
+                return OracleVerdict::Diverged {
+                    code: ca.or(cb).unwrap_or("Z301").to_string(),
+                    site: format!("step@c{cycle}"),
+                    detail: format!(
+                        "step outcome differs at cycle {cycle}: scalar {}, packed {}",
+                        ca.unwrap_or("ok"),
+                        cb.unwrap_or("ok")
+                    ),
+                };
+            }
+        }
+        for (p, port) in design.ports.iter().enumerate() {
+            let scalar = sc.port(&port.name);
+            let mut lane0 = pk.port_lane(&port.name, 0);
+            let lane_hi = pk.port_lane(&port.name, LANES - 1);
+            if cc.chaos == Some(Oracle::ScalarVsPacked) && cycle == 1 && p == 0 {
+                // Mutation self-test hook: flip the first observed bit.
+                if let Some(b) = lane0.first_mut() {
+                    *b = flip(*b);
+                }
+            }
+            if lane0 != scalar || lane_hi != scalar {
+                return OracleVerdict::Diverged {
+                    code: "Z301".to_string(),
+                    site: format!("{}@c{cycle}", port.name),
+                    detail: format!(
+                        "port {} at cycle {cycle}: scalar {} vs packed lane0 {} lane{} {}",
+                        port.name,
+                        render(&scalar),
+                        render(&lane0),
+                        LANES - 1,
+                        render(&lane_hi)
+                    ),
+                };
+            }
+        }
+    }
+    OracleVerdict::Agree
+}
+
+fn flip(v: Value) -> Value {
+    match v {
+        Value::Zero => Value::One,
+        _ => Value::Zero,
+    }
+}
+
+/// Oracle 4: graph vs switch-level, on the comparable (combinational)
+/// subset. Sequential designs are skipped: the switch-level engine
+/// models charge storage differently enough that lockstep equality is
+/// only contractual for combinational networks.
+fn graph_vs_switch(design: &Design, vec_seed: u64, cc: &CaseConfig) -> OracleVerdict {
+    if design.netlist.registers().count() > 0 {
+        return OracleVerdict::Skip;
+    }
+    let mut gr = match Simulator::with_limits(design.clone(), &cc.limits) {
+        Ok(s) => s,
+        Err(_) => return OracleVerdict::Skip,
+    };
+    let mut sw = SwitchSim::with_limits(design, &cc.limits);
+    let mut stream = VectorStream::new(design, case_seed(vec_seed, 0, 2));
+    for cycle in 0..cc.cycles {
+        let vector = stream.next_vector();
+        for (port, bits) in &vector {
+            if gr.set_port(port, bits).is_err() || sw.set_port(port, bits).is_err() {
+                return OracleVerdict::Skip;
+            }
+        }
+        let (ra, rb) = (gr.try_step(), sw.try_step());
+        match (&ra, &rb) {
+            (Ok(_), Ok(_)) => {}
+            (Err(a), Err(b)) if a.code == b.code => return OracleVerdict::Skip,
+            (a, b) => {
+                let ca = a.as_ref().err().and_then(|d| d.code).map(|c| c.as_str());
+                let cb = b.as_ref().err().and_then(|d| d.code).map(|c| c.as_str());
+                return OracleVerdict::Diverged {
+                    code: ca.or(cb).unwrap_or("Z301").to_string(),
+                    site: format!("step@c{cycle}"),
+                    detail: format!(
+                        "step outcome differs at cycle {cycle}: graph {}, switch {}",
+                        ca.unwrap_or("ok"),
+                        cb.unwrap_or("ok")
+                    ),
+                };
+            }
+        }
+        for (p, port) in design.ports.iter().enumerate() {
+            let graph = gr.port(&port.name);
+            let mut switch = sw.port(&port.name);
+            if cc.chaos == Some(Oracle::GraphVsSwitch) && cycle == 0 && p == 0 {
+                if let Some(b) = switch.first_mut() {
+                    *b = flip(*b);
+                }
+            }
+            if graph != switch {
+                return OracleVerdict::Diverged {
+                    code: "Z301".to_string(),
+                    site: format!("{}@c{cycle}", port.name),
+                    detail: format!(
+                        "port {} at cycle {cycle}: graph {} vs switch {}",
+                        port.name,
+                        render(&graph),
+                        render(&switch)
+                    ),
+                };
+            }
+        }
+    }
+    OracleVerdict::Agree
+}
+
+/// Oracle 5: campaign resume-from-every-prefix vs fresh run.
+fn resume_prefix(design: &Design, vec_seed: u64, cc: &CaseConfig) -> OracleVerdict {
+    let list = enumerate_faults(design, &FaultListOptions::default());
+    if list.faults.is_empty() {
+        return OracleVerdict::Skip;
+    }
+    let mut cfg = CampaignConfig::new(
+        Engine::Graph,
+        cc.campaign_vectors,
+        case_seed(vec_seed, 0, 3),
+    );
+    cfg.limits = cc.limits.clone();
+    let fresh = match run_campaign(design, &list, &cfg) {
+        Ok(r) => r.to_json(),
+        Err(d) => return diag_verdict(d, "campaign"),
+    };
+
+    let path = cc.scratch.join(format!("{}-resume.journal", cc.tag));
+    let _ = std::fs::remove_file(&path);
+    let journaled =
+        match run_campaign_with(design, &list, &cfg, Some(&CheckpointOptions::new(&path))) {
+            Ok(r) => r.to_json(),
+            Err(d) => return diag_verdict(d, "journal"),
+        };
+    if journaled != fresh {
+        let _ = std::fs::remove_file(&path);
+        return OracleVerdict::Diverged {
+            code: "Z301".to_string(),
+            site: "journaled-vs-fresh".to_string(),
+            detail: "a journaled campaign differs from an unjournaled one".to_string(),
+        };
+    }
+    let Ok(full) = std::fs::read_to_string(&path) else {
+        let _ = std::fs::remove_file(&path);
+        return OracleVerdict::Skip;
+    };
+    let lines: Vec<&str> = full.lines().collect();
+    let entries = lines.len().saturating_sub(1);
+    for keep in 0..entries {
+        let mut prefix: String = lines[..1 + keep].join("\n");
+        prefix.push('\n');
+        if std::fs::write(&path, prefix).is_err() {
+            break;
+        }
+        let resumed =
+            match run_campaign_with(design, &list, &cfg, Some(&CheckpointOptions::resume(&path))) {
+                Ok(r) => r.to_json(),
+                Err(d) => {
+                    let _ = std::fs::remove_file(&path);
+                    return diag_verdict(d, "resume");
+                }
+            };
+        let resumed = if cc.chaos == Some(Oracle::ResumePrefix) && keep == 0 {
+            // Mutation self-test hook: corrupt the resumed report.
+            format!("{resumed}#chaos")
+        } else {
+            resumed
+        };
+        if resumed != fresh {
+            let _ = std::fs::remove_file(&path);
+            return OracleVerdict::Diverged {
+                code: "Z301".to_string(),
+                site: format!("prefix@{keep}"),
+                detail: format!(
+                    "campaign resumed from a {keep}-entry journal prefix differs from a fresh run"
+                ),
+            };
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    OracleVerdict::Agree
+}
+
+/// Oracle 6: the grade an ATPG report claims must equal a campaign
+/// replaying the emitted vector set, after a text round-trip.
+fn atpg_replay(design: &Design, vec_seed: u64, cc: &CaseConfig) -> OracleVerdict {
+    let cfg = AtpgConfig {
+        seed: case_seed(vec_seed, 0, 4),
+        max_vectors: cc.atpg_max_vectors,
+        limits: cc.limits.clone(),
+        ..AtpgConfig::default()
+    };
+    let report = match run_atpg(design, &cfg) {
+        Ok(r) => r,
+        Err(d) => return diag_verdict(d, "atpg"),
+    };
+    let set = match VectorSet::parse(&report.vectors.to_text()) {
+        Ok(s) => s,
+        Err(_) => {
+            return OracleVerdict::Diverged {
+                code: "Z301".to_string(),
+                site: "vector-roundtrip".to_string(),
+                detail: "emitted vector set does not re-parse".to_string(),
+            }
+        }
+    };
+    let mut gcfg = CampaignConfig::replay(Engine::Graph, set);
+    gcfg.limits = cc.limits.clone();
+    let list = enumerate_faults(design, &FaultListOptions::default());
+    let replayed = match run_campaign(design, &list, &gcfg) {
+        Ok(r) => r.to_json(),
+        Err(d) => return diag_verdict(d, "replay"),
+    };
+    let replayed = if cc.chaos == Some(Oracle::AtpgReplay) {
+        format!("{replayed}#chaos")
+    } else {
+        replayed
+    };
+    if replayed != report.grade.to_json() {
+        return OracleVerdict::Diverged {
+            code: "Z301".to_string(),
+            site: "grade".to_string(),
+            detail: "replaying the emitted vector set does not reproduce the claimed grade"
+                .to_string(),
+        };
+    }
+    OracleVerdict::Agree
+}
+
+/// Classifies a diagnostic escaping a campaign/ATPG oracle: resource
+/// limits are skips, anything else is a finding carrying its Z-code.
+fn diag_verdict(d: zeus::Diagnostic, site: &str) -> OracleVerdict {
+    if d.is_resource_limit() {
+        return OracleVerdict::Skip;
+    }
+    OracleVerdict::Diverged {
+        code: d.code.map(|c| c.as_str()).unwrap_or("Z301").to_string(),
+        site: site.to_string(),
+        detail: format!("unexpected diagnostic: {d}"),
+    }
+}

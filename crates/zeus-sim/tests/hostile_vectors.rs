@@ -1,0 +1,81 @@
+//! `VectorSet::parse` must be total over hostile text: any input — a
+//! truncated file, injected whitespace, raw ASCII noise — yields either
+//! a parsed set or a `Z301`-coded diagnostic. A panic is a bug (the
+//! daemon and the fuzzer both feed this parser attacker-shaped bytes).
+
+use proptest::prelude::*;
+use zeus_sim::VectorSet;
+use zeus_syntax::diag::codes;
+
+/// A well-formed two-port, three-vector file to mutate.
+const GOOD: &str = "zeus-vectors v1 top=t seed=42\nports a:1 b:3\n0 101\n1 UZ0\n# note\nU 111\n";
+
+/// The property every input must satisfy: parse returns, and an error
+/// carries the simulator format code — never a bare or foreign code.
+fn parses_totally(input: &str) {
+    match VectorSet::parse(input) {
+        Ok(set) => {
+            // A successful parse must re-serialize without panicking.
+            let _ = set.to_text();
+        }
+        Err(d) => assert_eq!(
+            d.code,
+            Some(codes::SIM),
+            "malformed vector text produced a non-Z301 error for {input:?}"
+        ),
+    }
+}
+
+/// Every prefix of a valid file — a write cut short at any byte — is
+/// exhaustively checked, not sampled: truncation is the most likely
+/// real-world corruption and the cheapest to cover completely.
+#[test]
+fn every_truncation_of_a_valid_file_is_handled() {
+    for cut in 0..=GOOD.len() {
+        parses_totally(&GOOD[..cut]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw printable-ASCII noise (plus newlines and tabs).
+    #[test]
+    fn ascii_noise_never_panics(input in "[ -~\n\t]{0,160}") {
+        parses_totally(&input);
+    }
+
+    /// Noise that keeps the magic header, exercising the field, port
+    /// and vector line parsers rather than bailing at the magic check.
+    #[test]
+    fn noise_behind_a_valid_magic_never_panics(tail in "[ -~\n\t]{0,120}") {
+        parses_totally(&format!("zeus-vectors v1 {tail}"));
+        parses_totally(&format!("zeus-vectors v1 top=t seed=0\n{tail}"));
+        parses_totally(&format!("zeus-vectors v1 top=t seed=0\nports a:2\n{tail}"));
+    }
+
+    /// Hostile whitespace: splice runs of spaces, tabs, CR and LF into
+    /// a valid file at a random position. CRLF line endings in
+    /// particular must not slip a `\r` into a bit group silently.
+    #[test]
+    fn whitespace_injection_never_panics(
+        at in 0usize..=GOOD.len(),
+        ws in "[ \t\r\n]{1,6}",
+    ) {
+        let mut text = String::with_capacity(GOOD.len() + ws.len());
+        text.push_str(&GOOD[..at]);
+        text.push_str(&ws);
+        text.push_str(&GOOD[at..]);
+        parses_totally(&text);
+    }
+
+    /// Truncation composed with a corrupted tail byte, covering torn
+    /// writes that also flipped the last landed character.
+    #[test]
+    fn truncation_with_corrupt_tail_never_panics(
+        cut in 0usize..GOOD.len(),
+        junk in "[ -~]{1,3}",
+    ) {
+        parses_totally(&format!("{}{junk}", &GOOD[..cut]));
+    }
+}

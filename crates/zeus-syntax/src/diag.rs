@@ -94,6 +94,8 @@ pub mod codes {
     pub const LIMIT_STEPS: Code = Code("Z908");
     /// Equivalence-check input width (`Limits::max_input_bits`) exceeded.
     pub const LIMIT_INPUT_BITS: Code = Code("Z909");
+    /// Invalid tool invocation (bad flag value, unusable socket path).
+    pub const USAGE: Code = Code("Z401");
     /// Internal compiler error (a bug — caught panic or broken invariant).
     pub const INTERNAL: Code = Code("Z999");
 }
