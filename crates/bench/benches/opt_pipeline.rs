@@ -1,0 +1,149 @@
+//! Optimizer pipeline bench: per-design gate/depth deltas over the
+//! whole §10 example set, plus measured pre/post-optimization
+//! throughput — scalar simulation cycles/s and packed fault-campaign
+//! wall time — on three representative designs.
+//!
+//! Besides the criterion groups, the bench prints the `BENCH_opt.json`
+//! payload between `BENCH_opt.json:` markers; regenerate the committed
+//! baseline with
+//!
+//! ```text
+//! cargo bench -p zeus-bench --bench opt_pipeline \
+//!   | sed -n '/^{/,/^}$/p' > BENCH_opt.json
+//! ```
+//!
+//! The `designs` table is deterministic (same toolchain, same bytes);
+//! the `throughput` numbers are machine-dependent and informational.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use zeus::{
+    enumerate_faults, examples, metrics, optimize, run_campaign_packed, CampaignConfig, Engine,
+    FaultListOptions, OptConfig, Simulator, Zeus,
+};
+
+/// The same table the smoke suites iterate.
+const TOPS: &[(&str, &str, &[i64])] = &[
+    ("adders", "rippleCarry4", &[]),
+    ("adders", "rippleCarry", &[4]),
+    ("mux", "muxtop", &[]),
+    ("blackjack", "blackjack", &[]),
+    ("trees", "tree", &[8]),
+    ("trees", "rtree", &[8]),
+    ("trees", "htree", &[16]),
+    ("patternmatch", "patternmatch", &[3]),
+    ("routing", "routingnetwork", &[8]),
+    ("ram", "ram", &[8, 4, 3]),
+    ("chessboard", "chessboard", &[4]),
+    ("am2901", "am2901", &[]),
+    ("stack", "systolicstack", &[4, 4]),
+    ("queue", "systolicqueue", &[4, 4]),
+    ("counter", "counter", &[6]),
+    ("dictionary", "dictionary", &[4, 4]),
+    ("sorter", "sorter", &[4, 4]),
+    ("recognizer", "recab", &[]),
+    ("semantics", "semc", &[]),
+];
+
+fn design(name: &str, top: &str, targs: &[i64]) -> zeus::Design {
+    let src = examples::ALL
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, s, _)| *s)
+        .unwrap();
+    Zeus::parse(src).unwrap().elaborate(top, targs).unwrap()
+}
+
+/// Scalar simulation cycles per second over a fixed cycle budget.
+fn sim_cycles_per_sec(d: &zeus::Design, cycles: u32) -> f64 {
+    let mut sim = Simulator::new(d.clone()).unwrap();
+    let t = Instant::now();
+    for _ in 0..cycles {
+        sim.step();
+    }
+    cycles as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Full packed campaign, returning simulated faults per second.
+fn campaign_faults_per_sec(d: &zeus::Design, vectors: u32) -> f64 {
+    let list = enumerate_faults(d, &FaultListOptions::default());
+    let cfg = CampaignConfig::new(Engine::Graph, vectors, 1);
+    let t = Instant::now();
+    let r = run_campaign_packed(d, &list, &cfg, 1).unwrap();
+    black_box(r);
+    list.faults.len() as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = OptConfig::default();
+
+    let mut g = c.benchmark_group("opt_pipeline");
+    g.sample_size(10);
+    for (name, top) in [("adders", "rippleCarry4"), ("am2901", "am2901")] {
+        let d = design(name, top, &[]);
+        g.bench_function(format!("optimize_{top}"), |b| {
+            b.iter(|| optimize(black_box(&d), &cfg).unwrap())
+        });
+    }
+    g.finish();
+
+    // The BENCH_opt.json payload: the full per-design delta table and
+    // the pre/post throughput of three representative designs.
+    let mut designs = String::new();
+    for (i, &(name, top, targs)) in TOPS.iter().enumerate() {
+        let d = design(name, top, targs);
+        let out = optimize(&d, &cfg).unwrap();
+        let (before, after) = (metrics(&d), metrics(&out.design));
+        let sep = if i + 1 < TOPS.len() { "," } else { "" };
+        let _ = writeln!(
+            designs,
+            "    \"{name}/{top}{targs:?}\": {{\"gates\": [{}, {}], \"depth\": [{}, {}], \
+             \"nets\": [{}, {}]}}{sep}",
+            before.gates, after.gates, before.depth, after.depth, before.nets, after.nets
+        );
+    }
+
+    let mut throughput = String::new();
+    let reps: [(&str, &str, &[i64], u32, u32); 3] = [
+        ("adders", "rippleCarry4", &[], 20_000, 64),
+        ("routing", "routingnetwork", &[8], 2_000, 16),
+        ("am2901", "am2901", &[], 2_000, 16),
+    ];
+    for (i, &(name, top, targs, cycles, vectors)) in reps.iter().enumerate() {
+        let d = design(name, top, targs);
+        let opt = optimize(&d, &cfg).unwrap().design;
+        let sim_pre = sim_cycles_per_sec(&d, cycles);
+        let sim_post = sim_cycles_per_sec(&opt, cycles);
+        let camp_pre = campaign_faults_per_sec(&d, vectors);
+        let camp_post = campaign_faults_per_sec(&opt, vectors);
+        let sep = if i + 1 < reps.len() { "," } else { "" };
+        let _ = writeln!(
+            throughput,
+            "    \"{top}\": {{\"sim_cycles_per_sec\": [{}, {}], \
+             \"campaign_faults_per_sec\": [{}, {}]}}{sep}",
+            sim_pre.round(),
+            sim_post.round(),
+            camp_pre.round(),
+            camp_post.round()
+        );
+    }
+
+    println!("BENCH_opt.json:");
+    println!("{{");
+    println!(
+        "  \"benchmark\": \"equivalence-gated netlist optimizer: per-design deltas \
+         and pre/post throughput (release build)\","
+    );
+    println!("  \"designs\": {{");
+    print!("{designs}");
+    println!("  }},");
+    println!("  \"throughput\": {{");
+    print!("{throughput}");
+    println!("  }}");
+    println!("}}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -282,6 +282,7 @@ fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
             ("--seed", true),
             ("--set", true),
             ("--packed", false),
+            ("--opt", false),
         ]),
         "fault" => flags.extend([
             ("--top", true),
@@ -297,6 +298,7 @@ fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
             ("--resume", false),
             ("--campaign-timeout", true),
             ("--vectors-file", true),
+            ("--opt", false),
         ]),
         "atpg" => flags.extend([
             ("--top", true),
@@ -308,6 +310,14 @@ fn known_flags(cmd: &str) -> Vec<(&'static str, bool)> {
             ("--json", false),
             ("--bridges", false),
             ("--transients", true),
+            ("--opt", false),
+        ]),
+        "opt" => flags.extend([
+            ("--top", true),
+            ("--report", false),
+            ("--json", false),
+            ("--seed", true),
+            ("--emit", true),
         ]),
         "fuzz" => flags.extend([
             ("--seed", true),
@@ -334,7 +344,7 @@ fn synopsis(cmd: &str) -> &'static str {
         "elab" => "zeusc elab <file.zeus> <top> [type args...] [limit flags]",
         "sim" => {
             "zeusc sim <file.zeus> <top> [type args...] [--cycles N] [--seed S] \
-             [--set port=value ...] [--packed] [limit flags]"
+             [--set port=value ...] [--packed] [--opt] [limit flags]"
         }
         "layout" => "zeusc layout <file.zeus> <top> [type args...] [limit flags]",
         "svg" => "zeusc svg <file.zeus> <top> [type args...] [limit flags]",
@@ -345,13 +355,17 @@ fn synopsis(cmd: &str) -> &'static str {
             "zeusc fault <file.zeus> <top> [type args...] [--vectors N] [--seed S] \
              [--engine graph|switch] [--bridges] [--transients C] [--json] \
              [--packed] [--jobs N] [--checkpoint FILE] [--resume] \
-             [--campaign-timeout MS] [--vectors-file FILE] [limit flags]"
+             [--campaign-timeout MS] [--vectors-file FILE] [--opt] [limit flags]"
         }
         "atpg" => {
             "zeusc atpg <file.zeus> <top> [type args...] [--seed S] \
              [--coverage-target PCT] [--max-vectors N] [--backtrack-limit N] \
              [--emit-vectors FILE] [--json] [--bridges] [--transients C] \
-             [limit flags]"
+             [--opt] [limit flags]"
+        }
+        "opt" => {
+            "zeusc opt <file.zeus> <top> [type args...] [--report] [--json] \
+             [--seed S] [--emit FILE] [limit flags]"
         }
         "fuzz" => {
             "zeusc fuzz [--seed S] [--budget N] [--jobs N] [--size CLASS] \
@@ -374,7 +388,9 @@ fn detail(cmd: &str) -> &'static str {
             "Simulates <top> for --cycles clock cycles (default 8) and prints the\n\
              final port values. --set forces an IN port each cycle; --seed seeds\n\
              the RANDOM source (default 0x2E051983). --packed runs the 64-lane\n\
-             bit-parallel engine (same output; used for cross-checking)."
+             bit-parallel engine (same output; used for cross-checking).\n\
+             --opt runs the equivalence-gated optimizer first and simulates\n\
+             the optimized netlist (gate/depth deltas echoed on stderr)."
         }
         "layout" => "Computes the §7 floorplan and draws it as ASCII art.",
         "svg" => "Computes the §7 floorplan and emits it as SVG on stdout.",
@@ -402,7 +418,11 @@ fn detail(cmd: &str) -> &'static str {
              --vectors-file FILE replays an explicit vector set written by\n\
              `zeusc atpg --emit-vectors` instead of a random stream; the\n\
              seed is recovered from the file when --seed is omitted, and\n\
-             the file's content is folded into the checkpoint digest."
+             the file's content is folded into the checkpoint digest.\n\
+             --opt runs the equivalence-gated optimizer first and campaigns\n\
+             against the optimized netlist (a smaller collapsed fault\n\
+             universe; checkpoints are incompatible with unoptimized runs\n\
+             by digest)."
         }
         "atpg" => {
             "Generates a compact deterministic test-vector set for the stuck-at\n\
@@ -420,15 +440,34 @@ fn detail(cmd: &str) -> &'static str {
              report byte for byte (default seed 0x2E051983).\n\
              Ctrl-C stops after the current fault: the vectors found so far\n\
              are still graded, emitted with a PARTIAL marker, and the exit\n\
-             status is 130."
+             status is 130.\n\
+             --opt runs the equivalence-gated optimizer first and generates\n\
+             vectors for the optimized netlist's fault universe."
+        }
+        "opt" => {
+            "Runs the equivalence-gated netlist optimizer (constant folding\n\
+             through the 4-valued domain, chain collapse, common-subexpression\n\
+             elimination, buffer elimination, dead sweep) and prints the\n\
+             gate-count, levelized-depth, net-count and collapsed-fault-\n\
+             universe deltas. Every changed netlist is verified against the\n\
+             original before anything is reported — exhaustively on small\n\
+             input cones, by packed-random lockstep elsewhere — and the\n\
+             command fails (exit 2) rather than emit an unverified result.\n\
+             --report adds the per-pass rewrite counts; --json emits the\n\
+             whole report machine-readably; --seed S seeds the lockstep\n\
+             verifier (default 0x5EED2E05); --emit FILE writes the optimized\n\
+             design in the `zeus-design` interchange format, loadable by\n\
+             downstream tools and distinguishable from the original by\n\
+             digest."
         }
         "fuzz" => {
             "Differential fuzzing: generates --budget seeded well-typed programs\n\
              (default 100) and cross-checks the engines against each other —\n\
              scalar vs packed simulation lane-for-lane, graph vs switch-level\n\
              on the combinational subset, fault-campaign resume-from-every-\n\
-             prefix vs fresh run, and ATPG replay-equality — with every panic\n\
-             caught and classified. Failures are deduplicated by signature\n\
+             prefix vs fresh run, ATPG replay-equality, and optimized-vs-\n\
+             unoptimized netlist lockstep — with every panic caught and\n\
+             classified. Failures are deduplicated by signature\n\
              (oracle + Z-code + divergence site), shrunk by delta debugging,\n\
              and written to --corpus (default fuzz-corpus/) as standalone\n\
              .zeus reproducers whose comment header replays the exact check;\n\
@@ -440,8 +479,8 @@ fn detail(cmd: &str) -> &'static str {
              --replay FILE re-runs a reproducer: exit 0 when the failure no\n\
              longer reproduces, 2 when it still does (repeatable).\n\
              --chaos ORACLE plants an artificial divergence in one oracle\n\
-             (scalar-vs-packed, graph-vs-switch, resume-prefix, atpg-replay)\n\
-             to prove the plumbing detects, shrinks and persists it.\n\
+             (scalar-vs-packed, graph-vs-switch, resume-prefix, atpg-replay,\n\
+             opt) to prove the plumbing detects, shrinks and persists it.\n\
              --size (0..=2, default 2) bounds program complexity; --cycles,\n\
              --vectors and --shrink-evals tune per-case effort."
         }
@@ -451,9 +490,9 @@ fn detail(cmd: &str) -> &'static str {
     }
 }
 
-const COMMANDS: [&str; 14] = [
-    "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "fault", "atpg",
-    "fuzz", "examples", "help",
+const COMMANDS: [&str; 15] = [
+    "check", "print", "elab", "sim", "layout", "svg", "graph", "synth", "equiv", "opt", "fault",
+    "atpg", "fuzz", "examples", "help",
 ];
 
 fn general_usage() -> String {
@@ -939,6 +978,15 @@ fn cmd_elaborating(p: &Parsed, sess: &mut Session) -> Result<(), Failure> {
             design
         }
     };
+    // `--opt` (sim/fault/atpg) threads the elaborated design through
+    // the equivalence-gated optimizer before the engine sees it. The
+    // optimized design has a distinct digest, so fault checkpoints and
+    // campaign journals never splice across the optimization boundary.
+    let design = if p.has("--opt") {
+        optimized_design(sess, design, &budgeted)?
+    } else {
+        design
+    };
     match p.cmd.as_str() {
         "elab" => {
             wln!(sess.out, "top       : {}", design.top_type);
@@ -987,6 +1035,7 @@ fn cmd_elaborating(p: &Parsed, sess: &mut Session) -> Result<(), Failure> {
             }
             Ok(())
         }
+        "opt" => cmd_opt(p, sess, design, &budgeted),
         "fault" => cmd_fault(p, sess, design, &limits, &src, dkey),
         "atpg" => cmd_atpg(p, sess, design, &budgeted, &src, dkey),
         _ => {
@@ -996,6 +1045,158 @@ fn cmd_elaborating(p: &Parsed, sess: &mut Session) -> Result<(), Failure> {
             Ok(())
         }
     }
+}
+
+/// Runs the optimizer for a `--opt` engine command, echoing the deltas
+/// on stderr so stdout stays the engine's report (and the whole-report
+/// artifact cache, whose marks are taken after this line, replays
+/// byte-identically).
+fn optimized_design(
+    sess: &mut Session,
+    design: zeus::Design,
+    limits: &Limits,
+) -> Result<zeus::Design, Failure> {
+    let cfg = zeus::OptConfig {
+        limits: limits.clone(),
+        ..zeus::OptConfig::default()
+    };
+    let out = zeus::optimize(&design, &cfg).map_err(|e| diag_failure(&e))?;
+    let r = &out.report;
+    if r.skipped_random {
+        wln!(
+            sess.err,
+            "opt       : skipped (design uses RANDOM); netlist unchanged"
+        );
+    } else {
+        wln!(
+            sess.err,
+            "opt       : gates {} -> {}, depth {} -> {}, verified {}",
+            r.before.gates,
+            r.after.gates,
+            r.before.depth,
+            r.after.depth,
+            r.verification
+        );
+    }
+    Ok(out.design)
+}
+
+/// One `label : before -> after (-pct%)` delta line.
+fn delta_line(buf: &mut String, label: &str, before: usize, after: usize) {
+    if before == after {
+        wln!(buf, "{label:<10}: {before} (unchanged)");
+    } else {
+        let pct = 100.0 * (after as f64 - before as f64) / before as f64;
+        wln!(buf, "{label:<10}: {before} -> {after} ({pct:+.1}%)");
+    }
+}
+
+fn cmd_opt(
+    p: &Parsed,
+    sess: &mut Session,
+    design: zeus::Design,
+    limits: &Limits,
+) -> Result<(), Failure> {
+    let cfg = zeus::OptConfig {
+        seed: match p.u64_value("--seed")? {
+            Some(s) => s,
+            None => zeus::OptConfig::default().seed,
+        },
+        limits: limits.clone(),
+        ..zeus::OptConfig::default()
+    };
+    // The gate: a non-equivalent (or cyclic) result is a hard error
+    // carrying the counterexample — nothing below this line runs on an
+    // unverified netlist.
+    let out = zeus::optimize(&design, &cfg).map_err(|e| diag_failure(&e))?;
+    let r = &out.report;
+    let fopts = zeus::FaultListOptions::default();
+    let faults_before = zeus::enumerate_faults(&design, &fopts).faults.len();
+    let faults_after = zeus::enumerate_faults(&out.design, &fopts).faults.len();
+    if p.has("--json") {
+        let m = |m: &zeus::Metrics| {
+            proto::Json::Obj(vec![
+                ("gates".to_string(), proto::Json::Num(m.gates as u64)),
+                ("depth".to_string(), proto::Json::Num(m.depth as u64)),
+                ("nets".to_string(), proto::Json::Num(m.nets as u64)),
+            ])
+        };
+        let passes = r
+            .passes
+            .iter()
+            .map(|s| {
+                proto::Json::Obj(vec![
+                    ("name".to_string(), proto::Json::Str(s.name.to_string())),
+                    ("rewrites".to_string(), proto::Json::Num(s.rewrites as u64)),
+                ])
+            })
+            .collect();
+        let obj = proto::Json::Obj(vec![
+            ("top".to_string(), proto::Json::Str(design.top_type.clone())),
+            ("before".to_string(), m(&r.before)),
+            ("after".to_string(), m(&r.after)),
+            (
+                "faults_before".to_string(),
+                proto::Json::Num(faults_before as u64),
+            ),
+            (
+                "faults_after".to_string(),
+                proto::Json::Num(faults_after as u64),
+            ),
+            (
+                "rewrites".to_string(),
+                proto::Json::Num(r.total_rewrites() as u64),
+            ),
+            (
+                "iterations".to_string(),
+                proto::Json::Num(r.iterations as u64),
+            ),
+            (
+                "skipped_random".to_string(),
+                proto::Json::Bool(r.skipped_random),
+            ),
+            (
+                "verified".to_string(),
+                proto::Json::Str(r.verification.to_string()),
+            ),
+            ("passes".to_string(), proto::Json::Arr(passes)),
+        ]);
+        wln!(sess.out, "{}", obj.encode());
+    } else {
+        wln!(sess.out, "top       : {}", design.top_type);
+        delta_line(&mut sess.out, "gates", r.before.gates, r.after.gates);
+        delta_line(&mut sess.out, "depth", r.before.depth, r.after.depth);
+        delta_line(&mut sess.out, "nets", r.before.nets, r.after.nets);
+        delta_line(&mut sess.out, "faults", faults_before, faults_after);
+        wln!(
+            sess.out,
+            "rewrites  : {} in {} iteration(s)",
+            r.total_rewrites(),
+            r.iterations
+        );
+        if r.skipped_random {
+            wln!(
+                sess.out,
+                "note      : design uses RANDOM; optimization skipped"
+            );
+        }
+        wln!(sess.out, "verified  : {}", r.verification);
+        if p.has("--report") {
+            for s in &r.passes {
+                wln!(
+                    sess.out,
+                    "pass      : {:<16} {} rewrites",
+                    s.name,
+                    s.rewrites
+                );
+            }
+        }
+    }
+    if let Some(path) = p.str_value("--emit") {
+        let path = path.to_string();
+        sess.write_file(&path, &zeus::design_to_text(&out.design))?;
+    }
+    Ok(())
 }
 
 /// The collapsed fault list, through the cache when available.
@@ -1504,7 +1705,7 @@ fn cmd_fuzz(p: &Parsed, sess: &mut Session) -> Result<(), Failure> {
         let oracle = zeus_fuzz::Oracle::from_name(name).ok_or_else(|| {
             Failure::Usage(format!(
                 "unknown --chaos oracle '{name}' (expected one of: scalar-vs-packed, \
-                 graph-vs-switch, resume-prefix, atpg-replay)"
+                 graph-vs-switch, resume-prefix, atpg-replay, opt)"
             ))
         })?;
         cfg.chaos = Some(oracle);

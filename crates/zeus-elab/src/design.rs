@@ -269,6 +269,12 @@ pub struct Design {
     pub rset: Option<NetId>,
     /// Hierarchical bit name → canonical net (for tracing and tests).
     pub names: HashMap<String, NetId>,
+    /// True when the netlist was rewritten by the `zeus-opt` pass
+    /// pipeline. Folded into [`crate::hash::design_digest`] so an
+    /// optimized design can never share a digest with the elaboration it
+    /// came from — checkpoint journals of the two are never spliceable,
+    /// even when every pass was a no-op.
+    pub optimized: bool,
 }
 
 impl Design {

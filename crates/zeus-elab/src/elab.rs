@@ -948,6 +948,7 @@ impl<'a> Elab<'a> {
             clk,
             rset,
             names,
+            optimized: false,
         })
     }
 

@@ -15,7 +15,9 @@ use zeus_syntax::ast::Mode;
 
 /// Version of the digest layout. Bump when the hashed structure changes
 /// so stale checkpoints are rejected instead of misread.
-pub const DIGEST_VERSION: u64 = 1;
+/// v2 folded in [`Design::optimized`], so an optimizer-rewritten design
+/// can never collide with its unoptimized origin.
+pub const DIGEST_VERSION: u64 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -162,6 +164,7 @@ pub fn design_digest(design: &Design) -> u64 {
 
     h.write_opt_u64(design.clk.map(|n| nl.find_ref(n).index() as u64));
     h.write_opt_u64(design.rset.map(|n| nl.find_ref(n).index() as u64));
+    h.write_u64(u64::from(design.optimized));
     h.finish()
 }
 

@@ -238,16 +238,19 @@ impl Netlist {
         self.finished
     }
 
-    /// The raw union-find parent vector, for the cache serializer.
-    pub(crate) fn alias_raw(&self) -> &[u32] {
+    /// The raw union-find parent vector, for the cache serializer and the
+    /// optimizer's net-compaction rebuild.
+    pub fn alias_raw(&self) -> &[u32] {
         &self.alias
     }
 
     /// Reassembles a netlist from stored raw parts (the cache
-    /// deserializer). The caller is responsible for the parts being a
-    /// faithful copy of a previously finished netlist; the digest check
-    /// in [`crate::serdes`] enforces that end to end.
-    pub(crate) fn from_raw_parts(
+    /// deserializer and the `zeus-opt` net-compaction rebuild). The
+    /// caller is responsible for the parts being a faithful copy of a
+    /// previously finished netlist (or a consistent rewrite of one); the
+    /// serdes digest check and the optimizer's equivalence gate enforce
+    /// that end to end.
+    pub fn from_raw_parts(
         nets: Vec<Net>,
         nodes: Vec<Node>,
         group_constraints: Vec<GroupConstraint>,

@@ -38,7 +38,8 @@ use zeus_syntax::diag::Diagnostics;
 use zeus_syntax::span::Span;
 
 /// Magic first line of the format; bump the version on any change.
-const MAGIC: &str = "zeus-design v1";
+/// v2 added the `opt` line (the optimizer provenance flag).
+const MAGIC: &str = "zeus-design v2";
 
 /// Escapes a name so it fits in one whitespace-separated token.
 fn esc(s: &str) -> String {
@@ -283,6 +284,7 @@ pub fn design_to_text(design: &Design) -> String {
     let _ = writeln!(s, "top {}", esc(&design.top_type));
     let _ = writeln!(s, "clk {}", opt_net(design.clk));
     let _ = writeln!(s, "rset {}", opt_net(design.rset));
+    let _ = writeln!(s, "opt {}", if design.optimized { 1 } else { 0 });
     let _ = writeln!(s, "finished {}", if nl.is_finished() { 1 } else { 0 });
     let _ = writeln!(s, "nets {}", nl.nets.len());
     for (i, net) in nl.nets.iter().enumerate() {
@@ -370,6 +372,7 @@ pub fn design_from_text(text: &str) -> Result<Design, String> {
     let top = unesc(field(&mut lines, "top")?)?;
     let clk = opt_net_parse(field(&mut lines, "clk")?)?;
     let rset = opt_net_parse(field(&mut lines, "rset")?)?;
+    let optimized = field(&mut lines, "opt")? == "1";
     let finished = field(&mut lines, "finished")? == "1";
 
     let nnets: usize = field(&mut lines, "nets")?
@@ -496,6 +499,7 @@ pub fn design_from_text(text: &str) -> Result<Design, String> {
         clk,
         rset,
         names,
+        optimized,
     };
     let actual = design_digest(&design);
     if actual != digest {

@@ -310,6 +310,20 @@ fn record_golden(
     Ok(trace)
 }
 
+/// The golden trace ran out of ticks: the stop reason is part of the
+/// trace contract (recorded when the fault-free run died early). A
+/// missing one is an internal invariant breach, reported as a `Z999`
+/// diagnostic the driver can classify instead of panicking a worker
+/// thread mid-campaign.
+fn golden_stop(golden: &GoldenTrace) -> Result<Outcome, Diagnostic> {
+    golden.stopped.clone().ok_or_else(|| {
+        Diagnostic::internal(
+            Span::dummy(),
+            "packed campaign: golden trace ended without a recorded stop reason",
+        )
+    })
+}
+
 /// Simulates up to 64 faults — one per lane — against the golden trace,
 /// returning their outcomes in lane order.
 fn run_word(
@@ -355,9 +369,12 @@ fn run_word(
             sim.set_port(&name, &bits)?;
         }
         if golden.ticks.len() == tick {
-            let stop = golden.stopped.clone().expect("golden stopped early");
+            let stop = golden_stop(golden)?;
             finish_rest!(stop.clone());
-            return Ok(outcomes.into_iter().map(Option::unwrap).collect());
+            return Ok(outcomes
+                .into_iter()
+                .map(|o| o.unwrap_or_else(|| stop.clone()))
+                .collect());
         }
         check_deadline(limits, started, &mut outcomes, &mut alive);
         let pre: Vec<bool> = budgets.iter_mut().map(|b| b.begin_cycle(order)).collect();
@@ -386,7 +403,7 @@ fn run_word(
         // `run_differential` steps the golden side first: when it died
         // here, every still-unclassified fault inherits that outcome.
         if golden.ticks.len() == tick {
-            let stop = golden.stopped.clone().expect("golden stopped early");
+            let stop = golden_stop(golden)?;
             finish_rest!(stop.clone());
             break;
         }

@@ -1,6 +1,6 @@
 //! The differential oracles and the per-case pipeline.
 //!
-//! One fuzz case flows through six checks, each of which can emit a
+//! One fuzz case flows through seven checks, each of which can emit a
 //! [`Finding`]:
 //!
 //! 1. **roundtrip** — the printed program must re-parse and re-print to
@@ -20,6 +20,10 @@
 //! 6. **atpg-replay** — the coverage a [`zeus::run_atpg`] report claims
 //!    must equal a fresh campaign replaying the emitted vector set
 //!    (after a text round-trip of the set itself).
+//! 7. **opt** — the equivalence-gated optimizer's output must lockstep
+//!    the unoptimized design on the boolean view of every port, cycle
+//!    for cycle, under the *scalar* engine — an independent re-check of
+//!    the optimizer's own (packed/exhaustive) verification gate.
 //!
 //! Every oracle body runs behind [`zeus::catch_panic`]: a panic inside
 //! any engine is downgraded to a `Z999` finding with the oracle name as
@@ -33,9 +37,9 @@
 use std::path::PathBuf;
 
 use zeus::{
-    catch_panic, enumerate_faults, run_atpg, run_campaign, run_campaign_with, AtpgConfig,
-    CampaignConfig, CheckpointOptions, Design, Engine, FaultListOptions, Limits, PackedSim,
-    Simulator, SwitchSim, Value, VectorSet, VectorStream, Zeus, LANES,
+    catch_panic, enumerate_faults, optimize, run_atpg, run_campaign, run_campaign_with, AtpgConfig,
+    CampaignConfig, CheckpointOptions, Design, Engine, FaultListOptions, Limits, OptConfig,
+    PackedSim, Simulator, SwitchSim, Value, VectorSet, VectorStream, Zeus, LANES,
 };
 
 use crate::gen::case_seed;
@@ -55,6 +59,8 @@ pub enum Oracle {
     ResumePrefix,
     /// ATPG claimed grade vs replayed campaign.
     AtpgReplay,
+    /// Optimized vs unoptimized netlist, scalar lockstep.
+    OptLockstep,
 }
 
 impl Oracle {
@@ -67,6 +73,7 @@ impl Oracle {
             Oracle::GraphVsSwitch => "graph-vs-switch",
             Oracle::ResumePrefix => "resume-prefix",
             Oracle::AtpgReplay => "atpg-replay",
+            Oracle::OptLockstep => "opt",
         }
     }
 
@@ -79,16 +86,18 @@ impl Oracle {
             "graph-vs-switch" => Oracle::GraphVsSwitch,
             "resume-prefix" => Oracle::ResumePrefix,
             "atpg-replay" => Oracle::AtpgReplay,
+            "opt" => Oracle::OptLockstep,
             _ => return None,
         })
     }
 
     /// The chaos-injectable differential oracles, for self-tests.
-    pub const DIFFERENTIAL: [Oracle; 4] = [
+    pub const DIFFERENTIAL: [Oracle; 5] = [
         Oracle::ScalarVsPacked,
         Oracle::GraphVsSwitch,
         Oracle::ResumePrefix,
         Oracle::AtpgReplay,
+        Oracle::OptLockstep,
     ];
 }
 
@@ -213,12 +222,13 @@ pub fn run_case(text: &str, top: &str, vec_seed: u64, cc: &CaseConfig) -> CaseOu
         }
     };
 
-    // 3..6: the differential oracles, each behind the panic firewall.
-    let oracles: [(Oracle, OracleFn); 4] = [
+    // 3..7: the differential oracles, each behind the panic firewall.
+    let oracles: [(Oracle, OracleFn); 5] = [
         (Oracle::ScalarVsPacked, scalar_vs_packed),
         (Oracle::GraphVsSwitch, graph_vs_switch),
         (Oracle::ResumePrefix, resume_prefix),
         (Oracle::AtpgReplay, atpg_replay),
+        (Oracle::OptLockstep, opt_lockstep),
     ];
     for (oracle, f) in oracles {
         match catch_panic(|| f(&design, vec_seed, cc)) {
@@ -525,6 +535,107 @@ fn atpg_replay(design: &Design, vec_seed: u64, cc: &CaseConfig) -> OracleVerdict
             detail: "replaying the emitted vector set does not reproduce the claimed grade"
                 .to_string(),
         };
+    }
+    OracleVerdict::Agree
+}
+
+/// Oracle 7: optimized vs unoptimized lockstep under the scalar engine.
+///
+/// `optimize` carries its own verification gate (packed-random lockstep
+/// or exhaustive enumeration); this oracle re-checks the result with an
+/// engine the gate never uses, on fuzz-generated programs the bundled
+/// designs don't resemble. The compared observable is the gate's own
+/// contract: the *boolean view* of every port, cycle for cycle (raw
+/// NOINFL-vs-UNDEF distinctions on undriven nets are not preserved by
+/// contribution-exact rewrites and are invisible to every downstream
+/// engine). A gate refusal (`optimize` returning `Err`) is itself a
+/// finding — the pipeline produced a netlist its verifier rejected.
+fn opt_lockstep(design: &Design, vec_seed: u64, cc: &CaseConfig) -> OracleVerdict {
+    let ocfg = OptConfig {
+        limits: cc.limits.clone(),
+        ..OptConfig::default()
+    };
+    let optimized = match optimize(design, &ocfg) {
+        Ok(o) => o.design,
+        Err(d) => return diag_verdict(d, "gate"),
+    };
+    let mut base = match Simulator::with_limits(design.clone(), &cc.limits) {
+        Ok(s) => s,
+        Err(_) => return OracleVerdict::Skip,
+    };
+    let mut opt = match Simulator::with_limits(optimized, &cc.limits) {
+        Ok(s) => s,
+        Err(_) => return OracleVerdict::Skip,
+    };
+    // Identical RNG streams: when the design uses RANDOM the optimizer
+    // leaves the netlist untouched, so both sides draw identically.
+    let rng_seed = case_seed(vec_seed, 0, 5);
+    base.reseed(rng_seed);
+    opt.reseed(rng_seed);
+    let mut stream = VectorStream::new(design, case_seed(vec_seed, 0, 6));
+    base.set_rset(true);
+    opt.set_rset(true);
+    for cycle in 0..=cc.cycles {
+        let vector = if cycle == 0 {
+            stream.zero_vector()
+        } else {
+            base.set_rset(false);
+            opt.set_rset(false);
+            stream.next_vector()
+        };
+        for (port, bits) in &vector {
+            if base.set_port(port, bits).is_err() || opt.set_port(port, bits).is_err() {
+                return OracleVerdict::Skip;
+            }
+        }
+        let (ra, rb) = (base.try_step(), opt.try_step());
+        match (&ra, &rb) {
+            (Ok(_), Ok(_)) => {}
+            (Err(a), Err(b)) if a.code == b.code => return OracleVerdict::Skip,
+            (a, b) => {
+                let ca = a.as_ref().err().and_then(|d| d.code).map(|c| c.as_str());
+                let cb = b.as_ref().err().and_then(|d| d.code).map(|c| c.as_str());
+                return OracleVerdict::Diverged {
+                    code: ca.or(cb).unwrap_or("Z301").to_string(),
+                    site: format!("step@c{cycle}"),
+                    detail: format!(
+                        "step outcome differs at cycle {cycle}: unoptimized {}, optimized {}",
+                        ca.unwrap_or("ok"),
+                        cb.unwrap_or("ok")
+                    ),
+                };
+            }
+        }
+        for (p, port) in design.ports.iter().enumerate() {
+            let want: Vec<Value> = base
+                .port(&port.name)
+                .iter()
+                .map(|v| v.to_boolean())
+                .collect();
+            let mut got: Vec<Value> = opt
+                .port(&port.name)
+                .iter()
+                .map(|v| v.to_boolean())
+                .collect();
+            if cc.chaos == Some(Oracle::OptLockstep) && cycle == 1 && p == 0 {
+                // Mutation self-test hook: flip the first observed bit.
+                if let Some(b) = got.first_mut() {
+                    *b = flip(*b);
+                }
+            }
+            if want != got {
+                return OracleVerdict::Diverged {
+                    code: "Z301".to_string(),
+                    site: format!("{}@c{cycle}", port.name),
+                    detail: format!(
+                        "port {} at cycle {cycle}: unoptimized {} vs optimized {}",
+                        port.name,
+                        render(&want),
+                        render(&got)
+                    ),
+                };
+            }
+        }
     }
     OracleVerdict::Agree
 }

@@ -963,13 +963,21 @@ impl PackedSim {
             let n = w.not();
             *w = n.select(f, *w);
         }
-        if let Some(&(bl, _)) = self.bridge_natural.get(&i) {
-            let rec = bl & m;
-            if rec != 0 {
-                let cur = self.values[i];
-                let e = self.bridge_natural.get_mut(&i).unwrap();
-                e.1 = cur.select(rec, e.1);
+        // Single lookup: reading the resolved value before taking the
+        // mutable borrow keeps the natural-value update self-contained
+        // (no second lookup whose failure would have to panic).
+        let cur = self.values[i];
+        let bridged = match self.bridge_natural.get_mut(&i) {
+            Some(e) => {
+                let rec = e.0 & m;
+                if rec != 0 {
+                    e.1 = cur.select(rec, e.1);
+                }
+                true
             }
+            None => false,
+        };
+        if bridged {
             if let Some(&(cm, cv)) = self.bridge_clamp.get(&i) {
                 let c = cm & m;
                 if c != 0 {

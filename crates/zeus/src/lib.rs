@@ -44,6 +44,9 @@ pub use zeus_fault::{
     PartialReason, UndetectedReason,
 };
 pub use zeus_layout::{floorplan, floorplan_of, Floorplan, PlacedPin, PlacedRect};
+pub use zeus_opt::{
+    metrics, optimize, Metrics, OptConfig, OptReport, Optimized, PassStats, Verification,
+};
 pub use zeus_sema::{BasicKind, ConstEnv, ConstVal, Resolution, Value};
 pub use zeus_sim::{
     check_equivalent, check_equivalent_sequential, check_equivalent_with, run_differential,
